@@ -1,0 +1,98 @@
+"""Fig. 4.20 — search-space reduction ratios for clique queries.
+
+Paper: clique queries of sizes 2–7 (top-40 labels) over the yeast PPI
+network, split into low-hits (<100 answers) and high-hits groups; the
+reduction ratio of the search space (Section 5.1) is plotted for
+retrieve-by-profiles, retrieve-by-subgraphs, and the refined space.
+
+Expected shape (both panels): refined < profiles (global pruning always
+tightens the profile space), and for clique queries retrieve-by-subgraphs
+gives the smallest retrieval space of the two local methods (the
+neighborhood subgraph of a clique node *is* the entire clique).  Ratios
+shrink rapidly with clique size.
+"""
+
+from typing import Dict, List
+
+import pytest
+
+from harness import (
+    fmt_ratio,
+    geometric_mean,
+    get_ppi_matcher,
+    measure_query,
+    ppi_clique_workload,
+    print_table,
+    split_by_hits,
+)
+
+SIZES = (2, 3, 4, 5, 6, 7)
+PER_SIZE = 12
+
+
+def run_experiment(per_size: int = PER_SIZE) -> Dict[str, List]:
+    """Measure reduction ratios per clique size, split by hit count."""
+    matcher = get_ppi_matcher()
+    workload = ppi_clique_workload(SIZES, per_size, seed=420)
+    rows_low, rows_high = [], []
+    for size in SIZES:
+        results = [measure_query(matcher, q) for q in workload[size]]
+        low, high = split_by_hits(results)
+        for group, rows in ((low, rows_low), (high, rows_high)):
+            if not group:
+                continue
+            rows.append((
+                size,
+                len(group),
+                fmt_ratio(geometric_mean(r.ratios["profiles"] for r in group)),
+                fmt_ratio(geometric_mean(r.ratios["subgraphs"] for r in group)),
+                fmt_ratio(geometric_mean(r.ratios["refined"] for r in group)),
+            ))
+    return {"low": rows_low, "high": rows_high}
+
+
+HEADERS = ("clique size", "#queries", "by profiles", "by subgraphs", "refined")
+
+
+def report(rows: Dict[str, List]) -> None:
+    print_table("Fig 4.20(a) reduction ratio, clique queries (low hits)",
+                HEADERS, rows["low"])
+    print_table("Fig 4.20(b) reduction ratio, clique queries (high hits)",
+                HEADERS, rows["high"])
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    rows = run_experiment()
+    report(rows)
+    return rows
+
+
+def test_fig_4_20_shapes(experiment, benchmark):
+    """Shape assertions + a benchmark of the profile-retrieval stage."""
+    rows = experiment["low"] + experiment["high"]
+    assert rows, "workload produced no answered clique queries"
+    for row in rows:
+        _, _, profiles, subgraphs, refined = row
+        # refinement always tightens (or equals) the profile space
+        assert float(refined) <= float(profiles) * 1.0000001
+        # for cliques, neighborhood subgraphs prune at least as hard as
+        # profiles (the subgraph check subsumes the label multiset check)
+        assert float(subgraphs) <= float(profiles) * 1.0000001
+    # ratios trend down as cliques grow (compare smallest vs largest size)
+    low = experiment["low"]
+    if len(low) >= 2:
+        assert float(low[-1][4]) <= float(low[0][4])
+
+    # benchmark: one profile+refine pass on a representative query
+    from harness import get_ppi, ppi_clique_workload
+    from repro.matching import MatchOptions
+
+    matcher = get_ppi_matcher()
+    query = ppi_clique_workload([4], 2, seed=7)[4][0]
+    options = MatchOptions(local="profile", refine=True, limit=1000)
+    benchmark(lambda: matcher.match(query, options))
+
+
+if __name__ == "__main__":
+    report(run_experiment())

@@ -1,0 +1,120 @@
+"""Fig. 4.21 — running time for clique queries on the PPI network.
+
+(a) per-step times under varying clique size: retrieve-by-profiles,
+    retrieve-by-subgraphs, refine, search with / without the optimized
+    order.
+(b) total query time (log scale in the paper): Optimized vs Baseline vs
+    SQL-based, low-hits queries.
+
+Expected shapes:
+* retrieval by subgraphs costs far more than retrieval by profiles
+  (its pruning is exact but needs a sub-isomorphism test per candidate);
+* the optimized total stays flat and small; the SQL-based approach grows
+  explosively with clique size (one join per pattern edge — a size-k
+  clique needs 2·C(k,2) joins) and is orders of magnitude slower.
+"""
+
+from typing import Dict, List
+
+import pytest
+
+from harness import (
+    fmt_ms,
+    get_ppi_matcher,
+    get_ppi_sql,
+    mean,
+    measure_query,
+    ppi_clique_workload,
+    print_table,
+    split_by_hits,
+)
+
+SIZES = (2, 3, 4, 5)  # the SQL arm is intractable beyond 5 in pure Python
+PER_SIZE = 8
+
+
+def run_experiment(per_size: int = PER_SIZE, with_sql: bool = True):
+    matcher = get_ppi_matcher()
+    sql_matcher = get_ppi_sql() if with_sql else None
+    workload = ppi_clique_workload(SIZES, per_size, seed=777)
+    step_rows: List = []
+    total_rows: List = []
+    for size in SIZES:
+        results = [
+            measure_query(matcher, q, sql_matcher=sql_matcher)
+            for q in workload[size]
+        ]
+        low, _high = split_by_hits(results)
+        if not low:
+            continue
+        step_rows.append((
+            size,
+            len(low),
+            fmt_ms(mean(r.times["retrieve_profiles"] for r in low)),
+            fmt_ms(mean(r.times["retrieve_subgraphs"] for r in low)),
+            fmt_ms(mean(r.times["refine"] for r in low)),
+            fmt_ms(mean(r.times["search_opt"] for r in low)),
+            fmt_ms(mean(r.times["search_no_opt"] for r in low)),
+        ))
+        sql_times = [r.sql_time for r in low if r.sql_time is not None]
+        aborted = sum(1 for r in low if r.sql_aborted)
+        total_rows.append((
+            size,
+            fmt_ms(mean(r.times["optimized_total"] for r in low)),
+            fmt_ms(mean(r.times["baseline_total"] for r in low)),
+            fmt_ms(mean(sql_times)) + (f" ({aborted} aborted)" if aborted else ""),
+        ))
+    return {"steps": step_rows, "totals": total_rows}
+
+
+def report(rows) -> None:
+    print_table(
+        "Fig 4.21(a) per-step time (ms), clique queries (low hits)",
+        ("clique size", "#queries", "retr profiles", "retr subgraphs",
+         "refine", "search w/ opt", "search w/o opt"),
+        rows["steps"],
+    )
+    print_table(
+        "Fig 4.21(b) total time (ms), clique queries (low hits)",
+        ("clique size", "Optimized", "Baseline", "SQL-based"),
+        rows["totals"],
+    )
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    rows = run_experiment()
+    report(rows)
+    return rows
+
+
+def test_fig_4_21_shapes(experiment, benchmark):
+    steps = experiment["steps"]
+    totals = experiment["totals"]
+    assert steps and totals
+
+    def ms(cell: str) -> float:
+        return float(cell.split()[0])
+
+    # profiles retrieval is cheaper than subgraph retrieval on average
+    profile_cost = mean(ms(row[2]) for row in steps)
+    subgraph_cost = mean(ms(row[3]) for row in steps)
+    assert profile_cost < subgraph_cost
+
+    # SQL is much slower than the optimized pipeline at the largest size
+    last = totals[-1]
+    assert ms(last[3]) > 5 * ms(last[1]), (
+        f"expected SQL >> optimized, got {last}"
+    )
+
+    # benchmark: the optimized end-to-end match on one size-4 query
+    from harness import HIT_LIMIT
+    from repro.matching import optimized_options
+
+    matcher = get_ppi_matcher()
+    query = ppi_clique_workload([4], 2, seed=5)[4][-1]
+    benchmark(lambda: matcher.match(query, optimized_options(limit=HIT_LIMIT)))
+
+
+if __name__ == "__main__":
+    report(run_experiment())

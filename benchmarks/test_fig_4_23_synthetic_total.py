@@ -1,0 +1,148 @@
+"""Fig. 4.23 — total query time on synthetic graphs.
+
+(a) total time vs query size (fixed graph): Optimized vs Baseline vs
+    SQL-based — SQL does not scale to large queries;
+(b) total time vs graph size (fixed query size 4): SQL scales to large
+    graphs with small queries but remains well above the optimized
+    pipeline; Optimized stays smallest throughout.
+"""
+
+from typing import List
+
+import pytest
+
+from harness import (
+    FULL_SCALE,
+    fmt_ms,
+    get_synthetic,
+    get_synthetic_matcher,
+    mean,
+    measure_query,
+    print_table,
+    synthetic_base_size,
+    synthetic_query_workload,
+    synthetic_sizes,
+)
+from repro.sqlbaseline import SQLGraphMatcher
+
+QUERY_SIZES = (4, 8, 12, 16, 20)
+#: SQL is exponential in pattern edges; cap its arm (the paper's SQL
+#: curve also stops early in Fig. 4.23(a)).
+SQL_MAX_QUERY_SIZE = 6 if not FULL_SCALE else 8
+PER_SIZE = 4
+
+
+def run_query_size_sweep(per_size: int = PER_SIZE):
+    n = synthetic_base_size()
+    graph = get_synthetic(n)
+    matcher = get_synthetic_matcher(n)
+    sql_matcher = SQLGraphMatcher(graph, join_order="greedy")
+    sizes = sorted(set(QUERY_SIZES) | {SQL_MAX_QUERY_SIZE})
+    workload = synthetic_query_workload(graph, sizes, per_size, seed=2023)
+    rows: List = []
+    for size in sizes:
+        results = [
+            measure_query(matcher, q,
+                          sql_matcher=sql_matcher if size <= SQL_MAX_QUERY_SIZE
+                          else None)
+            for q in workload[size]
+        ]
+        results = [r for r in results if r.hits > 0]
+        if not results:
+            continue
+        sql_times = [r.sql_time for r in results if r.sql_time is not None]
+        aborted = sum(1 for r in results if r.sql_aborted)
+        sql_cell = fmt_ms(mean(sql_times)) if sql_times else "n/a"
+        if aborted:
+            sql_cell += f" ({aborted} aborted)"
+        rows.append((
+            size,
+            len(results),
+            fmt_ms(mean(r.times["optimized_total"] for r in results)),
+            fmt_ms(mean(r.times["baseline_total"] for r in results)),
+            sql_cell,
+        ))
+    return rows
+
+
+def run_graph_size_sweep(per_size: int = PER_SIZE):
+    rows: List = []
+    for n in synthetic_sizes():
+        graph = get_synthetic(n)
+        matcher = get_synthetic_matcher(n)
+        sql_matcher = SQLGraphMatcher(graph, join_order="greedy")
+        workload = synthetic_query_workload(graph, [4], per_size, seed=n)
+        results = [
+            measure_query(matcher, q, sql_matcher=sql_matcher)
+            for q in workload[4]
+        ]
+        results = [r for r in results if r.hits > 0]
+        if not results:
+            continue
+        sql_times = [r.sql_time for r in results if r.sql_time is not None]
+        rows.append((
+            n,
+            len(results),
+            fmt_ms(mean(r.times["optimized_total"] for r in results)),
+            fmt_ms(mean(r.times["baseline_total"] for r in results)),
+            fmt_ms(mean(sql_times)) if sql_times else "n/a",
+        ))
+    return rows
+
+
+def report(query_rows, graph_rows) -> None:
+    print_table(
+        f"Fig 4.23(a) total time (ms) vs query size "
+        f"(graph n={synthetic_base_size()}, low hits)",
+        ("query size", "#queries", "Optimized", "Baseline", "SQL-based"),
+        query_rows,
+    )
+    print_table(
+        "Fig 4.23(b) total time (ms) vs graph size (query size 4)",
+        ("graph size", "#queries", "Optimized", "Baseline", "SQL-based"),
+        graph_rows,
+    )
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    query_rows = run_query_size_sweep()
+    graph_rows = run_graph_size_sweep()
+    report(query_rows, graph_rows)
+    return query_rows, graph_rows
+
+
+def _ms(cell: str) -> float:
+    return float(cell.split()[0])
+
+
+def test_fig_4_23_shapes(experiment, benchmark):
+    query_rows, graph_rows = experiment
+    assert query_rows and graph_rows
+
+    # (a) at the largest size SQL ran, it is the slowest arm
+    sql_rows = [r for r in query_rows if r[4] != "n/a"]
+    assert sql_rows, "SQL arm produced no data"
+    last_sql = sql_rows[-1]
+    assert _ms(last_sql[4]) > _ms(last_sql[2]), last_sql
+
+    # (a) optimized handles the largest query sizes SQL cannot
+    assert query_rows[-1][0] > sql_rows[-1][0] or len(sql_rows) == len(query_rows)
+
+    # (b) optimized beats SQL at every graph size
+    for row in graph_rows:
+        if row[4] != "n/a":
+            assert _ms(row[2]) < _ms(row[4]), row
+
+    # benchmark the optimized arm on the base graph, query size 4
+    n = synthetic_base_size()
+    graph = get_synthetic(n)
+    matcher = get_synthetic_matcher(n)
+    query = synthetic_query_workload(graph, [4], 1, seed=1)[4][0]
+    from repro.matching import optimized_options
+
+    benchmark(lambda: matcher.match(query, optimized_options(limit=1000)))
+
+
+if __name__ == "__main__":
+    report(run_query_size_sweep(), run_graph_size_sweep())

@@ -1,0 +1,59 @@
+"""Chemical-compound search: the paper's first motivating example.
+
+*"Find all heterocyclic chemical compounds that contain a given aromatic
+ring and a side chain"* — runs over a collection of small compound
+graphs, first by scanning, then through the GraphGrep-style path index
+(filter + verify), showing why graph indexing is the B-tree of graph
+databases for this workload.
+
+Run with:  python examples/chemical_search.py
+"""
+
+import time
+
+from repro.core import select
+from repro.datasets import (
+    benzene_ring_pattern,
+    molecule_collection,
+    ring_with_side_chain_pattern,
+)
+from repro.index import PathIndex, PathIndexStats
+
+
+def main() -> None:
+    collection = molecule_collection(num_molecules=400, seed=7)
+    print(f"compound collection: {len(collection)} molecules")
+
+    started = time.perf_counter()
+    index = PathIndex(collection, max_length=3)
+    print(f"path index built in {(time.perf_counter() - started) * 1000:.0f} ms "
+          f"({index!r})\n")
+
+    for pattern, description in [
+        (ring_with_side_chain_pattern("O"),
+         "aromatic C-C ring bond with an oxygen side chain"),
+        (ring_with_side_chain_pattern("S"),
+         "aromatic C-C ring bond with a sulfur side chain"),
+        (benzene_ring_pattern(),
+         "full six-carbon aromatic ring"),
+    ]:
+        started = time.perf_counter()
+        scanned = select(collection, pattern, exhaustive=False)
+        scan_ms = (time.perf_counter() - started) * 1000
+
+        stats = PathIndexStats()
+        started = time.perf_counter()
+        filtered = index.select(pattern, exhaustive=False, stats=stats)
+        indexed_ms = (time.perf_counter() - started) * 1000
+
+        assert len(filtered) == len(scanned)
+        print(f"{description}:")
+        print(f"  {len(filtered)} compounds match; "
+              f"filter kept {stats.candidates}/{stats.collection_size} "
+              f"({stats.filter_ratio:.0%})")
+        print(f"  full scan {scan_ms:.1f} ms -> filter+verify "
+              f"{indexed_ms:.1f} ms\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Motif search over a protein-interaction network (Section 5.1 workload).
+
+Searches a yeast-scale PPI network for protein-complex motifs (labeled
+cliques), comparing the paper's access-method configurations:
+
+* Baseline  — feasible mates by label only, naive search order;
+* Optimized — profile pruning + pseudo-subgraph-isomorphism refinement +
+  cost-based search order.
+
+Run with:  python examples/ppi_motif_search.py
+"""
+
+import random
+import time
+
+from repro.datasets import ppi_network
+from repro.datasets.queries import seeded_clique_query
+from repro.matching import GraphMatcher, baseline_options, optimized_options
+
+
+def main() -> None:
+    print("generating yeast-scale PPI network (3112 proteins, "
+          "12519 interactions) ...")
+    network = ppi_network()
+    started = time.perf_counter()
+    matcher = GraphMatcher(network)
+    print(f"indexes + statistics built in "
+          f"{(time.perf_counter() - started) * 1000:.0f} ms\n")
+
+    rng = random.Random(2024)
+    print(f"{'size':>4} {'hits':>5} {'baseline':>12} {'optimized':>12} "
+          f"{'space reduction':>16}")
+    for size in (3, 4, 5, 6):
+        query = seeded_clique_query(network, size, rng)
+        if query is None:
+            print(f"{size:>4}  (no clique of this size found)")
+            continue
+        base = matcher.match(query, baseline_options(limit=1000))
+        opt = matcher.match(query, optimized_options(limit=1000))
+        assert len(base.mappings) == len(opt.mappings)
+        print(f"{size:>4} {len(opt.mappings):>5} "
+              f"{base.total_time * 1000:>10.1f}ms "
+              f"{opt.total_time * 1000:>10.1f}ms "
+              f"{opt.reduction_ratio():>15.2e}")
+
+    # inspect one match in detail
+    query = seeded_clique_query(network, 4, rng)
+    if query is not None:
+        report = matcher.match(query, optimized_options(limit=5))
+        print("\nexample complex instances (size-4 clique):")
+        for mapping in report.mappings[:3]:
+            proteins = [network.node(v)["protein"]
+                        for v in mapping.nodes.values()]
+            print("  " + ", ".join(sorted(proteins)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""The intro's RDF example: departments sharing a shipping company.
+
+*"Find all instances from an RDF graph where two departments of a company
+share the same shipping company ... Report the result as a single graph
+with departments as nodes and edges between nodes that share a shipper."*
+
+This exercises the full pipeline: a graph-structural pattern with a
+cross-node value constraint, plus a ``let``-accumulated result graph.
+
+Run with:  python examples/rdf_shipping.py
+"""
+
+from repro import GraphDatabase
+from repro.core import Graph
+
+
+def build_rdf_graph() -> Graph:
+    g = Graph("rdf", directed=True)
+    companies = {"Acme": 3, "Globex": 2, "Initech": 2}
+    shippers = ["FastShip", "SlowBoat", "DroneX"]
+    for shipper in shippers:
+        g.add_node(shipper, tag="shipper", name=shipper)
+    index = 0
+    assignments = {
+        # department -> shipper (Acme's d0/d1 share FastShip;
+        # Globex's d3/d4 share SlowBoat; Initech's differ)
+        0: "FastShip", 1: "FastShip", 2: "DroneX",
+        3: "SlowBoat", 4: "SlowBoat",
+        5: "FastShip", 6: "DroneX",
+    }
+    for company, count in companies.items():
+        for _ in range(count):
+            dept = g.add_node(f"d{index}", tag="department",
+                              company=company, dept_id=index)
+            g.add_edge(dept.id, assignments[index], kind="shipping")
+            index += 1
+    return g
+
+
+QUERY = """
+graph P {
+  node u1 <department>;
+  node u2 <department>;
+  node s <shipper>;
+  edge e1 (u1, s) where kind="shipping";
+  edge e2 (u2, s) where kind="shipping";
+} where u1.company = u2.company & u1.dept_id < u2.dept_id;
+
+R := graph {};
+
+for P exhaustive in doc("rdf")
+let R := graph {
+  graph R;
+  node P.u1, P.u2;
+  edge shared (P.u1, P.u2);
+  unify P.u1, R.x where P.u1.dept_id = R.x.dept_id;
+  unify P.u2, R.y where P.u2.dept_id = R.y.dept_id;
+}
+"""
+
+
+def main() -> None:
+    db = GraphDatabase()
+    db.register("rdf", build_rdf_graph())
+    env = db.query(QUERY)
+    result = env["R"]
+    print("departments that share a shipper with a sibling department:")
+    for edge in result.edges():
+        a = result.node(edge.source)
+        b = result.node(edge.target)
+        print(f"  {a['company']}: dept {a['dept_id']} <-> dept {b['dept_id']}")
+    assert result.num_edges() == 2  # Acme d0-d1 and Globex d3-d4
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Side-by-side: graph-native matching vs the SQL-based implementation.
+
+Reproduces the architectural comparison of Sections 1.2 and 5 in
+miniature: the same pattern runs through (a) the optimized graph matcher
+and (b) translation to the Fig. 4.2 multi-join SQL query over V/E tables.
+Both return the same mappings; the SQL plan examines orders of magnitude
+more rows because it cannot prune with graph structure.
+
+Run with:  python examples/sql_vs_graphql.py
+"""
+
+import random
+import time
+
+from repro.datasets import erdos_renyi_graph
+from repro.datasets.queries import extract_connected_query
+from repro.matching import GraphMatcher, optimized_options
+from repro.sqlbaseline import ExecutionStats, SQLGraphMatcher, WorkBudgetExceeded
+
+
+def main() -> None:
+    graph = erdos_renyi_graph(2000, 10000, num_labels=100, seed=17)
+    print(f"data graph: {graph}\n")
+    matcher = GraphMatcher(graph)
+    sql_matcher = SQLGraphMatcher(graph, join_order="greedy")
+    rng = random.Random(4)
+
+    print(f"{'query size':>10} {'hits':>6} {'graphql':>12} {'sql':>12} "
+          f"{'sql rows examined':>18}")
+    for size in (3, 4, 5, 6):
+        query = extract_connected_query(graph, size, rng)
+        print_sql = sql_matcher.sql_for(query)
+        report = matcher.match(query, optimized_options(limit=1000))
+
+        stats = ExecutionStats()
+        started = time.perf_counter()
+        try:
+            sql_mappings = sql_matcher.match(query, limit=1000, stats=stats,
+                                             max_rows_examined=5_000_000)
+            sql_time = time.perf_counter() - started
+            agree = len(sql_mappings) == len(report.mappings)
+            sql_cell = f"{sql_time * 1000:>10.1f}ms"
+            assert agree, "SQL and graph matcher disagree!"
+        except WorkBudgetExceeded:
+            sql_cell = "   (aborted)"
+        print(f"{size:>10} {len(report.mappings):>6} "
+              f"{report.total_time * 1000:>10.1f}ms {sql_cell} "
+              f"{stats.rows_examined:>18,}")
+
+    print("\nthe SQL text for the last query (Fig. 4.2 shape):")
+    print("  " + print_sql[:200] + (" ..." if len(print_sql) > 200 else ""))
+
+
+if __name__ == "__main__":
+    main()

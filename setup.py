@@ -1,0 +1,7 @@
+"""Compatibility shim for environments whose setuptools predates editable
+PEP 660 installs (e.g. fully offline machines): ``python setup.py develop``.
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

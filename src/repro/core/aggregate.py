@@ -1,0 +1,199 @@
+"""Aggregation and ordering over collections of (matched) graphs.
+
+Section 7 lists *"operators such as ordering (ranking), aggregation (OLAP
+processing)"* as research directions on top of the algebra.  This module
+provides the natural graphs-at-a-time versions:
+
+* :func:`group_by` — partition a collection by the value of an expression
+  over each (matched) graph;
+* :func:`aggregate` — per group, evaluate named aggregate functions
+  (``count``, ``sum``, ``avg``, ``min``, ``max``, ``count_distinct``)
+  over expressions, returning one single-node summary graph per group
+  (keeping graphs the unit of information, as the algebra requires);
+* :func:`order_by` / :func:`top_k` — rank a collection by expressions.
+
+Expressions are the predicate AST of :mod:`repro.core.predicate` and are
+evaluated with the graph (or matched graph) as the scope fallback, so
+``P.v1.name`` and graph attributes both work.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .bindings import MatchedGraph
+from .collection import GraphCollection
+from .graph import Graph
+from .predicate import MISSING, Expr, Scope
+from .tuples import AttributeTuple
+
+GraphLike = Union[Graph, MatchedGraph]
+
+
+def _scope_for(graph_like: GraphLike) -> Scope:
+    bindings: Dict[str, Any] = {}
+    if isinstance(graph_like, MatchedGraph):
+        pattern_name = getattr(graph_like.pattern, "name", None)
+        if pattern_name:
+            bindings[pattern_name] = graph_like
+    return Scope(bindings, fallback=graph_like)
+
+
+def evaluate_over(graph_like: GraphLike, expr: Expr) -> Any:
+    """Evaluate an expression against one (matched) graph."""
+    return expr.evaluate(_scope_for(graph_like))
+
+
+def group_by(
+    collection: GraphCollection,
+    key: Expr,
+) -> Dict[Any, GraphCollection]:
+    """Partition a collection by the key expression's value.
+
+    Graphs where the key is unresolvable group under ``None``.
+    """
+    groups: Dict[Any, GraphCollection] = {}
+    for graph_like in collection:
+        value = evaluate_over(graph_like, key)
+        if value is MISSING:
+            value = None
+        groups.setdefault(value, GraphCollection()).add(graph_like)
+    return groups
+
+
+class AggregateError(ValueError):
+    """Raised for unknown aggregate functions."""
+
+
+def _agg_count(values: List[Any]) -> int:
+    return len(values)
+
+
+def _agg_count_distinct(values: List[Any]) -> int:
+    return len(set(values))
+
+
+def _agg_sum(values: List[Any]):
+    return sum(values) if values else 0
+
+
+def _agg_avg(values: List[Any]):
+    return sum(values) / len(values) if values else None
+
+
+def _agg_min(values: List[Any]):
+    return min(values) if values else None
+
+
+def _agg_max(values: List[Any]):
+    return max(values) if values else None
+
+
+_AGGREGATES: Dict[str, Callable[[List[Any]], Any]] = {
+    "count": _agg_count,
+    "count_distinct": _agg_count_distinct,
+    "sum": _agg_sum,
+    "avg": _agg_avg,
+    "min": _agg_min,
+    "max": _agg_max,
+}
+
+#: (output attribute name, aggregate function name, expression or None)
+AggregateSpec = Tuple[str, str, Optional[Expr]]
+
+
+def aggregate(
+    collection: GraphCollection,
+    specs: Sequence[AggregateSpec],
+    key: Optional[Expr] = None,
+    key_name: str = "key",
+) -> GraphCollection:
+    """Aggregate a collection into one summary graph per group.
+
+    Each output graph has a single node carrying the group key (when
+    grouping) and one attribute per spec.  ``count`` specs may omit the
+    expression.  MISSING values are skipped (SQL NULL semantics), except
+    for ``count`` without an expression, which counts group members.
+    """
+    for _, function, _ in specs:
+        if function not in _AGGREGATES:
+            raise AggregateError(
+                f"unknown aggregate {function!r}; "
+                f"choose from {sorted(_AGGREGATES)}"
+            )
+    if key is None:
+        groups: Dict[Any, GraphCollection] = {None: collection}
+    else:
+        groups = group_by(collection, key)
+    out = GraphCollection()
+    for group_value, members in sorted(groups.items(), key=lambda kv: repr(kv[0])):
+        summary = Graph()
+        attrs: Dict[str, Any] = {}
+        if key is not None:
+            attrs[key_name] = group_value if group_value is not None else ""
+        for out_name, function, expr in specs:
+            if expr is None:
+                values: List[Any] = [None] * len(members)
+                if function not in ("count",):
+                    raise AggregateError(
+                        f"aggregate {function!r} needs an expression"
+                    )
+            else:
+                values = [
+                    v
+                    for v in (
+                        evaluate_over(member, expr) for member in members
+                    )
+                    if v is not MISSING
+                ]
+            result = _AGGREGATES[function](values)
+            if result is not None:
+                attrs[out_name] = result
+        node = summary.add_node("r")
+        node.tuple = AttributeTuple(attrs)
+        # mirror the summary attributes at graph level so ordering and
+        # further aggregation can reference them directly (``wedges``
+        # rather than ``r.wedges``)
+        summary.tuple = AttributeTuple(attrs)
+        out.add(summary)
+    return out
+
+
+def order_by(
+    collection: GraphCollection,
+    keys: Sequence[Tuple[Expr, bool]],
+) -> GraphCollection:
+    """Sort a collection by ``(expression, descending)`` keys.
+
+    MISSING values sort last regardless of direction; the sort is stable
+    (multi-key ordering via right-to-left stable passes).
+    """
+    graphs = collection.graphs()
+
+    def value_key(graph_like: GraphLike, expr: Expr):
+        value = evaluate_over(graph_like, expr)
+        if value is MISSING:
+            return None
+        # totally ordered across mixed scalar types
+        return (type(value).__name__, value if not isinstance(value, bool)
+                else int(value))
+
+    for expr, descending in reversed(list(keys)):
+        graphs.sort(
+            key=lambda g, expr=expr: value_key(g, expr) or ("", ""),
+            reverse=descending,
+        )
+        # a stable second pass pins MISSING values to the end
+        graphs.sort(key=lambda g, expr=expr: value_key(g, expr) is None)
+    return GraphCollection(graphs)
+
+
+def top_k(
+    collection: GraphCollection,
+    key: Expr,
+    k: int,
+    descending: bool = True,
+) -> GraphCollection:
+    """The k highest- (or lowest-) ranked graphs by the key expression."""
+    ranked = order_by(collection, [(key, descending)])
+    return GraphCollection(ranked.graphs()[:k])

@@ -1,0 +1,101 @@
+"""Collections of graphs: the operand type of the graph algebra.
+
+Section 3.1: *"Each operator takes one or more collections of graphs as
+input and generates a collection of graphs as output. A graph database
+consists of one or more collections of graphs."*  Unlike relations, graphs
+in a collection need not share structure or attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, List, Optional
+
+from .graph import Graph
+
+
+class GraphCollection:
+    """An ordered collection of graphs (duplicates allowed).
+
+    Set-style operators (:meth:`union`, :meth:`difference`,
+    :meth:`intersection`) compare graphs by exact structural+attribute
+    equality (:meth:`Graph.equals`), deduplicating the result as the
+    relational set semantics require.
+    """
+
+    def __init__(self, graphs: Optional[Iterable[Graph]] = None, name: Optional[str] = None) -> None:
+        self.name = name
+        self._graphs: List[Graph] = list(graphs) if graphs else []
+
+    # -- container protocol --------------------------------------------------
+
+    def add(self, graph: Graph) -> None:
+        """Append a graph to the collection."""
+        self._graphs.append(graph)
+
+    def extend(self, graphs: Iterable[Graph]) -> None:
+        """Append several graphs."""
+        self._graphs.extend(graphs)
+
+    def __iter__(self) -> Iterator[Graph]:
+        return iter(self._graphs)
+
+    def __len__(self) -> int:
+        return len(self._graphs)
+
+    def __getitem__(self, index: int) -> Graph:
+        return self._graphs[index]
+
+    def graphs(self) -> List[Graph]:
+        """The underlying list (a shallow copy)."""
+        return list(self._graphs)
+
+    def first(self) -> Graph:
+        """The first graph (ValueError when empty)."""
+        if not self._graphs:
+            raise ValueError("collection is empty")
+        return self._graphs[0]
+
+    def filter(self, keep: Callable[[Graph], bool]) -> "GraphCollection":
+        """A new collection with only the graphs *keep* accepts."""
+        return GraphCollection([g for g in self._graphs if keep(g)])
+
+    def map(self, fn: Callable[[Graph], Graph]) -> "GraphCollection":
+        """A new collection with *fn* applied to each graph."""
+        return GraphCollection([fn(g) for g in self._graphs])
+
+    # -- set operators (Section 3.3, "Other operators") ------------------------
+
+    def _contains_graph(self, graph: Graph) -> bool:
+        return any(g.equals(graph) for g in self._graphs)
+
+    def distinct(self) -> "GraphCollection":
+        """Deduplicate by exact graph equality, preserving first occurrence."""
+        out: List[Graph] = []
+        for graph in self._graphs:
+            if not any(g.equals(graph) for g in out):
+                out.append(graph)
+        return GraphCollection(out)
+
+    def union(self, other: "GraphCollection") -> "GraphCollection":
+        """Set union (deduplicated)."""
+        out = self.distinct()
+        for graph in other:
+            if not out._contains_graph(graph):
+                out.add(graph)
+        return out
+
+    def difference(self, other: "GraphCollection") -> "GraphCollection":
+        """Set difference (deduplicated)."""
+        return GraphCollection(
+            [g for g in self.distinct() if not other._contains_graph(g)]
+        )
+
+    def intersection(self, other: "GraphCollection") -> "GraphCollection":
+        """Set intersection (deduplicated)."""
+        return GraphCollection(
+            [g for g in self.distinct() if other._contains_graph(g)]
+        )
+
+    def __repr__(self) -> str:
+        name = self.name or "<anon>"
+        return f"GraphCollection({name}, {len(self._graphs)} graphs)"

@@ -1,0 +1,213 @@
+"""FLWR expressions: the query syntax semantics (Section 3.4).
+
+GraphQL adopts For / Let / Where / Return expressions.  A ``for`` clause
+binds a graph pattern (or a plain variable) against a document collection;
+``where`` filters bindings; ``return`` emits one instantiated template per
+binding, while ``let`` *accumulates* — each binding re-instantiates the
+template with the accumulator included (``graph C;``), which is how the
+co-authorship query of Fig. 4.12 grows its result graph.
+
+A :class:`Program` is a sequence of statements (assignments and FLWR
+expressions) evaluated against a database that resolves ``doc(name)``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Protocol, Union
+
+from .algebra import select
+from .bindings import MatchedGraph
+from .collection import GraphCollection
+from .graph import Graph
+from .pattern import GraphPattern
+from .predicate import Expr, Scope
+from .template import GraphTemplate
+
+
+class DocumentSource(Protocol):
+    """Anything that can resolve ``doc(name)`` to a collection."""
+
+    def doc(self, name: str) -> GraphCollection:  # pragma: no cover - protocol
+        ...
+
+
+class DictSource:
+    """A document source backed by a plain dict (handy in tests)."""
+
+    def __init__(self, docs: Dict[str, GraphCollection]) -> None:
+        self._docs = dict(docs)
+
+    def doc(self, name: str) -> GraphCollection:
+        """Resolve a document name (KeyError when unknown)."""
+        if name not in self._docs:
+            raise KeyError(f"unknown document {name!r}")
+        return self._docs[name]
+
+
+class ForClause:
+    """``for <pattern|var> [exhaustive] in doc(source) [where ...]``."""
+
+    def __init__(
+        self,
+        source: str,
+        pattern: Optional[GraphPattern] = None,
+        var: Optional[str] = None,
+        exhaustive: bool = False,
+        where: Optional[Expr] = None,
+    ) -> None:
+        if (pattern is None) == (var is None):
+            raise ValueError("a for clause binds either a pattern or a variable")
+        self.source = source
+        self.pattern = pattern
+        self.var = var
+        self.exhaustive = exhaustive
+        self.where = where
+
+    @property
+    def binding_name(self) -> str:
+        """The name the clause binds for downstream template parameters."""
+        if self.var is not None:
+            return self.var
+        assert self.pattern is not None
+        if not self.pattern.name:
+            raise ValueError("for-clause patterns must be named")
+        return self.pattern.name
+
+    def bindings(
+        self,
+        database: DocumentSource,
+        env: Dict[str, Any],
+        grammar=None,
+    ) -> List[Union[Graph, MatchedGraph]]:
+        """Evaluate the clause to the list of bindings, in document order."""
+        collection = database.doc(self.source)
+        out: List[Union[Graph, MatchedGraph]] = []
+        if self.pattern is not None:
+            # route big graphs through the database's cached access-method
+            # pipeline (indexes + refinement); small graphs scan directly
+            matcher_factory = None
+            if hasattr(database, "matcher_for"):
+                big = max((g.num_nodes() for g in collection
+                           if isinstance(g, Graph)), default=0)
+                if big >= 256:
+                    matcher_factory = database.matcher_for  # type: ignore[attr-defined]
+            matched = select(
+                collection,
+                self.pattern,
+                exhaustive=self.exhaustive,
+                grammar=grammar,
+                matcher_factory=matcher_factory,
+            )
+            candidates: List[Union[Graph, MatchedGraph]] = list(matched)
+        else:
+            candidates = list(collection)
+        for binding in candidates:
+            if self.where is not None:
+                scope = Scope(
+                    {self.binding_name: binding, **env}, fallback=binding
+                )
+                if not self.where.holds(scope):
+                    continue
+            out.append(binding)
+        return out
+
+
+class FLWRQuery:
+    """One FLWR expression: a for clause plus a return or let clause."""
+
+    def __init__(
+        self,
+        for_clause: ForClause,
+        template: GraphTemplate,
+        let_var: Optional[str] = None,
+    ) -> None:
+        self.for_clause = for_clause
+        self.template = template
+        self.let_var = let_var  # None => return mode
+
+    def evaluate(
+        self,
+        database: DocumentSource,
+        env: Optional[Dict[str, Any]] = None,
+        grammar=None,
+    ) -> Union[GraphCollection, Graph]:
+        """Evaluate against a database; returns the collection or accumulator.
+
+        In ``let`` mode the environment entry for the accumulator is
+        updated in place (so later statements see it) and the final
+        accumulator graph is returned.
+        """
+        env = env if env is not None else {}
+        name = self.for_clause.binding_name
+        bindings = self.for_clause.bindings(database, env, grammar)
+        if self.let_var is None:
+            out = GraphCollection()
+            for binding in bindings:
+                arguments = self._arguments(env, name, binding)
+                out.add(self.template.instantiate(arguments))
+            return out
+        accumulator = env.get(self.let_var)
+        if accumulator is None:
+            accumulator = Graph(self.let_var)
+        for binding in bindings:
+            arguments = self._arguments(env, name, binding)
+            arguments[self.let_var] = accumulator
+            accumulator = self.template.instantiate(arguments)
+        env[self.let_var] = accumulator
+        return accumulator
+
+    def _arguments(
+        self,
+        env: Dict[str, Any],
+        binding_name: str,
+        binding: Union[Graph, MatchedGraph],
+    ) -> Dict[str, Any]:
+        arguments: Dict[str, Any] = {}
+        for param in self.template.params:
+            if param == binding_name:
+                arguments[param] = binding
+            elif param in env:
+                arguments[param] = env[param]
+        arguments.setdefault(binding_name, binding)
+        return arguments
+
+
+class Assignment:
+    """``C := <graph literal>;`` — bind a name in the environment."""
+
+    def __init__(self, name: str, graph: Graph) -> None:
+        self.name = name
+        self.graph = graph
+
+    def evaluate(self, database: DocumentSource, env: Dict[str, Any], grammar=None):
+        """Bind a fresh copy so repeated runs do not share state."""
+        env[self.name] = self.graph.copy(name=self.name)
+        return env[self.name]
+
+
+class Program:
+    """A sequence of statements (assignments and FLWR expressions)."""
+
+    def __init__(self, statements: Optional[List[Any]] = None, grammar=None) -> None:
+        self.statements = list(statements) if statements else []
+        self.grammar = grammar
+
+    def add(self, statement: Any) -> None:
+        """Append a statement."""
+        self.statements.append(statement)
+
+    def run(
+        self,
+        database: DocumentSource,
+        env: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Run all statements; returns the final environment.
+
+        The value of the last statement is stored under ``"__result__"``.
+        """
+        env = env if env is not None else {}
+        result: Any = None
+        for statement in self.statements:
+            result = statement.evaluate(database, env, self.grammar)
+        env["__result__"] = result
+        return env

@@ -1,0 +1,684 @@
+"""A formal language for graphs (Section 2 of the paper).
+
+The basic units are *graph motifs*.  A simple motif is a constant graph
+structure; complex motifs are composed of other motifs by **concatenation**
+(by new edges, or by unification of nodes), **disjunction**, or
+**repetition** (a motif defined in terms of itself).  A *graph grammar* is
+a finite set of named motifs; the language of the grammar is the set of
+graphs derivable from its motifs.
+
+The classes here form the motif AST:
+
+* :class:`MotifNode` / :class:`MotifEdge` — declared elements, carrying the
+  declarative constraints of their tuples (tag, exact attribute values) and
+  an optional ``where`` predicate;
+* :class:`MotifBlock` — a block ``{ ... }`` with nodes, edges, member
+  motifs (``graph G1 as X;``), ``unify`` statements and ``export``
+  declarations;
+* :class:`Disjunction` — alternation between blocks (Fig. 4.5);
+* :class:`MotifRef` — a reference to a named motif in a
+  :class:`GraphGrammar`, enabling repetition (Fig. 4.6);
+* :class:`SimpleMotif` — a *ground* motif (constant structure), the form
+  consumed by the pattern matcher.
+
+``expand`` derives the ground motifs of any motif expression up to a
+recursion depth, implementing motif derivation.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from .graph import Graph
+from .predicate import Expr, conjunction
+from .tuples import AttributeTuple
+
+
+class MotifNode:
+    """A declared pattern node with its declarative constraints."""
+
+    __slots__ = ("name", "tag", "attrs", "predicate")
+
+    def __init__(
+        self,
+        name: str,
+        tag: Optional[str] = None,
+        attrs: Optional[Mapping[str, Any]] = None,
+        predicate: Optional[Expr] = None,
+    ) -> None:
+        self.name = name
+        self.tag = tag
+        self.attrs = dict(attrs) if attrs else {}
+        self.predicate = predicate
+
+    def renamed(self, name: str) -> "MotifNode":
+        """A copy under a new name (constraints shared)."""
+        return MotifNode(name, self.tag, self.attrs, self.predicate)
+
+    def merged_with(self, other: "MotifNode", name: Optional[str] = None) -> "MotifNode":
+        """Combine constraints of two unified nodes."""
+        if self.tag is not None and other.tag is not None and self.tag != other.tag:
+            raise MotifError(
+                f"cannot unify nodes {self.name!r} and {other.name!r}: "
+                f"conflicting tags {self.tag!r} vs {other.tag!r}"
+            )
+        attrs = dict(self.attrs)
+        for key, value in other.attrs.items():
+            if key in attrs and attrs[key] != value:
+                raise MotifError(
+                    f"cannot unify nodes {self.name!r} and {other.name!r}: "
+                    f"conflicting attribute {key!r}"
+                )
+            attrs[key] = value
+        preds = [p for p in (self.predicate, other.predicate) if p is not None]
+        return MotifNode(name or self.name, self.tag or other.tag, attrs,
+                         conjunction(preds))
+
+    def __repr__(self) -> str:
+        return f"MotifNode({self.name!r})"
+
+
+class MotifEdge:
+    """A declared pattern edge; end points are (possibly dotted) names."""
+
+    __slots__ = ("name", "source", "target", "tag", "attrs", "predicate")
+
+    def __init__(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        tag: Optional[str] = None,
+        attrs: Optional[Mapping[str, Any]] = None,
+        predicate: Optional[Expr] = None,
+    ) -> None:
+        self.name = name
+        self.source = source
+        self.target = target
+        self.tag = tag
+        self.attrs = dict(attrs) if attrs else {}
+        self.predicate = predicate
+
+    def merged_with(self, other: "MotifEdge") -> "MotifEdge":
+        """Combine constraints of two automatically-unified edges."""
+        if self.tag is not None and other.tag is not None and self.tag != other.tag:
+            raise MotifError(
+                f"cannot unify edges {self.name!r} and {other.name!r}: "
+                f"conflicting tags"
+            )
+        attrs = dict(self.attrs)
+        for key, value in other.attrs.items():
+            if key in attrs and attrs[key] != value:
+                raise MotifError(
+                    f"cannot unify edges {self.name!r} and {other.name!r}: "
+                    f"conflicting attribute {key!r}"
+                )
+            attrs[key] = value
+        preds = [p for p in (self.predicate, other.predicate) if p is not None]
+        return MotifEdge(self.name, self.source, self.target,
+                         self.tag or other.tag, attrs, conjunction(preds))
+
+    def __repr__(self) -> str:
+        return f"MotifEdge({self.name!r}, {self.source!r}, {self.target!r})"
+
+
+class MotifError(ValueError):
+    """Raised for ill-formed motifs (bad references, conflicting unify)."""
+
+
+# --------------------------------------------------------------------------
+# Motif expressions
+# --------------------------------------------------------------------------
+
+
+class MotifExpr:
+    """Base class of motif expressions (the motif AST)."""
+
+    def expand(
+        self,
+        grammar: Optional["GraphGrammar"] = None,
+        max_depth: int = 8,
+    ) -> Iterator["SimpleMotif"]:
+        """Derive the ground motifs, bounding recursion at *max_depth*."""
+        raise NotImplementedError
+
+    def is_recursive(self) -> bool:
+        """Whether expansion may involve a motif reference."""
+        raise NotImplementedError
+
+
+class MotifRef(MotifExpr):
+    """A reference to a named motif of the grammar (enables repetition)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def expand(self, grammar=None, max_depth=8):
+        if max_depth <= 0:
+            return
+        if grammar is None or self.name not in grammar:
+            raise MotifError(f"unknown motif reference {self.name!r}")
+        yield from grammar[self.name].expand(grammar, max_depth - 1)
+
+    def is_recursive(self) -> bool:
+        return True
+
+    def __repr__(self) -> str:
+        return f"MotifRef({self.name!r})"
+
+
+class Disjunction(MotifExpr):
+    """Alternation between motif expressions (Fig. 4.5)."""
+
+    __slots__ = ("alternatives",)
+
+    def __init__(self, alternatives: Sequence[MotifExpr]) -> None:
+        self.alternatives = list(alternatives)
+
+    def expand(self, grammar=None, max_depth=8):
+        for alternative in self.alternatives:
+            yield from alternative.expand(grammar, max_depth)
+
+    def is_recursive(self) -> bool:
+        return any(a.is_recursive() for a in self.alternatives)
+
+    def __repr__(self) -> str:
+        return f"Disjunction({len(self.alternatives)} alternatives)"
+
+
+class MotifBlock(MotifExpr):
+    """A motif block: nodes, edges, member motifs, unify and export.
+
+    Matches the body of a ``graph`` declaration in the concrete syntax.
+    Members are ``(alias, expression)`` pairs (``graph G1 as X;`` yields
+    alias ``X``); edges may reference member nodes with dotted paths
+    (``X.v1``); ``unify`` merges two nodes; ``export`` re-exposes a nested
+    node under a new local name (Fig. 4.6).
+    """
+
+    def __init__(self) -> None:
+        self.nodes: List[MotifNode] = []
+        self.edges: List[MotifEdge] = []
+        self.members: List[Tuple[str, MotifExpr]] = []
+        self.unifications: List[Tuple[str, str]] = []
+        self.exports: List[Tuple[str, str]] = []  # (inner path, exposed name)
+        self._auto_edge = 0
+
+    # -- builder API ---------------------------------------------------------
+
+    def add_node(
+        self,
+        name: str,
+        tag: Optional[str] = None,
+        attrs: Optional[Mapping[str, Any]] = None,
+        predicate: Optional[Expr] = None,
+    ) -> MotifNode:
+        """Declare a node."""
+        node = MotifNode(name, tag, attrs, predicate)
+        self.nodes.append(node)
+        return node
+
+    def add_edge(
+        self,
+        source: str,
+        target: str,
+        name: Optional[str] = None,
+        tag: Optional[str] = None,
+        attrs: Optional[Mapping[str, Any]] = None,
+        predicate: Optional[Expr] = None,
+    ) -> MotifEdge:
+        """Declare an edge between two (possibly dotted) node names."""
+        if name is None:
+            self._auto_edge += 1
+            name = f"_e{self._auto_edge}"
+        edge = MotifEdge(name, source, target, tag, attrs, predicate)
+        self.edges.append(edge)
+        return edge
+
+    def add_member(self, expr: MotifExpr, alias: Optional[str] = None) -> str:
+        """Include another motif, returning its alias."""
+        if alias is None:
+            alias = f"_m{len(self.members) + 1}"
+        self.members.append((alias, expr))
+        return alias
+
+    def unify(self, path_a: str, path_b: str) -> None:
+        """Declare that two nodes are the same node."""
+        self.unifications.append((path_a, path_b))
+
+    def export(self, inner_path: str, exposed_name: str) -> None:
+        """Expose a nested node under a local name."""
+        self.exports.append((inner_path, exposed_name))
+
+    def is_recursive(self) -> bool:
+        return any(expr.is_recursive() for _, expr in self.members)
+
+    # -- expansion -------------------------------------------------------------
+
+    def expand(self, grammar=None, max_depth=8):
+        member_expansions: List[List[Tuple[str, "SimpleMotif"]]] = []
+        for alias, expr in self.members:
+            expanded = [(alias, sm) for sm in expr.expand(grammar, max_depth)]
+            member_expansions.append(expanded)
+        if member_expansions:
+            combos: Iterable[Tuple[Tuple[str, "SimpleMotif"], ...]] = itertools.product(
+                *member_expansions
+            )
+        else:
+            combos = [()]
+        for combo in combos:
+            yield self._flatten(dict(combo))
+
+    def _flatten(self, member_motifs: Dict[str, "SimpleMotif"]) -> "SimpleMotif":
+        """Combine own elements with expanded members into a ground motif."""
+        motif = SimpleMotif()
+        # 1. own nodes, member nodes under qualified names
+        for node in self.nodes:
+            motif._add_node(node.renamed(node.name))
+        for alias, member in member_motifs.items():
+            for node in member.nodes():
+                motif._add_node(node.renamed(f"{alias}.{node.name}"))
+            for edge in member.edges():
+                motif._add_edge(
+                    MotifEdge(
+                        f"{alias}.{edge.name}",
+                        f"{alias}.{edge.source}",
+                        f"{alias}.{edge.target}",
+                        edge.tag,
+                        edge.attrs,
+                        edge.predicate,
+                    )
+                )
+        # exports of members let paths like "X.v2" reach nested nodes
+        export_table: Dict[str, str] = {}
+        for alias, member in member_motifs.items():
+            for exposed, actual in member.exports.items():
+                export_table[f"{alias}.{exposed}"] = f"{alias}.{actual}"
+
+        def resolve(path: str) -> str:
+            seen: Set[str] = set()
+            current = path
+            while current not in motif._nodes:
+                if current in seen:
+                    raise MotifError(f"cyclic export for {path!r}")
+                seen.add(current)
+                if current in export_table:
+                    current = export_table[current]
+                    continue
+                raise MotifError(f"unknown node reference {path!r}")
+            return current
+
+        # 2. own edges (endpoints may be dotted / exported paths)
+        for edge in self.edges:
+            motif._add_edge(
+                MotifEdge(
+                    edge.name,
+                    resolve(edge.source),
+                    resolve(edge.target),
+                    edge.tag,
+                    edge.attrs,
+                    edge.predicate,
+                )
+            )
+        # 3. unifications
+        for path_a, path_b in self.unifications:
+            motif._unify(resolve(path_a), resolve(path_b))
+        # refresh the export resolver after unification renames
+        # 4. exports of this block
+        for inner_path, exposed in self.exports:
+            target = export_table.get(inner_path, inner_path)
+            target = motif._canonical(target)
+            if target not in motif._nodes:
+                raise MotifError(f"cannot export unknown node {inner_path!r}")
+            motif.exports[exposed] = target
+        motif._dedupe_edges()
+        return motif
+
+
+# --------------------------------------------------------------------------
+# Ground motifs
+# --------------------------------------------------------------------------
+
+
+class SimpleMotif(MotifExpr):
+    """A ground (constant-structure) motif: what the matcher consumes.
+
+    Node and edge names are strings (possibly dotted after flattening).
+    The motif behaves like a small graph: it offers adjacency queries used
+    by the access methods of Section 4.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[str, MotifNode] = {}
+        self._edges: Dict[str, MotifEdge] = {}
+        self._adj: Dict[str, Dict[str, List[str]]] = {}
+        self.exports: Dict[str, str] = {}
+        self._union: Dict[str, str] = {}  # unified-away name -> survivor
+
+    # -- building ---------------------------------------------------------------
+
+    def _add_node(self, node: MotifNode) -> None:
+        if node.name in self._nodes:
+            raise MotifError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        self._adj[node.name] = {}
+
+    def _add_edge(self, edge: MotifEdge) -> None:
+        if edge.name in self._edges:
+            raise MotifError(f"duplicate edge name {edge.name!r}")
+        if edge.source not in self._nodes or edge.target not in self._nodes:
+            raise MotifError(f"edge {edge.name!r} references unknown node")
+        self._edges[edge.name] = edge
+        self._adj[edge.source].setdefault(edge.target, []).append(edge.name)
+        if edge.source != edge.target:
+            self._adj[edge.target].setdefault(edge.source, []).append(edge.name)
+
+    def add_node(self, name, tag=None, attrs=None, predicate=None) -> MotifNode:
+        """Declare a node directly on a ground motif."""
+        node = MotifNode(name, tag, attrs, predicate)
+        self._add_node(node)
+        return node
+
+    def add_edge(self, source, target, name=None, tag=None, attrs=None,
+                 predicate=None) -> MotifEdge:
+        """Declare an edge directly on a ground motif."""
+        if name is None:
+            name = f"_e{len(self._edges) + 1}"
+        edge = MotifEdge(name, source, target, tag, attrs, predicate)
+        self._add_edge(edge)
+        return edge
+
+    def _canonical(self, name: str) -> str:
+        while name in self._union:
+            name = self._union[name]
+        return name
+
+    def _unify(self, name_a: str, name_b: str) -> None:
+        name_a = self._canonical(name_a)
+        name_b = self._canonical(name_b)
+        if name_a == name_b:
+            return
+        survivor = self._nodes[name_a].merged_with(self._nodes[name_b], name_a)
+        self._nodes[name_a] = survivor
+        del self._nodes[name_b]
+        self._union[name_b] = name_a
+        # rewire adjacency of name_b onto name_a
+        for neighbor, bucket in list(self._adj[name_b].items()):
+            neighbor = self._canonical(neighbor)
+            self._adj[name_a].setdefault(neighbor, []).extend(bucket)
+            if neighbor != name_b and name_b in self._adj.get(neighbor, {}):
+                moved = self._adj[neighbor].pop(name_b)
+                self._adj[neighbor].setdefault(name_a, []).extend(
+                    e for e in moved if e not in self._adj[neighbor].get(name_a, [])
+                )
+        del self._adj[name_b]
+        # fix self-referencing bucket created when a<->b were adjacent
+        if name_b in self._adj[name_a]:
+            bucket = self._adj[name_a].pop(name_b)
+            self._adj[name_a].setdefault(name_a, []).extend(bucket)
+        for edge in self._edges.values():
+            if self._canonical(edge.source) != edge.source:
+                edge.source = self._canonical(edge.source)
+            if self._canonical(edge.target) != edge.target:
+                edge.target = self._canonical(edge.target)
+        # exports pointing at the absorbed node follow the survivor
+        for exposed, actual in list(self.exports.items()):
+            if self._canonical(actual) != actual:
+                self.exports[exposed] = self._canonical(actual)
+
+    def _dedupe_edges(self) -> None:
+        """Unify edges with identical end-point sets (paper: automatic)."""
+        by_pair: Dict[Tuple[str, str], str] = {}
+        for edge_name in list(self._edges):
+            edge = self._edges[edge_name]
+            key = tuple(sorted((edge.source, edge.target)))
+            if key in by_pair:
+                keeper_name = by_pair[key]
+                keeper = self._edges[keeper_name]
+                self._edges[keeper_name] = keeper.merged_with(edge)
+                del self._edges[edge_name]
+                for bucket in self._adj[edge.source].values():
+                    if edge_name in bucket:
+                        bucket.remove(edge_name)
+                for bucket in self._adj[edge.target].values():
+                    if edge_name in bucket:
+                        bucket.remove(edge_name)
+            else:
+                by_pair[key] = edge_name
+
+    # -- graph-like access (used by the matcher) ------------------------------------
+
+    def nodes(self) -> Iterator[MotifNode]:
+        """Iterate declared nodes in order."""
+        return iter(self._nodes.values())
+
+    def edges(self) -> Iterator[MotifEdge]:
+        """Iterate declared edges in order."""
+        return iter(self._edges.values())
+
+    def node(self, name: str) -> MotifNode:
+        """Node by (canonical) name."""
+        return self._nodes[self._canonical(name)]
+
+    def edge(self, name: str) -> MotifEdge:
+        """Edge by name."""
+        return self._edges[name]
+
+    def has_node(self, name: str) -> bool:
+        """Whether the (canonical) node exists."""
+        return self._canonical(name) in self._nodes
+
+    def node_names(self) -> List[str]:
+        """All node names in declaration order."""
+        return list(self._nodes)
+
+    def edge_names(self) -> List[str]:
+        """All edge names in declaration order."""
+        return list(self._edges)
+
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self._nodes)
+
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def neighbors(self, name: str) -> List[str]:
+        """Adjacent node names."""
+        return [n for n in self._adj[self._canonical(name)] if n != name]
+
+    def degree(self, name: str) -> int:
+        """Number of incident edges."""
+        return sum(len(b) for b in self._adj[self._canonical(name)].values())
+
+    def edges_between(self, source: str, target: str) -> List[MotifEdge]:
+        """All edges joining the two nodes (ignoring order)."""
+        source = self._canonical(source)
+        target = self._canonical(target)
+        names = self._adj.get(source, {}).get(target, [])
+        return [self._edges[n] for n in names if n in self._edges]
+
+    def incident_edges(self, name: str) -> List[MotifEdge]:
+        """All edges touching the node."""
+        name = self._canonical(name)
+        seen: Set[str] = set()
+        out: List[MotifEdge] = []
+        for bucket in self._adj[name].values():
+            for edge_name in bucket:
+                if edge_name in self._edges and edge_name not in seen:
+                    seen.add(edge_name)
+                    out.append(self._edges[edge_name])
+        return out
+
+    def is_connected(self) -> bool:
+        """Whether the motif structure is connected (ignoring direction)."""
+        names = self.node_names()
+        if not names:
+            return True
+        seen = {names[0]}
+        stack = [names[0]]
+        while stack:
+            current = stack.pop()
+            for neighbor in self.neighbors(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    stack.append(neighbor)
+        return len(seen) == len(names)
+
+    # -- expansion (a ground motif expands to itself) ---------------------------------
+
+    def expand(self, grammar=None, max_depth=8):
+        yield self
+
+    def is_recursive(self) -> bool:
+        return False
+
+    # -- conversions -----------------------------------------------------------------
+
+    def to_graph(self, name: Optional[str] = None) -> Graph:
+        """The motif structure as a plain graph (exact attrs become tuples)."""
+        graph = Graph(name)
+        for node in self.nodes():
+            graph.add_node_obj(
+                _node_from_motif(node)
+            )
+        for edge in self.edges():
+            new = graph.add_edge(edge.source, edge.target, edge_id=edge.name)
+            new.tuple = AttributeTuple(edge.attrs, tag=edge.tag)
+        return graph
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        constraint_attrs: Sequence[str] = ("label",),
+    ) -> "SimpleMotif":
+        """Build a ground motif from an example graph.
+
+        Each node becomes a motif node constrained to equal the example's
+        values of *constraint_attrs* (attributes the example lacks impose
+        no constraint).  Used to turn extracted subgraphs into queries.
+        """
+        motif = cls()
+        for node in graph.nodes():
+            attrs = {
+                a: node.get(a) for a in constraint_attrs if node.get(a) is not None
+            }
+            motif.add_node(node.id, tag=node.tag, attrs=attrs)
+        for edge in graph.edges():
+            attrs = {
+                a: edge.get(a) for a in constraint_attrs if edge.get(a) is not None
+            }
+            motif.add_edge(edge.source, edge.target, name=edge.id,
+                           tag=edge.tag, attrs=attrs)
+        return motif
+
+    def __repr__(self) -> str:
+        return f"SimpleMotif(nodes={len(self._nodes)}, edges={len(self._edges)})"
+
+
+def _node_from_motif(node: MotifNode):
+    from .graph import Node
+
+    return Node(node.name, AttributeTuple(node.attrs, tag=node.tag))
+
+
+# --------------------------------------------------------------------------
+# Grammars
+# --------------------------------------------------------------------------
+
+
+class GraphGrammar:
+    """A finite set of named motifs (Section 2).
+
+    The language of the grammar is the set of graphs derivable from its
+    motifs; :meth:`derive` enumerates ground motifs up to a recursion
+    depth.
+    """
+
+    def __init__(self) -> None:
+        self._motifs: Dict[str, MotifExpr] = {}
+
+    def define(self, name: str, motif: MotifExpr) -> None:
+        """Register (or replace) a named motif."""
+        self._motifs[name] = motif
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._motifs
+
+    def __getitem__(self, name: str) -> MotifExpr:
+        return self._motifs[name]
+
+    def names(self) -> List[str]:
+        """All defined motif names."""
+        return list(self._motifs)
+
+    def derive(self, name: str, max_depth: int = 8) -> List[SimpleMotif]:
+        """All ground motifs derivable from *name* within the depth bound."""
+        if name not in self._motifs:
+            raise MotifError(f"unknown motif {name!r}")
+        return list(self._motifs[name].expand(self, max_depth))
+
+
+# --------------------------------------------------------------------------
+# Convenience constructors for the paper's running structures
+# --------------------------------------------------------------------------
+
+
+def path_motif(length: int) -> SimpleMotif:
+    """A ground path motif with *length* edges (Fig. 4.6a, unrolled)."""
+    motif = SimpleMotif()
+    for i in range(length + 1):
+        motif.add_node(f"v{i + 1}")
+    for i in range(length):
+        motif.add_edge(f"v{i + 1}", f"v{i + 2}", name=f"e{i + 1}")
+    return motif
+
+
+def cycle_motif(length: int) -> SimpleMotif:
+    """A ground cycle motif with *length* nodes (Fig. 4.6a)."""
+    if length < 3:
+        raise ValueError("a cycle needs at least 3 nodes")
+    motif = SimpleMotif()
+    for i in range(length):
+        motif.add_node(f"v{i + 1}")
+    for i in range(length):
+        motif.add_edge(f"v{i + 1}", f"v{(i + 1) % length + 1}", name=f"e{i + 1}")
+    return motif
+
+
+def clique_motif(labels: Sequence[Any], attr: str = "label") -> SimpleMotif:
+    """A complete graph whose nodes are constrained to the given labels."""
+    motif = SimpleMotif()
+    for i, label in enumerate(labels):
+        motif.add_node(f"u{i + 1}", attrs={attr: label})
+    names = motif.node_names()
+    edge_index = 0
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            edge_index += 1
+            motif.add_edge(names[i], names[j], name=f"e{edge_index}")
+    return motif
+
+
+def recursive_path_grammar() -> GraphGrammar:
+    """The ``Path`` grammar of Fig. 4.6(a), built programmatically."""
+    grammar = GraphGrammar()
+    base = MotifBlock()
+    base.add_node("v1")
+    base.add_node("v2")
+    base.add_edge("v1", "v2", name="e1")
+    step = MotifBlock()
+    step.add_member(MotifRef("Path"), alias="Path")
+    step.add_node("v1")
+    step.add_edge("v1", "Path.v1", name="e1")
+    step.export("Path.v2", "v2")
+    step.export("v1", "v1")
+    base.export("v1", "v1")
+    base.export("v2", "v2")
+    grammar.define("Path", Disjunction([step, base]))
+    return grammar

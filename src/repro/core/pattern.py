@@ -1,0 +1,143 @@
+"""Graph patterns: motif + predicate (Definitions 4.1 and 4.2).
+
+A :class:`GraphPattern` pairs a motif expression with an optional
+``where`` predicate.  Before matching, the pattern is *grounded*: the
+motif is derived into one or more :class:`~repro.core.motif.SimpleMotif`
+instances (one per disjunct/recursion unrolling) and the predicate is
+pushed down into per-node ``F_u`` and per-edge ``F_e`` parts plus a
+residual graph-wide ``F`` (Section 4.1).  A recursive pattern matches a
+graph iff one of its derived ground patterns matches (Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Set
+
+from .bindings import Mapping, MatchedGraph
+from .graph import Edge, Graph, Node
+from .motif import GraphGrammar, MotifExpr, SimpleMotif
+from .predicate import DecomposedPredicate, Expr, Scope, decompose
+
+
+class GroundPattern:
+    """A derived (constant-structure) pattern ready for matching."""
+
+    def __init__(
+        self,
+        motif: SimpleMotif,
+        predicate: Optional[Expr] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.motif = motif
+        self.name = name
+        node_names = set(motif.node_names())
+        edge_names = set(motif.edge_names())
+        self.decomposed: DecomposedPredicate = decompose(
+            predicate, node_names, edge_names
+        )
+        self.predicate = predicate
+
+    # -- element predicates (F_u, F_e) ------------------------------------------
+
+    def node_matches(self, pattern_node_name: str, data_node: Node) -> bool:
+        """Evaluate F_u: declarative tuple constraints plus pushed predicate."""
+        motif_node = self.motif.node(pattern_node_name)
+        if not data_node.tuple.matches_constraints(motif_node.tag, motif_node.attrs):
+            return False
+        scope = Scope({pattern_node_name: data_node}, fallback=data_node)
+        if motif_node.predicate is not None and not motif_node.predicate.holds(scope):
+            return False
+        pushed = self.decomposed.node_preds.get(pattern_node_name)
+        if pushed is not None and not pushed.holds(scope):
+            return False
+        return True
+
+    def edge_matches(self, pattern_edge_name: str, data_edge: Edge) -> bool:
+        """Evaluate F_e for a candidate data edge."""
+        motif_edge = self.motif.edge(pattern_edge_name)
+        if not data_edge.tuple.matches_constraints(motif_edge.tag, motif_edge.attrs):
+            return False
+        scope = Scope({pattern_edge_name: data_edge}, fallback=data_edge)
+        if motif_edge.predicate is not None and not motif_edge.predicate.holds(scope):
+            return False
+        pushed = self.decomposed.edge_preds.get(pattern_edge_name)
+        if pushed is not None and not pushed.holds(scope):
+            return False
+        return True
+
+    def residual_holds(self, mapping: Mapping, graph: Graph) -> bool:
+        """Evaluate the graph-wide predicate F over a complete mapping."""
+        residual = self.decomposed.residual
+        if residual is None:
+            return True
+        matched = MatchedGraph(mapping, self, graph)
+        bindings: Dict[str, Any] = {
+            name: graph.node(node_id) for name, node_id in mapping.nodes.items()
+        }
+        for name, edge_id in mapping.edges.items():
+            bindings[name] = graph.edge(edge_id)
+        if self.name:
+            bindings.setdefault(self.name, matched)
+        scope = Scope(bindings, fallback=matched)
+        return residual.holds(scope)
+
+    # -- convenience -----------------------------------------------------------------
+
+    def node_names(self) -> List[str]:
+        """Pattern node names in declaration order."""
+        return self.motif.node_names()
+
+    def num_nodes(self) -> int:
+        """Number of pattern nodes."""
+        return self.motif.num_nodes()
+
+    def num_edges(self) -> int:
+        """Number of pattern edges."""
+        return self.motif.num_edges()
+
+    def __repr__(self) -> str:
+        return (
+            f"GroundPattern({self.name or '<anon>'}, "
+            f"nodes={self.motif.num_nodes()}, edges={self.motif.num_edges()})"
+        )
+
+
+class GraphPattern:
+    """A graph pattern P = (M, F): a motif and a predicate (Definition 4.1)."""
+
+    def __init__(
+        self,
+        motif: MotifExpr,
+        where: Optional[Expr] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.motif = motif
+        self.where = where
+        self.name = name
+
+    def is_recursive(self) -> bool:
+        """Whether the motif involves named-motif references."""
+        return self.motif.is_recursive()
+
+    def ground(
+        self,
+        grammar: Optional[GraphGrammar] = None,
+        max_depth: int = 8,
+    ) -> List[GroundPattern]:
+        """Derive all ground patterns (one per disjunct / unrolling)."""
+        return [
+            GroundPattern(simple, self.where, name=self.name)
+            for simple in self.motif.expand(grammar, max_depth)
+        ]
+
+    def single(self, grammar: Optional[GraphGrammar] = None) -> GroundPattern:
+        """The unique ground pattern of a nonrecursive, disjunction-free motif."""
+        grounds = self.ground(grammar, max_depth=1 if not self.is_recursive() else 8)
+        if len(grounds) != 1:
+            raise ValueError(
+                f"pattern has {len(grounds)} derivations; use ground() instead"
+            )
+        return grounds[0]
+
+    def __repr__(self) -> str:
+        return f"GraphPattern({self.name or '<anon>'})"

@@ -1,0 +1,316 @@
+"""Algebraic query plans and rewrite laws (Section 3.3).
+
+*"Algebraic laws are important for query optimization as they provide
+equivalent transformations of query plans. Since the graph algebra is
+defined along the lines of the relational algebra, laws of relational
+algebra carry over."*  This module makes that sentence executable: a
+plan tree over the bulk operators, an evaluator, and a rule-based
+optimizer implementing the classic laws —
+
+* **selection pushdown through product**: σ_P(C × D) → σ_L(C) × σ_R(D)
+  (× residual σ) when conjuncts of P's predicate reference only one side;
+* **cascading selections**: σ_A(σ_B(C)) → σ_{A∧B}(C) for value-only
+  predicates;
+* **selection/union distribution**: σ_P(C ∪ D) → σ_P(C) ∪ σ_P(D);
+* **product commutativity metadata** (exposed for cost-based choice).
+
+Plans evaluate against a document source (``doc(name)`` leaves), so a
+rewritten plan can be checked for result-equivalence directly — which
+the property tests do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .algebra import cartesian_product, compose, select
+from .bindings import as_graph
+from .collection import GraphCollection
+from .graph import Graph
+from .pattern import GroundPattern
+from .predicate import BinOp, Expr, Scope, conjunction
+from .template import GraphTemplate
+
+
+class Plan:
+    """Base class of plan nodes."""
+
+    def evaluate(self, source) -> GraphCollection:
+        """Evaluate against a document source (``doc(name)``)."""
+        raise NotImplementedError
+
+    def children(self) -> Sequence["Plan"]:
+        """Child plans."""
+        return ()
+
+    def describe(self, indent: int = 0) -> str:
+        """A readable plan tree."""
+        pad = "  " * indent
+        lines = [pad + self._label()]
+        for child in self.children():
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+    def _label(self) -> str:
+        return type(self).__name__
+
+
+class Doc(Plan):
+    """A leaf: a named document collection."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, source) -> GraphCollection:
+        return source.doc(self.name)
+
+    def _label(self) -> str:
+        return f"Doc({self.name})"
+
+
+class Values(Plan):
+    """A leaf wrapping an in-memory collection (for tests and literals)."""
+
+    def __init__(self, collection: GraphCollection) -> None:
+        self.collection = collection
+
+    def evaluate(self, source) -> GraphCollection:
+        return self.collection
+
+    def _label(self) -> str:
+        return f"Values({len(self.collection)})"
+
+
+class Select(Plan):
+    """σ_P — pattern-matching selection (or pure value filter)."""
+
+    def __init__(self, child: Plan, pattern: GroundPattern) -> None:
+        self.child = child
+        self.pattern = pattern
+
+    def children(self):
+        return (self.child,)
+
+    def evaluate(self, source) -> GraphCollection:
+        return select(self.child.evaluate(source), self.pattern)
+
+    def _label(self) -> str:
+        return f"Select({self.pattern!r})"
+
+
+class Filter(Plan):
+    """A pure value predicate over whole graphs (no structural part)."""
+
+    def __init__(self, child: Plan, predicate: Expr) -> None:
+        self.child = child
+        self.predicate = predicate
+
+    def children(self):
+        return (self.child,)
+
+    def evaluate(self, source) -> GraphCollection:
+        out = GraphCollection()
+        for graph_like in self.child.evaluate(source):
+            scope = _graph_scope(graph_like)
+            if self.predicate.holds(scope):
+                out.add(graph_like)
+        return out
+
+    def _label(self) -> str:
+        return f"Filter({self.predicate.to_graphql()})"
+
+
+class Product(Plan):
+    """C × D with member aliases."""
+
+    def __init__(self, left: Plan, right: Plan,
+                 left_name: str = "G1", right_name: str = "G2") -> None:
+        self.left = left
+        self.right = right
+        self.left_name = left_name
+        self.right_name = right_name
+
+    def children(self):
+        return (self.left, self.right)
+
+    def evaluate(self, source) -> GraphCollection:
+        return cartesian_product(
+            self.left.evaluate(source), self.right.evaluate(source),
+            self.left_name, self.right_name,
+        )
+
+    def _label(self) -> str:
+        return f"Product({self.left_name}, {self.right_name})"
+
+
+class Union(Plan):
+    """C ∪ D."""
+
+    def __init__(self, left: Plan, right: Plan) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def evaluate(self, source) -> GraphCollection:
+        return self.left.evaluate(source).union(self.right.evaluate(source))
+
+
+class Difference(Plan):
+    """C − D."""
+
+    def __init__(self, left: Plan, right: Plan) -> None:
+        self.left = left
+        self.right = right
+
+    def children(self):
+        return (self.left, self.right)
+
+    def evaluate(self, source) -> GraphCollection:
+        return self.left.evaluate(source).difference(
+            self.right.evaluate(source)
+        )
+
+
+class Compose(Plan):
+    """ω_T — composition over one child collection."""
+
+    def __init__(self, child: Plan, template: GraphTemplate,
+                 param: Optional[str] = None) -> None:
+        self.child = child
+        self.template = template
+        self.param = param or (template.params[0] if template.params else "P")
+
+    def children(self):
+        return (self.child,)
+
+    def evaluate(self, source) -> GraphCollection:
+        return compose(self.template, self.child.evaluate(source),
+                       param_names=[self.param])
+
+    def _label(self) -> str:
+        return f"Compose({self.param})"
+
+
+def _graph_scope(graph_like) -> Scope:
+    bindings: Dict[str, Any] = {}
+    graph = as_graph(graph_like) if not isinstance(graph_like, Graph) else graph_like
+    for alias, member in graph.members.items():
+        bindings[alias] = member
+    return Scope(bindings, fallback=graph_like)
+
+
+# --------------------------------------------------------------------------
+# Rewrite laws
+# --------------------------------------------------------------------------
+
+
+def optimize(plan: Plan) -> Plan:
+    """Apply the rewrite laws bottom-up until a fixpoint."""
+    changed = True
+    while changed:
+        plan, changed = _rewrite(plan)
+    return plan
+
+
+def _rewrite(plan: Plan) -> Tuple[Plan, bool]:
+    # rewrite children first
+    changed = False
+    if isinstance(plan, (Select,)):
+        child, child_changed = _rewrite(plan.child)
+        plan = Select(child, plan.pattern)
+        changed |= child_changed
+    elif isinstance(plan, Filter):
+        child, child_changed = _rewrite(plan.child)
+        plan = Filter(child, plan.predicate)
+        changed |= child_changed
+    elif isinstance(plan, Compose):
+        child, child_changed = _rewrite(plan.child)
+        plan = Compose(child, plan.template, plan.param)
+        changed |= child_changed
+    elif isinstance(plan, Product):
+        left, left_changed = _rewrite(plan.left)
+        right, right_changed = _rewrite(plan.right)
+        plan = Product(left, right, plan.left_name, plan.right_name)
+        changed |= left_changed or right_changed
+    elif isinstance(plan, (Union, Difference)):
+        left, left_changed = _rewrite(plan.left)
+        right, right_changed = _rewrite(plan.right)
+        plan = type(plan)(left, right)
+        changed |= left_changed or right_changed
+
+    # law: cascade filters — Filter(a, Filter(b, C)) => Filter(a & b, C)
+    if isinstance(plan, Filter) and isinstance(plan.child, Filter):
+        merged = conjunction([plan.child.predicate, plan.predicate])
+        assert merged is not None
+        return Filter(plan.child.child, merged), True
+
+    # law: push filter through union
+    if isinstance(plan, Filter) and isinstance(plan.child, Union):
+        union = plan.child
+        return (
+            Union(Filter(union.left, plan.predicate),
+                  Filter(union.right, plan.predicate)),
+            True,
+        )
+
+    # law: push filter through difference (applies to the left side; the
+    # right side only removes, so filtering it too is sound but wasted)
+    if isinstance(plan, Filter) and isinstance(plan.child, Difference):
+        difference = plan.child
+        return (
+            Difference(Filter(difference.left, plan.predicate),
+                       difference.right),
+            True,
+        )
+
+    # law: push single-side filter conjuncts through product
+    if isinstance(plan, Filter) and isinstance(plan.child, Product):
+        product = plan.child
+        left_parts: List[Expr] = []
+        right_parts: List[Expr] = []
+        residual: List[Expr] = []
+        for conjunct in plan.predicate.conjuncts():
+            roots = conjunct.root_names()
+            if roots and roots <= {product.left_name}:
+                left_parts.append(_strip_alias(conjunct, product.left_name))
+            elif roots and roots <= {product.right_name}:
+                right_parts.append(_strip_alias(conjunct, product.right_name))
+            else:
+                residual.append(conjunct)
+        if left_parts or right_parts:
+            left_plan: Plan = product.left
+            right_plan: Plan = product.right
+            left_pred = conjunction(left_parts)
+            right_pred = conjunction(right_parts)
+            if left_pred is not None:
+                left_plan = Filter(left_plan, left_pred)
+            if right_pred is not None:
+                right_plan = Filter(right_plan, right_pred)
+            new_plan: Plan = Product(left_plan, right_plan,
+                                     product.left_name, product.right_name)
+            residual_pred = conjunction(residual)
+            if residual_pred is not None:
+                new_plan = Filter(new_plan, residual_pred)
+            return new_plan, True
+
+    return plan, changed
+
+
+def _strip_alias(expr: Expr, alias: str) -> Expr:
+    """Rewrite ``G1.attr`` to ``attr`` when pushing below the product."""
+    from .predicate import AttrRef, Literal, Not
+
+    if isinstance(expr, AttrRef):
+        if expr.path[0] == alias:
+            remainder = expr.path[1:]
+            if remainder:
+                return AttrRef(remainder)
+        return expr
+    if isinstance(expr, BinOp):
+        return BinOp(expr.op, _strip_alias(expr.left, alias),
+                     _strip_alias(expr.right, alias))
+    if isinstance(expr, Not):
+        return Not(_strip_alias(expr.operand, alias))
+    return expr

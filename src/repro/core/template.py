@@ -1,0 +1,412 @@
+"""Graph templates and instantiation (Definition 4.4).
+
+A graph template has formal parameters (graph patterns) and a body that
+refers to them.  Given actual parameters (matched graphs), instantiation
+produces a real graph — like invoking a function.  Templates drive the
+composition operator ω and therefore all graph rewriting in GraphQL
+(projection and renaming are expressed through composition as well).
+
+Body elements:
+
+* ``graph C;`` — include a whole graph bound to ``C`` (the accumulator in
+  FLWR ``let`` clauses, or another template parameter);
+* ``node v1 <label=P.v1.name>;`` — a new node whose attributes are
+  expressions over the parameters;
+* ``node P.v1;`` — a copy of the data node matched to ``P.v1``;
+* ``edge e1 (v1, P.v2);`` — an edge between template elements;
+* ``unify a, b [where pred];`` — merge two nodes, optionally conditional;
+  when one side names a node *variable* over an included graph (e.g.
+  ``C.v1`` where ``C`` has no node literally called ``v1``), the first
+  node of ``C`` satisfying the predicate is unified (this is how the
+  co-authorship query of Fig. 4.12 deduplicates authors).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from .bindings import MatchedGraph, as_graph
+from .graph import Graph, Node
+from .predicate import MISSING, Expr, Scope
+from .tuples import AttributeTuple
+
+
+class TemplateNode:
+    """A node declaration in a template body."""
+
+    __slots__ = ("name", "tag", "attr_exprs", "source_path")
+
+    def __init__(
+        self,
+        name: str,
+        tag: Optional[str] = None,
+        attr_exprs: Optional[Dict[str, Expr]] = None,
+        source_path: Optional[Tuple[str, ...]] = None,
+    ) -> None:
+        self.name = name
+        self.tag = tag
+        self.attr_exprs = dict(attr_exprs) if attr_exprs else {}
+        self.source_path = source_path
+
+
+class TemplateEdge:
+    """An edge declaration in a template body (end points are paths)."""
+
+    __slots__ = ("name", "source", "target", "tag", "attr_exprs")
+
+    def __init__(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        tag: Optional[str] = None,
+        attr_exprs: Optional[Dict[str, Expr]] = None,
+    ) -> None:
+        self.name = name
+        self.source = source
+        self.target = target
+        self.tag = tag
+        self.attr_exprs = dict(attr_exprs) if attr_exprs else {}
+
+
+class TemplateUnify:
+    """A ``unify a, b [where pred]`` statement."""
+
+    __slots__ = ("paths", "where")
+
+    def __init__(self, paths: Sequence[str], where: Optional[Expr] = None) -> None:
+        if len(paths) < 2:
+            raise ValueError("unify needs at least two paths")
+        self.paths = list(paths)
+        self.where = where
+
+
+class TemplateError(ValueError):
+    """Raised when a template body cannot be instantiated."""
+
+
+class GraphTemplate:
+    """A graph template T with formal parameters (Definition 4.4)."""
+
+    def __init__(
+        self,
+        params: Sequence[str],
+        name: Optional[str] = None,
+        tag: Optional[str] = None,
+        attr_exprs: Optional[Dict[str, Expr]] = None,
+    ) -> None:
+        self.params = list(params)
+        self.name = name
+        self.tag = tag
+        self.attr_exprs = dict(attr_exprs) if attr_exprs else {}
+        self.includes: List[str] = []
+        self.nodes: List[TemplateNode] = []
+        self.edges: List[TemplateEdge] = []
+        self.unifies: List[TemplateUnify] = []
+        self._auto_edge = 0
+
+    # -- builder API ------------------------------------------------------------
+
+    def include_graph(self, param: str) -> None:
+        """``graph C;`` — copy a whole bound graph into the result."""
+        self.includes.append(param)
+
+    def add_node(
+        self,
+        name: str,
+        tag: Optional[str] = None,
+        attr_exprs: Optional[Dict[str, Expr]] = None,
+    ) -> TemplateNode:
+        """Declare a fresh node with expression-valued attributes."""
+        node = TemplateNode(name, tag, attr_exprs)
+        self.nodes.append(node)
+        return node
+
+    def add_copied_node(self, path: str) -> TemplateNode:
+        """``node P.v1;`` — copy the node matched to a parameter path."""
+        node = TemplateNode(path, source_path=tuple(path.split(".")))
+        self.nodes.append(node)
+        return node
+
+    def add_edge(
+        self,
+        source: str,
+        target: str,
+        name: Optional[str] = None,
+        tag: Optional[str] = None,
+        attr_exprs: Optional[Dict[str, Expr]] = None,
+    ) -> TemplateEdge:
+        """Declare an edge between two template element paths."""
+        if name is None:
+            self._auto_edge += 1
+            name = f"_te{self._auto_edge}"
+        edge = TemplateEdge(name, source, target, tag, attr_exprs)
+        self.edges.append(edge)
+        return edge
+
+    def unify(self, *paths: str, where: Optional[Expr] = None) -> TemplateUnify:
+        """Declare a (possibly conditional) unification."""
+        statement = TemplateUnify(paths, where)
+        self.unifies.append(statement)
+        return statement
+
+    # -- instantiation -------------------------------------------------------------
+
+    def instantiate(
+        self,
+        arguments: Dict[str, Union[Graph, MatchedGraph]],
+        name: Optional[str] = None,
+    ) -> Graph:
+        """Instantiate the template with actual parameters.
+
+        *arguments* maps parameter names to graphs or matched graphs.  The
+        result is a brand-new graph; arguments are never mutated.
+        """
+        missing = [p for p in self.params if p not in arguments]
+        if missing:
+            raise TemplateError(f"missing template arguments: {missing}")
+        scope = Scope(dict(arguments))
+        out = Graph(name if name is not None else self.name)
+        if self.tag or self.attr_exprs:
+            attrs = {
+                key: _required_value(expr.evaluate(scope), key)
+                for key, expr in self.attr_exprs.items()
+            }
+            out.tuple = AttributeTuple(attrs, tag=self.tag)
+
+        # registry: template path -> output node id
+        registry: Dict[str, str] = {}
+        # member alias -> {original node id -> output node id}
+        member_nodes: Dict[str, Dict[str, str]] = {}
+
+        for param in self.includes:
+            bound = arguments.get(param)
+            if bound is None:
+                raise TemplateError(f"included graph {param!r} is not bound")
+            graph = as_graph(bound)
+            id_map: Dict[str, str] = {}
+            for node in graph.nodes():
+                copied = out.add_node_obj(
+                    Node(_fresh_id(out, node.id), node.tuple.copy())
+                )
+                id_map[node.id] = copied.id
+            for edge in graph.edges():
+                new_edge = out.add_edge(
+                    id_map[edge.source], id_map[edge.target]
+                )
+                new_edge.tuple = edge.tuple.copy()
+            member_nodes[param] = id_map
+
+        for template_node in self.nodes:
+            if template_node.source_path is not None:
+                entity = scope.resolve(template_node.source_path)
+                if not isinstance(entity, Node):
+                    raise TemplateError(
+                        f"path {'.'.join(template_node.source_path)!r} does "
+                        f"not resolve to a node"
+                    )
+                created = out.add_node_obj(
+                    Node(_fresh_id(out, entity.id), entity.tuple.copy())
+                )
+            else:
+                attrs = {
+                    key: _required_value(expr.evaluate(scope), key)
+                    for key, expr in template_node.attr_exprs.items()
+                }
+                created = out.add_node_obj(
+                    Node(
+                        _fresh_id(out, template_node.name),
+                        AttributeTuple(attrs, tag=template_node.tag),
+                    )
+                )
+            registry[template_node.name] = created.id
+
+        def resolve_endpoint(path: str) -> str:
+            node_id = _resolve_exact(path, registry, member_nodes, out)
+            if node_id is None:
+                raise TemplateError(f"unknown edge end point {path!r}")
+            return node_id
+
+        for template_edge in self.edges:
+            attrs = {
+                key: _required_value(expr.evaluate(scope), key)
+                for key, expr in template_edge.attr_exprs.items()
+            }
+            new_edge = out.add_edge(
+                resolve_endpoint(template_edge.source),
+                resolve_endpoint(template_edge.target),
+            )
+            new_edge.tuple = AttributeTuple(attrs, tag=template_edge.tag)
+
+        for statement in self.unifies:
+            self._apply_unify(statement, scope, out, registry, member_nodes)
+
+        _dedupe_parallel_edges(out)
+        return out
+
+    def _apply_unify(
+        self,
+        statement: TemplateUnify,
+        scope: Scope,
+        out: Graph,
+        registry: Dict[str, str],
+        member_nodes: Dict[str, Dict[str, str]],
+    ) -> None:
+        # resolve every path to candidate lists
+        candidate_lists: List[List[Tuple[str, Optional[Tuple[str, str]]]]] = []
+        for path in statement.paths:
+            parts = path.split(".")
+            alias, var = parts[0], parts[-1]
+            # With a where clause, a path into an included graph is a
+            # *variable* ranging over that graph's nodes (Fig. 4.12: the
+            # author may sit anywhere in the accumulated graph C).
+            if (
+                statement.where is not None
+                and len(parts) >= 2
+                and alias in member_nodes
+                and path not in registry
+            ):
+                candidate_lists.append(
+                    [(nid, (alias, var)) for nid in member_nodes[alias].values()]
+                )
+                continue
+            exact = _resolve_exact(path, registry, member_nodes, out)
+            if exact is not None:
+                candidate_lists.append([(exact, None)])
+                continue
+            if len(parts) >= 2 and alias in member_nodes:
+                candidate_lists.append(
+                    [(nid, (alias, var)) for nid in member_nodes[alias].values()]
+                )
+            else:
+                raise TemplateError(f"cannot resolve unify path {path!r}")
+
+        chosen = _choose_unify(candidate_lists, statement.where, scope, out)
+        if chosen is None:
+            return  # conditional unification with no satisfying pair
+        survivor, *others = chosen
+        for other in others:
+            if other != survivor:
+                _merge_nodes(out, survivor, other, registry, member_nodes)
+
+    def __repr__(self) -> str:
+        return f"GraphTemplate(params={self.params}, nodes={len(self.nodes)})"
+
+
+# -- instantiation helpers ------------------------------------------------------
+
+
+def _fresh_id(graph: Graph, preferred: str) -> str:
+    """Use the preferred id when free; otherwise derive a fresh one."""
+    base = preferred.replace(".", "_")
+    if not graph.has_node(base):
+        return base
+    suffix = 1
+    while graph.has_node(f"{base}_{suffix}"):
+        suffix += 1
+    return f"{base}_{suffix}"
+
+
+def _required_value(value: Any, key: str) -> Any:
+    if value is MISSING:
+        raise TemplateError(f"template attribute {key!r} evaluated to MISSING")
+    return value
+
+
+def _resolve_exact(
+    path: str,
+    registry: Dict[str, str],
+    member_nodes: Dict[str, Dict[str, str]],
+    out: Graph,
+) -> Optional[str]:
+    if path in registry:
+        return registry[path]
+    parts = path.split(".")
+    if len(parts) >= 2 and parts[0] in member_nodes:
+        original = ".".join(parts[1:])
+        mapped = member_nodes[parts[0]].get(original)
+        if mapped is not None:
+            return mapped
+    if out.has_node(path):
+        return path
+    return None
+
+
+def _choose_unify(
+    candidate_lists: List[List[Tuple[str, Optional[Tuple[str, str]]]]],
+    where: Optional[Expr],
+    scope: Scope,
+    out: Graph,
+) -> Optional[List[str]]:
+    """Pick the first candidate combination satisfying the predicate."""
+
+    def combos(index: int, picked: List[Tuple[str, Optional[Tuple[str, str]]]]):
+        if index == len(candidate_lists):
+            yield list(picked)
+            return
+        for candidate in candidate_lists[index]:
+            picked.append(candidate)
+            yield from combos(index + 1, picked)
+            picked.pop()
+
+    for combo in combos(0, []):
+        if where is None:
+            return [node_id for node_id, _ in combo]
+        bindings: Dict[str, Any] = {}
+        for node_id, variable in combo:
+            if variable is not None:
+                alias, var = variable
+                bindings.setdefault(alias, {})[var] = out.node(node_id)
+        pair_scope = scope.child(bindings)
+        if where.holds(pair_scope):
+            return [node_id for node_id, _ in combo]
+    return None
+
+
+def _merge_nodes(
+    out: Graph,
+    survivor: str,
+    absorbed: str,
+    registry: Dict[str, str],
+    member_nodes: Dict[str, Dict[str, str]],
+) -> None:
+    """Merge *absorbed* into *survivor*: attributes, edges, registries."""
+    survivor_node = out.node(survivor)
+    absorbed_node = out.node(absorbed)
+    survivor_node.tuple = survivor_node.tuple.merged(absorbed_node.tuple)
+    # move edges
+    moved: List[Tuple[str, str, AttributeTuple]] = []
+    for edge_id in list(out.incident_edges(absorbed)):
+        edge = out.edge(edge_id)
+        source = survivor if edge.source == absorbed else edge.source
+        target = survivor if edge.target == absorbed else edge.target
+        moved.append((source, target, edge.tuple.copy()))
+        out.remove_edge(edge_id)
+    out.remove_node(absorbed)
+    for source, target, attrs in moved:
+        new_edge = out.add_edge(source, target)
+        new_edge.tuple = attrs
+    # registries follow the survivor
+    for key, value in list(registry.items()):
+        if value == absorbed:
+            registry[key] = survivor
+    for id_map in member_nodes.values():
+        for key, value in list(id_map.items()):
+            if value == absorbed:
+                id_map[key] = survivor
+
+
+def _dedupe_parallel_edges(graph: Graph) -> None:
+    """Edges are unified automatically when their end nodes are unified."""
+    seen: Dict[Tuple[str, str], str] = {}
+    for edge_id in list(graph.edge_ids()):
+        edge = graph.edge(edge_id)
+        key = (edge.source, edge.target)
+        if not graph.directed:
+            key = tuple(sorted(key))  # type: ignore[assignment]
+        if key in seen:
+            keeper = graph.edge(seen[key])
+            keeper.tuple = keeper.tuple.merged(edge.tuple)
+            graph.remove_edge(edge_id)
+        else:
+            seen[key] = edge_id

@@ -1,0 +1,30 @@
+"""Datalog substrate: engine and GraphQL translation (Section 3.5)."""
+
+from .ast import Atom, BodyLiteral, Builtin, Const, Program, Rule, Var, term, var
+from .engine import StratificationError, evaluate, query, stratify
+from .translate import (
+    DatalogTranslationError,
+    graph_to_facts,
+    match_with_datalog,
+    pattern_to_rule,
+)
+
+__all__ = [
+    "Atom",
+    "BodyLiteral",
+    "Builtin",
+    "Const",
+    "Program",
+    "Rule",
+    "Var",
+    "term",
+    "var",
+    "StratificationError",
+    "evaluate",
+    "query",
+    "stratify",
+    "DatalogTranslationError",
+    "graph_to_facts",
+    "match_with_datalog",
+    "pattern_to_rule",
+]

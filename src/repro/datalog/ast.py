@@ -1,0 +1,215 @@
+"""Datalog abstract syntax (used by the Section 3.5 expressiveness results).
+
+Terms are variables or constants; atoms apply a predicate to terms; rules
+have one head atom and a body of (possibly negated) atoms plus comparison
+builtins.  A program is a set of rules and base facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Var:
+    """A Datalog variable (by convention capitalized)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant term wrapping a Python scalar."""
+
+    value: Any
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+Term = Union[Var, Const]
+
+
+def term(value: Any) -> Term:
+    """Coerce a Python value to a term (strings starting uppercase or
+    prefixed ``?`` become variables when created via :func:`var` only —
+    this helper always builds constants, keeping data unambiguous)."""
+    if isinstance(value, (Var, Const)):
+        return value
+    return Const(value)
+
+
+def var(name: str) -> Var:
+    """Build a variable term."""
+    return Var(name)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """``predicate(t1, .., tn)``."""
+
+    predicate: str
+    terms: Tuple[Term, ...]
+
+    def __init__(self, predicate: str, terms: Iterable[Any]) -> None:
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "terms", tuple(term(t) for t in terms))
+
+    @property
+    def arity(self) -> int:
+        """Number of terms."""
+        return len(self.terms)
+
+    def variables(self) -> Set[Var]:
+        """The variables occurring in the atom."""
+        return {t for t in self.terms if isinstance(t, Var)}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(t) for t in self.terms)
+        return f"{self.predicate}({inner})"
+
+
+@dataclass(frozen=True)
+class BodyLiteral:
+    """An atom or its negation in a rule body."""
+
+    atom: Atom
+    negated: bool = False
+
+    def variables(self) -> Set[Var]:
+        """Variables of the underlying atom."""
+        return self.atom.variables()
+
+    def __repr__(self) -> str:
+        return ("not " if self.negated else "") + repr(self.atom)
+
+
+_COMPARISONS = ("==", "!=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True)
+class Builtin:
+    """A comparison builtin ``left OP right``; both sides must bind."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __init__(self, op: str, left: Any, right: Any) -> None:
+        if op not in _COMPARISONS:
+            raise ValueError(f"unknown builtin operator {op!r}")
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "left", term(left))
+        object.__setattr__(self, "right", term(right))
+
+    def variables(self) -> Set[Var]:
+        """Variables on either side."""
+        return {t for t in (self.left, self.right) if isinstance(t, Var)}
+
+    def evaluate(self, left: Any, right: Any) -> bool:
+        """Apply the comparison to bound values."""
+        try:
+            if self.op == "==":
+                return left == right
+            if self.op == "!=":
+                return left != right
+            if self.op == "<":
+                return left < right
+            if self.op == "<=":
+                return left <= right
+            if self.op == ">":
+                return left > right
+            if self.op == ">=":
+                return left >= right
+        except TypeError:
+            return False
+        raise AssertionError
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+BodyElement = Union[BodyLiteral, Builtin]
+
+
+@dataclass
+class Rule:
+    """``head :- body.``  A rule must be *safe*: every head variable and
+    every variable in a negated atom or builtin also occurs in a positive
+    body atom."""
+
+    head: Atom
+    body: List[BodyElement] = field(default_factory=list)
+
+    def positive_variables(self) -> Set[Var]:
+        """Variables bound by positive body atoms."""
+        out: Set[Var] = set()
+        for element in self.body:
+            if isinstance(element, BodyLiteral) and not element.negated:
+                out |= element.variables()
+        return out
+
+    def check_safety(self) -> None:
+        """Raise ValueError when the rule is unsafe."""
+        bound = self.positive_variables()
+        unsafe = self.head.variables() - bound
+        if unsafe:
+            raise ValueError(f"unsafe head variables {unsafe} in {self}")
+        for element in self.body:
+            if isinstance(element, Builtin) or (
+                isinstance(element, BodyLiteral) and element.negated
+            ):
+                loose = element.variables() - bound
+                if loose:
+                    raise ValueError(f"unsafe variables {loose} in {self}")
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(e) for e in self.body)
+        return f"{self.head!r} :- {body}."
+
+
+class Program:
+    """A Datalog program: base facts plus rules."""
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        facts: Optional[Sequence[Atom]] = None,
+    ) -> None:
+        self.rules: List[Rule] = list(rules) if rules else []
+        self.facts: Dict[str, Set[Tuple[Any, ...]]] = {}
+        if facts:
+            for fact in facts:
+                self.add_fact(fact)
+
+    def add_rule(self, rule: Rule) -> None:
+        """Add a rule (safety-checked)."""
+        rule.check_safety()
+        self.rules.append(rule)
+
+    def add_fact(self, atom: Atom) -> None:
+        """Add one ground fact."""
+        values = []
+        for t in atom.terms:
+            if isinstance(t, Var):
+                raise ValueError(f"facts must be ground: {atom!r}")
+            values.append(t.value)
+        self.facts.setdefault(atom.predicate, set()).add(tuple(values))
+
+    def fact(self, predicate: str, *values: Any) -> None:
+        """Convenience: add ``predicate(values...)`` as a fact."""
+        self.add_fact(Atom(predicate, [Const(v) for v in values]))
+
+    def idb_predicates(self) -> Set[str]:
+        """Predicates defined by rules (intensional database)."""
+        return {rule.head.predicate for rule in self.rules}
+
+    def __repr__(self) -> str:
+        return (
+            f"Program(rules={len(self.rules)}, "
+            f"facts={sum(len(v) for v in self.facts.values())})"
+        )

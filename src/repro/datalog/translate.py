@@ -1,0 +1,258 @@
+"""GraphQL → Datalog translation (Theorem 4.6).
+
+Graphs become facts (Fig. 4.14)::
+
+    graph('G').
+    node('G', 'G.v1').
+    edge('G', 'G.e1', 'G.v1', 'G.v2').   % written twice for undirected
+    attribute('G', 'attr1', value1).      % graph-, node- and edge-level
+
+Graph patterns become rules (Fig. 4.15) whose body is the conjunction of
+the pattern's constituent elements, with the predicate written as
+attribute atoms and comparison builtins.  A pattern matches a graph iff
+the corresponding rule derives a matching head fact.
+
+Note: Definition 4.2 requires an *injective* node mapping; the rule adds
+pairwise ``!=`` builtins over node variables to enforce it (the paper's
+sketch omits this detail).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.bindings import Mapping
+from ..core.graph import Graph
+from ..core.pattern import GroundPattern
+from ..core.predicate import AttrRef, BinOp, Expr, Literal as PredLiteral
+from .ast import Atom, BodyLiteral, Builtin, Const, Program, Rule, Var
+from .engine import evaluate, query
+
+
+class DatalogTranslationError(ValueError):
+    """Raised when a pattern uses features outside the translation."""
+
+
+def graph_to_facts(graph: Graph, program: Optional[Program] = None) -> Program:
+    """Translate a graph into facts (Fig. 4.14), qualified by graph name."""
+    program = program if program is not None else Program()
+    graph_id = graph.name or "G"
+    program.fact("graph", graph_id)
+    for name, value in graph.tuple.items():
+        program.fact("attribute", graph_id, name, value)
+    if graph.tuple.tag is not None:
+        program.fact("tag", graph_id, graph.tuple.tag)
+    for node in graph.nodes():
+        node_id = f"{graph_id}.{node.id}"
+        program.fact("node", graph_id, node_id)
+        for name, value in node.tuple.items():
+            program.fact("attribute", node_id, name, value)
+        if node.tuple.tag is not None:
+            program.fact("tag", node_id, node.tuple.tag)
+    for edge in graph.edges():
+        edge_id = f"{graph_id}.{edge.id}"
+        source = f"{graph_id}.{edge.source}"
+        target = f"{graph_id}.{edge.target}"
+        program.fact("edge", graph_id, edge_id, source, target)
+        if not graph.directed:
+            program.fact("edge", graph_id, edge_id, target, source)
+        for name, value in edge.tuple.items():
+            program.fact("attribute", edge_id, name, value)
+        if edge.tuple.tag is not None:
+            program.fact("tag", edge_id, edge.tuple.tag)
+    return program
+
+
+def pattern_to_rule(
+    pattern: GroundPattern,
+    head_predicate: str = "Pattern",
+) -> Rule:
+    """Translate a ground pattern into a rule (Fig. 4.15).
+
+    The head is ``Pattern(P, V_u1, .., V_uk)``; the body contains
+    ``graph``/``node``/``edge`` atoms, attribute atoms for declarative
+    constraints, builtins for pushed-down comparisons, and pairwise
+    inequalities for injectivity.
+    """
+    motif = pattern.motif
+    graph_var = Var("P")
+    node_vars: Dict[str, Var] = {
+        name: Var(f"V_{_sanitize(name)}") for name in motif.node_names()
+    }
+    body: List[Any] = [BodyLiteral(Atom("graph", [graph_var]))]
+    fresh_counter = [0]
+
+    for name in motif.node_names():
+        body.append(BodyLiteral(Atom("node", [graph_var, node_vars[name]])))
+    for i, edge in enumerate(motif.edges()):
+        edge_var = Var(f"E_{i + 1}")
+        body.append(
+            BodyLiteral(
+                Atom(
+                    "edge",
+                    [graph_var, edge_var, node_vars[edge.source],
+                     node_vars[edge.target]],
+                )
+            )
+        )
+        _append_constraints(body, edge_var, edge.tag, edge.attrs, fresh_counter)
+        if edge.predicate is not None:
+            _append_predicate(body, edge.predicate, edge_var, fresh_counter,
+                              own_name=edge.name)
+    for name in motif.node_names():
+        motif_node = motif.node(name)
+        _append_constraints(
+            body, node_vars[name], motif_node.tag, motif_node.attrs, fresh_counter
+        )
+        if motif_node.predicate is not None:
+            _append_predicate(body, motif_node.predicate, node_vars[name],
+                              fresh_counter, own_name=name)
+        pushed = pattern.decomposed.node_preds.get(name)
+        if pushed is not None:
+            _append_predicate(body, pushed, node_vars[name], fresh_counter,
+                              own_name=name)
+    if pattern.decomposed.residual is not None:
+        _append_residual(
+            body, pattern.decomposed.residual, node_vars, fresh_counter
+        )
+    # injectivity (Definition 4.2)
+    names = motif.node_names()
+    for i in range(len(names)):
+        for j in range(i + 1, len(names)):
+            body.append(Builtin("!=", node_vars[names[i]], node_vars[names[j]]))
+
+    head = Atom(head_predicate, [graph_var] + [node_vars[n] for n in names])
+    rule = Rule(head, body)
+    rule.check_safety()
+    return rule
+
+
+def _sanitize(name: str) -> str:
+    return name.replace(".", "_")
+
+
+def _fresh_var(counter: List[int]) -> Var:
+    counter[0] += 1
+    return Var(f"T{counter[0]}")
+
+
+def _append_constraints(
+    body: List[Any],
+    owner: Var,
+    tag: Optional[str],
+    attrs: Dict[str, Any],
+    counter: List[int],
+) -> None:
+    if tag is not None:
+        body.append(BodyLiteral(Atom("tag", [owner, Const(tag)])))
+    for name, value in attrs.items():
+        body.append(BodyLiteral(Atom("attribute", [owner, Const(name), Const(value)])))
+
+
+def _append_predicate(
+    body: List[Any],
+    predicate: Expr,
+    owner: Var,
+    counter: List[int],
+    own_name: Optional[str] = None,
+) -> None:
+    """Translate a single-element predicate into attribute atoms + builtins.
+
+    Both reference styles resolve to the element itself: bare ``attr`` and
+    qualified ``<own_name>.attr``.
+    """
+    owners = {own_name: owner} if own_name else {}
+    for conjunct in predicate.conjuncts():
+        translated = _translate_comparison(conjunct, owners, owner,
+                                           counter, body)
+        if not translated:
+            raise DatalogTranslationError(
+                f"predicate {conjunct.to_graphql()} is outside the "
+                f"Datalog-translatable fragment"
+            )
+
+
+def _append_residual(
+    body: List[Any],
+    residual: Expr,
+    node_vars: Dict[str, Var],
+    counter: List[int],
+) -> None:
+    owners = {name: v for name, v in node_vars.items()}
+    for conjunct in residual.conjuncts():
+        translated = _translate_comparison(conjunct, owners, None, counter, body)
+        if not translated:
+            raise DatalogTranslationError(
+                f"residual predicate {conjunct.to_graphql()} is outside the "
+                f"Datalog-translatable fragment"
+            )
+
+
+def _translate_comparison(
+    expr: Expr,
+    owners: Dict[str, Var],
+    default_owner: Optional[Var],
+    counter: List[int],
+    body: List[Any],
+) -> bool:
+    """Translate ``ref OP ref-or-literal`` conjuncts; returns success."""
+    if not isinstance(expr, BinOp) or expr.op not in ("==", "!=", "<", "<=", ">", ">="):
+        return False
+
+    def operand_term(operand: Expr) -> Optional[Any]:
+        if isinstance(operand, PredLiteral):
+            return Const(operand.value)
+        if isinstance(operand, AttrRef):
+            path = operand.path
+            if len(path) == 1:
+                if default_owner is None:
+                    return None
+                owner, attr = default_owner, path[0]
+            elif len(path) == 2 and path[0] in owners:
+                owner, attr = owners[path[0]], path[1]
+            elif len(path) == 2 and default_owner is not None:
+                return None
+            else:
+                return None
+            value_var = _fresh_var(counter)
+            body.append(BodyLiteral(Atom("attribute", [owner, Const(attr), value_var])))
+            return value_var
+        return None
+
+    left = operand_term(expr.left)
+    right = operand_term(expr.right)
+    if left is None or right is None:
+        return False
+    op = "==" if expr.op == "==" else expr.op
+    body.append(Builtin(op, left, right))
+    return True
+
+
+def match_with_datalog(
+    pattern: GroundPattern,
+    graph: Graph,
+) -> List[Mapping]:
+    """End-to-end: translate pattern and graph, evaluate, return mappings.
+
+    Node ids in the returned mappings are unqualified (the ``'G.'`` prefix
+    of the fact encoding is stripped), so results compare directly with
+    the native matcher's output.
+    """
+    program = graph_to_facts(graph)
+    rule = pattern_to_rule(pattern)
+    program.add_rule(rule)
+    graph_id = graph.name or "G"
+    prefix = f"{graph_id}."
+    names = pattern.motif.node_names()
+    goal = Atom(rule.head.predicate, list(rule.head.terms))
+    rows = query(program, goal)
+    mappings = []
+    for row in rows:
+        if row[0] != graph_id:
+            continue
+        assignment = {}
+        for name, qualified in zip(names, row[1:]):
+            node_id = qualified[len(prefix):] if qualified.startswith(prefix) else qualified
+            assignment[name] = node_id
+        mappings.append(Mapping(assignment))
+    return mappings

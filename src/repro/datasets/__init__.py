@@ -1,0 +1,36 @@
+"""Dataset generators standing in for the paper's real and synthetic data."""
+
+from .dblp import author_pool, dblp_collection, tiny_dblp
+from .molecules import (
+    benzene_ring_pattern,
+    molecule_collection,
+    random_molecule,
+    ring_with_side_chain_pattern,
+)
+from .ppi import go_term_labels, ppi_network, top_labels
+from .queries import (
+    clique_queries,
+    clique_query,
+    extract_connected_query,
+    extracted_queries,
+)
+from .random_graphs import erdos_renyi_graph, label_universe
+
+__all__ = [
+    "author_pool",
+    "dblp_collection",
+    "tiny_dblp",
+    "benzene_ring_pattern",
+    "molecule_collection",
+    "random_molecule",
+    "ring_with_side_chain_pattern",
+    "go_term_labels",
+    "ppi_network",
+    "top_labels",
+    "clique_queries",
+    "clique_query",
+    "extract_connected_query",
+    "extracted_queries",
+    "erdos_renyi_graph",
+    "label_universe",
+]

@@ -1,0 +1,65 @@
+"""Synthetic Erdős–Rényi graphs with Zipf labels (Section 5.2).
+
+*"generate n nodes, and then generate m edges by randomly choosing two end
+nodes. Each node is assigned a label (100 distinct labels in total). The
+distribution of the labels follows Zipf's law."*
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from ..core.graph import Graph
+from ..utils.zipf import ZipfSampler
+
+
+def label_universe(count: int, prefix: str = "L") -> List[str]:
+    """Label names ``L000..`` ordered from most to least frequent."""
+    width = max(3, len(str(count - 1)))
+    return [f"{prefix}{i:0{width}d}" for i in range(count)]
+
+
+def erdos_renyi_graph(
+    n: int,
+    m: int,
+    num_labels: int = 100,
+    zipf_s: float = 1.0,
+    seed: int = 0,
+    name: Optional[str] = None,
+    labels: Optional[Sequence[str]] = None,
+    allow_self_loops: bool = False,
+) -> Graph:
+    """The paper's synthetic model: n nodes, m uniformly random edges.
+
+    Parallel edges are rejected (the data model stores one edge per node
+    pair); self loops are rejected by default.  Labels follow Zipf's law
+    over *num_labels* distinct values.
+    """
+    if labels is None:
+        labels = label_universe(num_labels)
+    rng = random.Random(seed)
+    sampler = ZipfSampler(len(labels), zipf_s)
+    graph = Graph(name or f"er_{n}_{m}")
+    node_ids = [f"v{i}" for i in range(n)]
+    for node_id in node_ids:
+        graph.add_node(node_id, label=sampler.sample_label(rng, labels))
+    added = 0
+    attempts = 0
+    max_attempts = 50 * m + 1000
+    while added < m and attempts < max_attempts:
+        attempts += 1
+        u = node_ids[rng.randrange(n)]
+        v = node_ids[rng.randrange(n)]
+        if u == v and not allow_self_loops:
+            continue
+        if graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+        added += 1
+    if added < m:
+        raise ValueError(
+            f"could not place {m} distinct edges on {n} nodes "
+            f"(placed {added})"
+        )
+    return graph

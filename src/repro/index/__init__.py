@@ -1,0 +1,23 @@
+"""Index structures: B-trees, hash indexes, attribute and profile stores."""
+
+from .attribute_index import AttributeIndexSet
+from .btree import BTree
+from .hash_index import HashIndex
+from .path_index import (
+    PathIndex,
+    PathIndexStats,
+    enumerate_label_paths,
+    pattern_features,
+)
+from .profile_index import ProfileIndex
+
+__all__ = [
+    "AttributeIndexSet",
+    "BTree",
+    "HashIndex",
+    "PathIndex",
+    "PathIndexStats",
+    "enumerate_label_paths",
+    "pattern_features",
+    "ProfileIndex",
+]

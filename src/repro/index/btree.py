@@ -1,0 +1,348 @@
+"""A B-tree index (the paper's stand-in for MySQL's per-column B-trees).
+
+Supports duplicate keys (each key maps to a list of payloads), point
+lookup, range scans, insertion and deletion.  Used by
+:mod:`repro.index.attribute_index` for node attributes and by the SQL
+baseline engine for its table indexes.
+
+The implementation follows the classic CLRS scheme with minimum degree
+``t``: every node other than the root holds between ``t - 1`` and
+``2t - 1`` keys; insertion splits full children on the way down; deletion
+merges/borrows on the way down so recursion never underflows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+
+class _BNode:
+    __slots__ = ("keys", "values", "children")
+
+    def __init__(self) -> None:
+        self.keys: List[Any] = []
+        self.values: List[List[Any]] = []
+        self.children: List["_BNode"] = []
+
+    @property
+    def leaf(self) -> bool:
+        return not self.children
+
+
+class BTree:
+    """An in-memory B-tree mapping comparable keys to lists of payloads."""
+
+    def __init__(self, min_degree: int = 16) -> None:
+        if min_degree < 2:
+            raise ValueError("minimum degree must be >= 2")
+        self._t = min_degree
+        self._root = _BNode()
+        self._len = 0  # number of (key, payload) entries
+
+    def __len__(self) -> int:
+        return self._len
+
+    # -- search ---------------------------------------------------------------
+
+    def get(self, key: Any) -> List[Any]:
+        """All payloads stored under *key* (empty list when absent)."""
+        node = self._root
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                return list(node.values[index])
+            if node.leaf:
+                return []
+            node = node.children[index]
+
+    def __contains__(self, key: Any) -> bool:
+        return bool(self.get(key))
+
+    def range(
+        self,
+        low: Any = None,
+        high: Any = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> Iterator[Tuple[Any, Any]]:
+        """Yield ``(key, payload)`` pairs with low <= key <= high, in order.
+
+        ``None`` bounds are open ends; the include flags select strict or
+        inclusive comparison, covering all of ``<, <=, >, >=`` pushdowns.
+        """
+
+        def visit(node: _BNode) -> Iterator[Tuple[Any, Any]]:
+            for i, key in enumerate(node.keys):
+                if not node.leaf:
+                    yield from visit(node.children[i])
+                if _in_range(key, low, high, include_low, include_high):
+                    for payload in node.values[i]:
+                        yield (key, payload)
+                if high is not None and (key > high or (key == high and not include_high)):
+                    return
+            if not node.leaf:
+                yield from visit(node.children[len(node.keys)])
+
+        yield from visit(self._root)
+
+    def items(self) -> Iterator[Tuple[Any, Any]]:
+        """All ``(key, payload)`` pairs in key order."""
+        return self.range()
+
+    def keys(self) -> Iterator[Any]:
+        """Distinct keys in order."""
+        last_sentinel = object()
+        last: Any = last_sentinel
+        for key, _ in self.items():
+            if last is last_sentinel or key != last:
+                last = key
+                yield key
+
+    def min_key(self) -> Any:
+        """The smallest key (ValueError when empty)."""
+        if self._len == 0:
+            raise ValueError("B-tree is empty")
+        node = self._root
+        while not node.leaf:
+            node = node.children[0]
+        return node.keys[0]
+
+    def max_key(self) -> Any:
+        """The largest key (ValueError when empty)."""
+        if self._len == 0:
+            raise ValueError("B-tree is empty")
+        node = self._root
+        while not node.leaf:
+            node = node.children[-1]
+        return node.keys[-1]
+
+    # -- insertion ------------------------------------------------------------
+
+    def insert(self, key: Any, payload: Any) -> None:
+        """Insert one payload under *key* (duplicates accumulate)."""
+        root = self._root
+        if len(root.keys) == 2 * self._t - 1:
+            new_root = _BNode()
+            new_root.children.append(root)
+            self._split_child(new_root, 0)
+            self._root = new_root
+            root = new_root
+        self._insert_nonfull(root, key, payload)
+        self._len += 1
+
+    def _split_child(self, parent: _BNode, index: int) -> None:
+        t = self._t
+        child = parent.children[index]
+        sibling = _BNode()
+        sibling.keys = child.keys[t:]
+        sibling.values = child.values[t:]
+        if not child.leaf:
+            sibling.children = child.children[t:]
+            child.children = child.children[:t]
+        parent.keys.insert(index, child.keys[t - 1])
+        parent.values.insert(index, child.values[t - 1])
+        parent.children.insert(index + 1, sibling)
+        child.keys = child.keys[: t - 1]
+        child.values = child.values[: t - 1]
+
+    def _insert_nonfull(self, node: _BNode, key: Any, payload: Any) -> None:
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index].append(payload)
+                return
+            if node.leaf:
+                node.keys.insert(index, key)
+                node.values.insert(index, [payload])
+                return
+            child = node.children[index]
+            if len(child.keys) == 2 * self._t - 1:
+                self._split_child(node, index)
+                if key == node.keys[index]:
+                    node.values[index].append(payload)
+                    return
+                if key > node.keys[index]:
+                    index += 1
+            node = node.children[index]
+
+    # -- deletion -------------------------------------------------------------
+
+    def delete(self, key: Any, payload: Any = None) -> bool:
+        """Delete one payload (or the whole key when *payload* is None).
+
+        Returns whether anything was removed.
+        """
+        existing = self.get(key)
+        if not existing:
+            return False
+        if payload is not None:
+            if payload not in existing:
+                return False
+            if len(existing) > 1:
+                # just shrink the payload list in place
+                self._replace_payloads(key, [p for p in existing if p != payload]
+                                       + [payload for _ in range(existing.count(payload) - 1)])
+                self._len -= 1
+                return True
+        removed_count = len(existing) if payload is None else 1
+        self._delete_key(self._root, key)
+        if not self._root.keys and self._root.children:
+            self._root = self._root.children[0]
+        self._len -= removed_count
+        return True
+
+    def _replace_payloads(self, key: Any, payloads: List[Any]) -> None:
+        node = self._root
+        while True:
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = payloads
+                return
+            node = node.children[index]
+
+    def _delete_key(self, node: _BNode, key: Any) -> None:
+        t = self._t
+        index = _lower_bound(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            if node.leaf:
+                node.keys.pop(index)
+                node.values.pop(index)
+                return
+            left, right = node.children[index], node.children[index + 1]
+            if len(left.keys) >= t:
+                pred_key, pred_values = _max_entry(left)
+                node.keys[index] = pred_key
+                node.values[index] = pred_values
+                self._delete_key(left, pred_key)
+            elif len(right.keys) >= t:
+                succ_key, succ_values = _min_entry(right)
+                node.keys[index] = succ_key
+                node.values[index] = succ_values
+                self._delete_key(right, succ_key)
+            else:
+                self._merge_children(node, index)
+                self._delete_key(left, key)
+            return
+        if node.leaf:
+            return  # key absent
+        child = node.children[index]
+        if len(child.keys) == t - 1:
+            index = self._grow_child(node, index)
+            child = node.children[index]
+            # after restructuring, the key may now live in this node
+            in_node = _lower_bound(node.keys, key)
+            if in_node < len(node.keys) and node.keys[in_node] == key:
+                self._delete_key(node, key)
+                return
+        self._delete_key(child, key)
+
+    def _grow_child(self, node: _BNode, index: int) -> int:
+        """Ensure child *index* has >= t keys; return its (new) index."""
+        t = self._t
+        child = node.children[index]
+        if index > 0 and len(node.children[index - 1].keys) >= t:
+            left = node.children[index - 1]
+            child.keys.insert(0, node.keys[index - 1])
+            child.values.insert(0, node.values[index - 1])
+            node.keys[index - 1] = left.keys.pop()
+            node.values[index - 1] = left.values.pop()
+            if not left.leaf:
+                child.children.insert(0, left.children.pop())
+            return index
+        if index < len(node.keys) and len(node.children[index + 1].keys) >= t:
+            right = node.children[index + 1]
+            child.keys.append(node.keys[index])
+            child.values.append(node.values[index])
+            node.keys[index] = right.keys.pop(0)
+            node.values[index] = right.values.pop(0)
+            if not right.leaf:
+                child.children.append(right.children.pop(0))
+            return index
+        if index < len(node.keys):
+            self._merge_children(node, index)
+            return index
+        self._merge_children(node, index - 1)
+        return index - 1
+
+    def _merge_children(self, node: _BNode, index: int) -> None:
+        left = node.children[index]
+        right = node.children[index + 1]
+        left.keys.append(node.keys.pop(index))
+        left.values.append(node.values.pop(index))
+        left.keys.extend(right.keys)
+        left.values.extend(right.values)
+        left.children.extend(right.children)
+        node.children.pop(index + 1)
+
+    # -- validation (for property tests) -----------------------------------------
+
+    def validate(self) -> None:
+        """Assert all B-tree invariants; raises AssertionError on violation."""
+        t = self._t
+
+        def check(node: _BNode, low: Any, high: Any, is_root: bool) -> int:
+            assert len(node.keys) <= 2 * t - 1, "node overfull"
+            if not is_root:
+                assert len(node.keys) >= t - 1, "node underfull"
+            for i in range(1, len(node.keys)):
+                assert node.keys[i - 1] < node.keys[i], "keys out of order"
+            for key in node.keys:
+                if low is not None:
+                    assert key > low, "key below subtree bound"
+                if high is not None:
+                    assert key < high, "key above subtree bound"
+            assert len(node.values) == len(node.keys)
+            if node.leaf:
+                return 1
+            assert len(node.children) == len(node.keys) + 1, "child count"
+            depths = set()
+            bounds = [low] + node.keys + [high]
+            for i, child in enumerate(node.children):
+                depths.add(check(child, bounds[i], bounds[i + 1], False))
+            assert len(depths) == 1, "uneven leaf depth"
+            return depths.pop() + 1
+
+        check(self._root, None, None, True)
+        assert sum(len(v) for _, v in _entries(self._root)) == self._len
+
+
+def _entries(node: _BNode):
+    for i, key in enumerate(node.keys):
+        if not node.leaf:
+            yield from _entries(node.children[i])
+        yield (key, node.values[i])
+    if not node.leaf:
+        yield from _entries(node.children[-1])
+
+
+def _max_entry(node: _BNode) -> Tuple[Any, List[Any]]:
+    while not node.leaf:
+        node = node.children[-1]
+    return node.keys[-1], node.values[-1]
+
+
+def _min_entry(node: _BNode) -> Tuple[Any, List[Any]]:
+    while not node.leaf:
+        node = node.children[0]
+    return node.keys[0], node.values[0]
+
+
+def _lower_bound(keys: List[Any], key: Any) -> int:
+    lo, hi = 0, len(keys)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if keys[mid] < key:
+            lo = mid + 1
+        else:
+            hi = mid
+    return lo
+
+
+def _in_range(key, low, high, include_low, include_high) -> bool:
+    if low is not None:
+        if key < low or (key == low and not include_low):
+            return False
+    if high is not None:
+        if key > high or (key == high and not include_high):
+            return False
+    return True

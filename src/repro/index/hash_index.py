@@ -1,0 +1,57 @@
+"""A hash index from attribute value to node ids.
+
+The paper indexes node labels with a hashtable when retrieving feasible
+mates (Section 5.1: "We index the node labels using a hashtable").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Tuple
+
+
+class HashIndex:
+    """Exact-match index: value -> list of payloads."""
+
+    def __init__(self) -> None:
+        self._buckets: Dict[Any, List[Any]] = {}
+        self._len = 0
+
+    def insert(self, key: Any, payload: Any) -> None:
+        """Add one payload under *key*."""
+        self._buckets.setdefault(key, []).append(payload)
+        self._len += 1
+
+    def get(self, key: Any) -> List[Any]:
+        """All payloads for *key* (empty list when absent)."""
+        return list(self._buckets.get(key, ()))
+
+    def delete(self, key: Any, payload: Any = None) -> bool:
+        """Remove one payload (or the whole key); returns success."""
+        if key not in self._buckets:
+            return False
+        if payload is None:
+            self._len -= len(self._buckets[key])
+            del self._buckets[key]
+            return True
+        bucket = self._buckets[key]
+        if payload not in bucket:
+            return False
+        bucket.remove(payload)
+        self._len -= 1
+        if not bucket:
+            del self._buckets[key]
+        return True
+
+    def keys(self) -> Iterator[Any]:
+        """All distinct keys (arbitrary order)."""
+        return iter(self._buckets)
+
+    def items(self) -> Iterator[Tuple[Any, List[Any]]]:
+        """All ``(key, payload-list)`` pairs."""
+        return iter(self._buckets.items())
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._buckets
+
+    def __len__(self) -> int:
+        return self._len

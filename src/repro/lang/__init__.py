@@ -1,0 +1,34 @@
+"""The GraphQL language front-end: lexer, parser, compiler."""
+
+from .compiler import (
+    CompiledProgram,
+    compile_graph,
+    compile_graph_text,
+    compile_motif,
+    compile_pattern,
+    compile_pattern_text,
+    compile_program,
+    compile_template,
+)
+from .errors import GraphQLCompileError, GraphQLSyntaxError
+from .lexer import Token, tokenize
+from .parser import Parser, parse_expression, parse_graph_decl, parse_program
+
+__all__ = [
+    "CompiledProgram",
+    "compile_graph",
+    "compile_graph_text",
+    "compile_motif",
+    "compile_pattern",
+    "compile_pattern_text",
+    "compile_program",
+    "compile_template",
+    "GraphQLCompileError",
+    "GraphQLSyntaxError",
+    "Token",
+    "tokenize",
+    "Parser",
+    "parse_expression",
+    "parse_graph_decl",
+    "parse_program",
+]

@@ -1,0 +1,122 @@
+"""Syntactic AST for the GraphQL language (Appendix 4.A).
+
+These classes mirror the grammar productions one-to-one; the compiler
+(:mod:`repro.lang.compiler`) lowers them to core objects (graphs, motifs,
+patterns, templates, FLWR programs).  Expressions reuse the core
+predicate AST (:mod:`repro.core.predicate`) — the concrete and abstract
+expression syntax coincide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.predicate import Expr
+
+
+@dataclass
+class TupleAst:
+    """``<tag name=expr ...>`` — attribute tuple literal/template."""
+
+    tag: Optional[str] = None
+    entries: List[Tuple[str, Expr]] = field(default_factory=list)
+
+
+@dataclass
+class NodeDeclAst:
+    """One node declarator: ``v1 <author name="A"> where year > 2000``.
+
+    ``name`` may be dotted (``P.v1``) inside template bodies.
+    """
+
+    name: Optional[str]
+    tuple: Optional[TupleAst] = None
+    where: Optional[Expr] = None
+
+
+@dataclass
+class EdgeDeclAst:
+    """``e1 (v1, v2) <tuple> where ...`` — end points may be dotted."""
+
+    name: Optional[str]
+    source: str
+    target: str
+    tuple: Optional[TupleAst] = None
+    where: Optional[Expr] = None
+
+
+@dataclass
+class GraphMemberAst:
+    """``graph G1 as X;`` members (refs to named graphs / parameters)."""
+
+    refs: List[Tuple[str, Optional[str]]]  # (name, alias)
+
+
+@dataclass
+class UnifyAst:
+    """``unify a, b [, c ...] [where expr];``"""
+
+    paths: List[str]
+    where: Optional[Expr] = None
+
+
+@dataclass
+class ExportAst:
+    """``export Path.v2 as v2;``"""
+
+    path: str
+    alias: str
+
+
+@dataclass
+class NestedBlocksAst:
+    """An anonymous block disjunction member (Figs. 4.5/4.6)."""
+
+    blocks: List["BlockAst"]
+
+
+@dataclass
+class BlockAst:
+    """The body ``{ ... }`` of a graph declaration."""
+
+    members: List[object] = field(default_factory=list)  # decl ASTs in order
+
+
+@dataclass
+class GraphDeclAst:
+    """``graph [name] [<tuple>] { ... } (| { ... })* [where expr]``."""
+
+    name: Optional[str]
+    tuple: Optional[TupleAst]
+    blocks: List[BlockAst]
+    where: Optional[Expr] = None
+
+
+@dataclass
+class AssignAst:
+    """``C := graph { ... };``"""
+
+    name: str
+    value: GraphDeclAst
+
+
+@dataclass
+class FLWRAst:
+    """``for <id|pattern> [exhaustive] in doc("src") [where e]
+    (return tmpl | let C := tmpl)``."""
+
+    binding_name: Optional[str]  # for P ... (reference to a named pattern)
+    pattern: Optional[GraphDeclAst]  # or an inline pattern
+    exhaustive: bool
+    source: str
+    where: Optional[Expr]
+    let_var: Optional[str]  # None => return mode
+    template: GraphDeclAst
+
+
+@dataclass
+class ProgramAst:
+    """A whole source file: a list of statements."""
+
+    statements: List[object] = field(default_factory=list)

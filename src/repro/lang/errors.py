@@ -1,0 +1,18 @@
+"""Errors raised by the GraphQL language front-end."""
+
+from __future__ import annotations
+
+
+class GraphQLSyntaxError(ValueError):
+    """A lexing or parsing error, carrying source position."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(
+            f"{message} (line {line}, column {column})" if line else message
+        )
+        self.line = line
+        self.column = column
+
+
+class GraphQLCompileError(ValueError):
+    """A semantic error while compiling the AST to core objects."""

@@ -1,0 +1,149 @@
+"""Tokenizer for the GraphQL concrete syntax (Appendix 4.A).
+
+Keywords are case-sensitive (all lowercase, as in the paper's examples).
+``=`` is accepted both as the tuple assignment and — for compatibility
+with the paper's examples like ``where v1.name="A"`` — as an equality
+comparison; the parser normalizes it by context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator, List
+
+from .errors import GraphQLSyntaxError
+
+KEYWORDS = {
+    "graph",
+    "node",
+    "edge",
+    "unify",
+    "where",
+    "export",
+    "as",
+    "for",
+    "exhaustive",
+    "in",
+    "doc",
+    "let",
+    "return",
+}
+
+#: Multi-character symbols, longest first so maximal munch works.
+MULTI_SYMBOLS = [":=", "==", "!=", "<=", ">=", "<>"]
+SINGLE_SYMBOLS = set("{}()<>,;.|&+-*/=")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position."""
+
+    kind: str  # 'keyword' | 'id' | 'int' | 'float' | 'string' | 'symbol' | 'eof'
+    value: Any
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.value!r})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize GraphQL source text (supports ``//`` and ``#`` comments)."""
+    tokens: List[Token] = []
+    line = 1
+    column = 1
+    position = 0
+    length = len(text)
+
+    def error(message: str) -> GraphQLSyntaxError:
+        return GraphQLSyntaxError(message, line, column)
+
+    while position < length:
+        ch = text[position]
+        if ch == "\n":
+            position += 1
+            line += 1
+            column = 1
+            continue
+        if ch.isspace():
+            position += 1
+            column += 1
+            continue
+        if ch == "#" or text.startswith("//", position):
+            while position < length and text[position] != "\n":
+                position += 1
+            continue
+        start_line, start_column = line, column
+        # strings
+        if ch in "\"'":
+            quote = ch
+            position += 1
+            column += 1
+            chars: List[str] = []
+            while position < length and text[position] != quote:
+                if text[position] == "\\" and position + 1 < length:
+                    chars.append(text[position + 1])
+                    position += 2
+                    column += 2
+                    continue
+                if text[position] == "\n":
+                    raise error("unterminated string")
+                chars.append(text[position])
+                position += 1
+                column += 1
+            if position >= length:
+                raise error("unterminated string")
+            position += 1
+            column += 1
+            tokens.append(Token("string", "".join(chars), start_line, start_column))
+            continue
+        # numbers (ASCII digits only: str.isdigit accepts unicode digits
+        # such as superscripts that int() rejects)
+        if "0" <= ch <= "9":
+            end = position
+            seen_dot = False
+            while end < length and (
+                "0" <= text[end] <= "9" or (text[end] == "." and not seen_dot)
+            ):
+                if text[end] == ".":
+                    # a dot is part of the number only if a digit follows
+                    if end + 1 >= length or not ("0" <= text[end + 1] <= "9"):
+                        break
+                    seen_dot = True
+                end += 1
+            raw = text[position:end]
+            kind = "float" if "." in raw else "int"
+            value = float(raw) if kind == "float" else int(raw)
+            tokens.append(Token(kind, value, start_line, start_column))
+            column += end - position
+            position = end
+            continue
+        # identifiers / keywords: [A-Za-z_][A-Za-z0-9_]* per the grammar
+        if ("a" <= ch <= "z") or ("A" <= ch <= "Z") or ch == "_":
+            end = position
+            while end < length and (
+                ("a" <= text[end] <= "z") or ("A" <= text[end] <= "Z")
+                or ("0" <= text[end] <= "9") or text[end] == "_"
+            ):
+                end += 1
+            word = text[position:end]
+            kind = "keyword" if word in KEYWORDS else "id"
+            tokens.append(Token(kind, word, start_line, start_column))
+            column += end - position
+            position = end
+            continue
+        # symbols
+        matched = None
+        for symbol in MULTI_SYMBOLS:
+            if text.startswith(symbol, position):
+                matched = symbol
+                break
+        if matched is None and ch in SINGLE_SYMBOLS:
+            matched = ch
+        if matched is None:
+            raise error(f"unexpected character {ch!r}")
+        tokens.append(Token("symbol", matched, start_line, start_column))
+        position += len(matched)
+        column += len(matched)
+    tokens.append(Token("eof", None, line, column))
+    return tokens

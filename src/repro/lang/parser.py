@@ -1,0 +1,395 @@
+"""Recursive-descent parser for GraphQL (Appendix 4.A grammar).
+
+Extensions beyond the appendix, all used by the paper's own figures:
+
+* anonymous block disjunction inside a body — ``{...} | {...}``
+  (Figs. 4.5, 4.6);
+* ``export <path> as <id>;`` members (Fig. 4.6);
+* ``graph G1 as X;`` member aliases (Fig. 4.4);
+* ``=`` accepted as equality in expressions (Fig. 4.8 writes
+  ``v1.name="A"``), normalized to ``==``;
+* ``let C := template`` (the appendix writes ``=``; Fig. 4.12 writes
+  ``:=`` — both accepted);
+* optional commas between tuple entries (Fig. 4.7).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..core.predicate import AttrRef, BinOp, Expr, Literal
+from .ast import (
+    AssignAst,
+    BlockAst,
+    EdgeDeclAst,
+    ExportAst,
+    FLWRAst,
+    GraphDeclAst,
+    GraphMemberAst,
+    NestedBlocksAst,
+    NodeDeclAst,
+    ProgramAst,
+    TupleAst,
+    UnifyAst,
+)
+from .errors import GraphQLSyntaxError
+from .lexer import Token, tokenize
+
+
+class Parser:
+    """Parses GraphQL text into a :class:`ProgramAst`."""
+
+    def __init__(self, text: str) -> None:
+        self.tokens = tokenize(text)
+        self.position = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def _error(self, message: str) -> GraphQLSyntaxError:
+        token = self._peek()
+        return GraphQLSyntaxError(
+            f"{message}, got {token.value!r}", token.line, token.column
+        )
+
+    def _accept(self, kind: str, value=None) -> Optional[Token]:
+        token = self._peek()
+        if token.kind == kind and (value is None or token.value == value):
+            return self._next()
+        return None
+
+    def _expect(self, kind: str, value=None) -> Token:
+        token = self._accept(kind, value)
+        if token is None:
+            raise self._error(f"expected {value or kind}")
+        return token
+
+    def _at(self, kind: str, value=None) -> bool:
+        token = self._peek()
+        return token.kind == kind and (value is None or token.value == value)
+
+    # -- entry points --------------------------------------------------------------
+
+    def parse_program(self) -> ProgramAst:
+        """``Start ::= ( GraphPattern ";" | FLWRExpr ";" | Assign ";" )* EOF``."""
+        program = ProgramAst()
+        while not self._at("eof"):
+            program.statements.append(self._statement())
+        return program
+
+    def parse_graph(self) -> GraphDeclAst:
+        """Parse a single graph declaration (for data files)."""
+        decl = self._graph_decl()
+        self._accept("symbol", ";")
+        if not self._at("eof"):
+            raise self._error("trailing input after graph declaration")
+        return decl
+
+    def parse_expression(self) -> Expr:
+        """Parse a standalone predicate expression."""
+        expr = self._expr()
+        if not self._at("eof"):
+            raise self._error("trailing input after expression")
+        return expr
+
+    # -- statements ------------------------------------------------------------------
+
+    def _statement(self):
+        if self._at("keyword", "for"):
+            statement = self._flwr()
+            self._accept("symbol", ";")
+            return statement
+        if self._at("keyword", "graph"):
+            statement = self._graph_decl()
+            self._accept("symbol", ";")
+            return statement
+        if self._at("id") and self._peek(1).kind == "symbol" and self._peek(1).value == ":=":
+            name = self._expect("id").value
+            self._expect("symbol", ":=")
+            value = self._graph_decl()
+            self._accept("symbol", ";")
+            return AssignAst(name, value)
+        raise self._error("expected a graph declaration, assignment or for")
+
+    # -- graph declarations -------------------------------------------------------------
+
+    def _graph_decl(self) -> GraphDeclAst:
+        self._expect("keyword", "graph")
+        name = None
+        if self._at("id"):
+            name = self._next().value
+        tuple_ast = self._tuple() if self._at("symbol", "<") else None
+        blocks = [self._block()]
+        while self._accept("symbol", "|"):
+            blocks.append(self._block())
+        where = None
+        if self._accept("keyword", "where"):
+            where = self._expr()
+        return GraphDeclAst(name, tuple_ast, blocks, where)
+
+    def _block(self) -> BlockAst:
+        self._expect("symbol", "{")
+        block = BlockAst()
+        while not self._at("symbol", "}"):
+            block.members.append(self._member())
+        self._expect("symbol", "}")
+        return block
+
+    def _member(self):
+        if self._at("keyword", "node"):
+            return self._node_member()
+        if self._at("keyword", "edge"):
+            return self._edge_member()
+        if self._at("keyword", "graph"):
+            return self._graph_member()
+        if self._at("keyword", "unify"):
+            return self._unify_member()
+        if self._at("keyword", "export"):
+            return self._export_member()
+        if self._at("symbol", "{"):
+            blocks = [self._block()]
+            while self._accept("symbol", "|"):
+                blocks.append(self._block())
+            self._accept("symbol", ";")
+            return NestedBlocksAst(blocks)
+        raise self._error("expected a member declaration")
+
+    def _node_member(self) -> List[NodeDeclAst]:
+        self._expect("keyword", "node")
+        decls = [self._node_decl()]
+        while self._accept("symbol", ","):
+            decls.append(self._node_decl())
+        self._expect("symbol", ";")
+        return decls
+
+    def _node_decl(self) -> NodeDeclAst:
+        name = None
+        if self._at("id"):
+            name = self._names()
+        tuple_ast = self._tuple() if self._at("symbol", "<") else None
+        where = None
+        if self._accept("keyword", "where"):
+            where = self._expr()
+        return NodeDeclAst(name, tuple_ast, where)
+
+    def _edge_member(self) -> List[EdgeDeclAst]:
+        self._expect("keyword", "edge")
+        decls = [self._edge_decl()]
+        while self._accept("symbol", ","):
+            decls.append(self._edge_decl())
+        self._expect("symbol", ";")
+        return decls
+
+    def _edge_decl(self) -> EdgeDeclAst:
+        name = None
+        if self._at("id"):
+            name = self._next().value
+        self._expect("symbol", "(")
+        source = self._names()
+        self._expect("symbol", ",")
+        target = self._names()
+        self._expect("symbol", ")")
+        tuple_ast = self._tuple() if self._at("symbol", "<") else None
+        where = None
+        if self._accept("keyword", "where"):
+            where = self._expr()
+        return EdgeDeclAst(name, source, target, tuple_ast, where)
+
+    def _graph_member(self) -> GraphMemberAst:
+        self._expect("keyword", "graph")
+        refs: List[Tuple[str, Optional[str]]] = []
+        while True:
+            ref = self._expect("id").value
+            alias = None
+            if self._accept("keyword", "as"):
+                alias = self._expect("id").value
+            refs.append((ref, alias))
+            if not self._accept("symbol", ","):
+                break
+        self._expect("symbol", ";")
+        return GraphMemberAst(refs)
+
+    def _unify_member(self) -> UnifyAst:
+        self._expect("keyword", "unify")
+        paths = [self._names()]
+        while self._accept("symbol", ","):
+            paths.append(self._names())
+        if len(paths) < 2:
+            raise self._error("unify needs at least two names")
+        where = None
+        if self._accept("keyword", "where"):
+            where = self._expr()
+        self._expect("symbol", ";")
+        return UnifyAst(paths, where)
+
+    def _export_member(self) -> ExportAst:
+        self._expect("keyword", "export")
+        path = self._names()
+        self._expect("keyword", "as")
+        alias = self._expect("id").value
+        self._expect("symbol", ";")
+        return ExportAst(path, alias)
+
+    # -- tuples ----------------------------------------------------------------------------
+
+    def _tuple(self) -> TupleAst:
+        self._expect("symbol", "<")
+        tuple_ast = TupleAst()
+        # optional tag: an id NOT followed by '='
+        if self._at("id") and not (
+            self._peek(1).kind == "symbol" and self._peek(1).value == "="
+        ):
+            tuple_ast.tag = self._next().value
+        while not self._at("symbol", ">"):
+            self._accept("symbol", ",")  # commas are optional separators
+            if self._at("symbol", ">"):
+                break
+            name = self._expect("id").value
+            self._expect("symbol", "=")
+            value = self._expr(stop_at_gt=True)
+            tuple_ast.entries.append((name, value))
+        self._expect("symbol", ">")
+        return tuple_ast
+
+    # -- FLWR -------------------------------------------------------------------------------
+
+    def _flwr(self) -> FLWRAst:
+        self._expect("keyword", "for")
+        binding_name = None
+        pattern = None
+        if self._at("keyword", "graph"):
+            pattern = self._graph_decl()
+        else:
+            binding_name = self._expect("id").value
+        exhaustive = bool(self._accept("keyword", "exhaustive"))
+        self._expect("keyword", "in")
+        self._expect("keyword", "doc")
+        self._expect("symbol", "(")
+        source = self._expect("string").value
+        self._expect("symbol", ")")
+        where = None
+        if self._accept("keyword", "where"):
+            where = self._expr()
+        if self._accept("keyword", "return"):
+            template = self._template_ref_or_decl()
+            return FLWRAst(binding_name, pattern, exhaustive, source, where,
+                           None, template)
+        self._expect("keyword", "let")
+        let_var = self._expect("id").value
+        if not (self._accept("symbol", ":=") or self._accept("symbol", "=")):
+            raise self._error("expected := or = after let variable")
+        template = self._template_ref_or_decl()
+        return FLWRAst(binding_name, pattern, exhaustive, source, where,
+                       let_var, template)
+
+    def _template_ref_or_decl(self) -> GraphDeclAst:
+        if self._at("keyword", "graph"):
+            return self._graph_decl()
+        # bare identifier: a template that simply returns a bound graph
+        name = self._expect("id").value
+        block = BlockAst(members=[GraphMemberAst([(name, None)])])
+        return GraphDeclAst(None, None, [block], None)
+
+    # -- expressions (precedence climbing) -------------------------------------------------------
+
+    def _expr(self, stop_at_gt: bool = False) -> Expr:
+        return self._or_expr(stop_at_gt)
+
+    def _or_expr(self, stop_at_gt: bool) -> Expr:
+        left = self._and_expr(stop_at_gt)
+        while self._at("symbol", "|"):
+            self._next()
+            right = self._and_expr(stop_at_gt)
+            left = BinOp("|", left, right)
+        return left
+
+    def _and_expr(self, stop_at_gt: bool) -> Expr:
+        left = self._cmp_expr(stop_at_gt)
+        while self._at("symbol", "&"):
+            self._next()
+            right = self._cmp_expr(stop_at_gt)
+            left = BinOp("&", left, right)
+        return left
+
+    _CMP = {"==": "==", "=": "==", "!=": "!=", "<>": "!=",
+            "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+    def _cmp_expr(self, stop_at_gt: bool) -> Expr:
+        left = self._add_expr(stop_at_gt)
+        token = self._peek()
+        if token.kind == "symbol" and token.value in self._CMP:
+            if stop_at_gt and token.value == ">":
+                return left  # '>' closes the tuple here
+            self._next()
+            right = self._add_expr(stop_at_gt)
+            return BinOp(self._CMP[token.value], left, right)
+        return left
+
+    def _add_expr(self, stop_at_gt: bool) -> Expr:
+        left = self._mul_expr(stop_at_gt)
+        while self._at("symbol", "+") or self._at("symbol", "-"):
+            op = self._next().value
+            right = self._mul_expr(stop_at_gt)
+            left = BinOp(op, left, right)
+        return left
+
+    def _mul_expr(self, stop_at_gt: bool) -> Expr:
+        left = self._term(stop_at_gt)
+        while self._at("symbol", "*") or self._at("symbol", "/"):
+            op = self._next().value
+            right = self._term(stop_at_gt)
+            left = BinOp(op, left, right)
+        return left
+
+    def _term(self, stop_at_gt: bool) -> Expr:
+        if self._accept("symbol", "("):
+            inner = self._expr()
+            self._expect("symbol", ")")
+            return inner
+        if self._accept("symbol", "-"):
+            inner = self._term(stop_at_gt)
+            return BinOp("-", Literal(0), inner)
+        token = self._peek()
+        if token.kind in ("int", "float", "string"):
+            self._next()
+            return Literal(token.value)
+        if token.kind in ("id", "keyword"):
+            # keywords like 'doc' may appear as attribute names in paths
+            return AttrRef(tuple(self._names().split(".")))
+        raise self._error("expected an expression term")
+
+    # -- names --------------------------------------------------------------------------------------
+
+    def _names(self) -> str:
+        token = self._peek()
+        if token.kind not in ("id", "keyword"):
+            raise self._error("expected a name")
+        parts = [self._next().value]
+        while self._at("symbol", ".") and self._peek(1).kind in ("id", "keyword"):
+            self._next()
+            parts.append(self._next().value)
+        return ".".join(parts)
+
+
+def parse_program(text: str) -> ProgramAst:
+    """Parse a GraphQL source file into its AST."""
+    return Parser(text).parse_program()
+
+
+def parse_graph_decl(text: str) -> GraphDeclAst:
+    """Parse a single graph declaration."""
+    return Parser(text).parse_graph()
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse a predicate expression."""
+    return Parser(text).parse_expression()

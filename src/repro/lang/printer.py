@@ -1,0 +1,104 @@
+"""Pretty-printing core objects back to GraphQL concrete syntax.
+
+Ground patterns and templates render to parseable text, enabling
+pattern round-trips (compile → print → compile) and readable logs of
+compiled query plans.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from ..core.motif import SimpleMotif
+from ..core.pattern import GraphPattern, GroundPattern
+from ..core.predicate import Expr
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+        return f'"{escaped}"'
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    return repr(value)
+
+
+def _format_constraints(tag: Optional[str], attrs: Dict[str, Any]) -> str:
+    if tag is None and not attrs:
+        return ""
+    parts: List[str] = []
+    if tag is not None:
+        parts.append(tag)
+    parts.extend(f"{name}={_format_value(value)}"
+                 for name, value in attrs.items())
+    return " <" + " ".join(parts) + ">"
+
+
+def _format_where(predicate: Optional[Expr]) -> str:
+    if predicate is None:
+        return ""
+    return f" where {predicate.to_graphql()}"
+
+
+def _safe_name(name: str) -> str:
+    """Motif names may contain dots after flattening; quote-free rename."""
+    return name.replace(".", "_")
+
+
+def motif_to_text(motif: SimpleMotif, name: Optional[str] = None) -> str:
+    """Render a ground motif as a graph declaration body."""
+    rename = {n: _safe_name(n) for n in motif.node_names()}
+    header = f"graph {name} {{" if name else "graph {"
+    lines = [header]
+    for node in motif.nodes():
+        lines.append(
+            f"  node {rename[node.name]}"
+            f"{_format_constraints(node.tag, node.attrs)}"
+            f"{_format_where(node.predicate)};"
+        )
+    for index, edge in enumerate(motif.edges()):
+        edge_name = _safe_name(edge.name) if not edge.name.startswith("_") \
+            else f"e{index + 1}"
+        lines.append(
+            f"  edge {edge_name} ({rename[edge.source]}, "
+            f"{rename[edge.target]})"
+            f"{_format_constraints(edge.tag, edge.attrs)}"
+            f"{_format_where(edge.predicate)};"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def pattern_to_text(pattern: GroundPattern) -> str:
+    """Render a ground pattern, including its graph-wide predicate.
+
+    Node names containing dots (from motif flattening) are rewritten with
+    underscores consistently across structure and predicate, so the text
+    re-parses; matches are therefore equal up to that renaming.
+    """
+    body = motif_to_text(pattern.motif, pattern.name)
+    where = pattern.predicate
+    if where is None:
+        return body
+    text = where.to_graphql()
+    for node_name in pattern.motif.node_names():
+        if "." in node_name:
+            text = text.replace(node_name, _safe_name(node_name))
+    return f"{body} where {text}"
+
+
+def graph_pattern_to_text(pattern: GraphPattern) -> str:
+    """Render a (possibly disjunctive) pattern as alternative blocks."""
+    grounds = pattern.ground() if not pattern.is_recursive() else None
+    if grounds is None:
+        raise ValueError("recursive patterns need a grammar to print; "
+                         "print their ground derivations instead")
+    blocks = []
+    for ground in grounds:
+        text = motif_to_text(ground.motif)
+        blocks.append(text[len("graph "):] if text.startswith("graph ")
+                      else text)
+    name = f" {pattern.name}" if pattern.name else ""
+    joined = "\n| ".join(blocks)
+    where = f" where {pattern.where.to_graphql()}" if pattern.where else ""
+    return f"graph{name} {joined}{where}"

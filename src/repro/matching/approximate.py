@@ -1,0 +1,143 @@
+"""Approximate graph pattern matching (edge-tolerant).
+
+Section 1.1 defines graph queries as retrieving graphs *"which contain
+(or are similar to) the query pattern"*.  Exact containment is the
+selection operator; this module covers the similarity side with the
+standard edge-miss relaxation: a mapping is accepted when at most
+``max_missing_edges`` pattern edges have no matching data edge (node
+constraints stay exact, as in substructure-similarity search on
+compounds and complexes).
+
+The search extends Algorithm 4.1's ``Check`` with a miss budget; results
+are ranked by the number of matched edges (descending).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.bindings import Mapping
+from ..core.graph import Graph
+from ..core.pattern import GroundPattern
+from .basic import scan_feasible_mates
+
+
+class ApproximateMatch:
+    """A mapping plus its similarity accounting."""
+
+    __slots__ = ("mapping", "missing_edges", "matched_edges")
+
+    def __init__(self, mapping: Mapping, missing_edges: List[str],
+                 matched_edges: int) -> None:
+        self.mapping = mapping
+        self.missing_edges = missing_edges
+        self.matched_edges = matched_edges
+
+    @property
+    def similarity(self) -> float:
+        """Matched fraction of pattern edges (1.0 = exact)."""
+        total = self.matched_edges + len(self.missing_edges)
+        return self.matched_edges / total if total else 1.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ApproximateMatch({self.mapping!r}, "
+            f"missing={len(self.missing_edges)})"
+        )
+
+
+def find_approximate_matches(
+    pattern: GroundPattern,
+    graph: Graph,
+    max_missing_edges: int = 1,
+    candidates: Optional[Dict[str, Sequence[str]]] = None,
+    limit: Optional[int] = None,
+) -> List[ApproximateMatch]:
+    """Mappings violating at most *max_missing_edges* pattern edges.
+
+    Node predicates (F_u) remain exact; each pattern edge either maps to
+    a data edge satisfying F_e or consumes one unit of the miss budget.
+    The graph-wide predicate is enforced exactly.  Results are sorted by
+    missing-edge count (exact matches first); mappings identical on nodes
+    are reported once with their best (fewest-miss) accounting.
+    """
+    if candidates is None:
+        candidates = scan_feasible_mates(pattern, graph)
+    motif = pattern.motif
+    order = pattern.node_names()
+    directed = graph.directed
+    results: Dict[frozenset, ApproximateMatch] = {}
+
+    mapping = Mapping()
+    used: set = set()
+    missing: List[str] = []
+
+    def check(u: str, v: str) -> Optional[List[str]]:
+        """Newly-missing pattern edges when u -> v; None = over budget."""
+        newly_missing: List[str] = []
+        for edge in motif.incident_edges(u):
+            other = edge.target if edge.source == u else edge.source
+            if other == u:
+                data_edge = graph.edge_between(v, v)
+                ok = data_edge is not None and pattern.edge_matches(
+                    edge.name, data_edge
+                )
+            elif other in mapping.nodes:
+                w = mapping.nodes[other]
+                if directed:
+                    src = v if edge.source == u else w
+                    dst = w if edge.source == u else v
+                    data_edge = graph.edge_between(src, dst)
+                    ok = (data_edge is not None
+                          and data_edge.source == src
+                          and pattern.edge_matches(edge.name, data_edge))
+                else:
+                    data_edge = graph.edge_between(v, w)
+                    ok = data_edge is not None and pattern.edge_matches(
+                        edge.name, data_edge
+                    )
+            else:
+                continue
+            if not ok:
+                newly_missing.append(edge.name)
+        if len(missing) + len(newly_missing) > max_missing_edges:
+            return None
+        return newly_missing
+
+    def record() -> None:
+        if not pattern.residual_holds(mapping, graph):
+            return
+        key = frozenset(mapping.nodes.items())
+        existing = results.get(key)
+        matched = motif.num_edges() - len(missing)
+        if existing is None or len(missing) < len(existing.missing_edges):
+            results[key] = ApproximateMatch(
+                mapping.copy(), list(missing), matched
+            )
+
+    def search(index: int) -> bool:
+        if index == len(order):
+            record()
+            return limit is not None and len(results) >= limit
+        u = order[index]
+        for v in candidates.get(u, ()):
+            if v in used:
+                continue
+            newly_missing = check(u, v)
+            if newly_missing is None:
+                continue
+            mapping.nodes[u] = v
+            used.add(v)
+            missing.extend(newly_missing)
+            stop = search(index + 1)
+            del mapping.nodes[u]
+            used.discard(v)
+            del missing[len(missing) - len(newly_missing):]
+            if stop:
+                return True
+        return False
+
+    search(0)
+    ranked = sorted(results.values(),
+                    key=lambda m: (len(m.missing_edges), repr(m.mapping)))
+    return ranked if limit is None else ranked[:limit]

@@ -1,0 +1,151 @@
+"""Local pruning and retrieval of feasible mates (Section 4.2).
+
+Retrieval proceeds in two stages:
+
+1. **Retrieve** candidates for each pattern node — by full scan, by the
+   label hashtable, or by attribute B-trees (predicate pushdown), always
+   followed by the exact F_u check so the result equals Definition 4.8.
+2. **Prune locally** with neighborhood information: either the cheap
+   profile subsequence test or the exact neighborhood-subgraph
+   sub-isomorphism test (Definition 4.10).
+
+Soundness: both pruning tests are necessary conditions of a full match,
+so pruning never loses answers (verified by property tests).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.graph import Graph
+from ..core.pattern import GroundPattern
+from ..index.attribute_index import AttributeIndexSet
+from ..index.profile_index import ProfileIndex
+from .neighborhood import (
+    motif_profile,
+    neighborhood_subisomorphic,
+    profile_contained,
+)
+
+#: Local pruning strategies, weakest to strongest.
+LOCAL_STRATEGIES = ("none", "profile", "subgraph")
+
+
+class RetrievalStats:
+    """How candidates were obtained and how many each stage kept."""
+
+    def __init__(self) -> None:
+        self.scanned: Dict[str, int] = {}
+        self.after_fu: Dict[str, int] = {}
+        self.after_local: Dict[str, int] = {}
+        self.used_index: Dict[str, bool] = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"RetrievalStats(after_fu={self.after_fu}, "
+            f"after_local={self.after_local})"
+        )
+
+
+def retrieve_feasible_mates(
+    pattern: GroundPattern,
+    graph: Graph,
+    attribute_index: Optional[AttributeIndexSet] = None,
+    profile_index: Optional[ProfileIndex] = None,
+    local: str = "none",
+    radius: int = 1,
+    label_attr: str = "label",
+    stats: Optional[RetrievalStats] = None,
+) -> Dict[str, List[str]]:
+    """The search space ``Phi`` after retrieval and local pruning.
+
+    Parameters
+    ----------
+    attribute_index:
+        Optional per-attribute B-trees; used to avoid full scans when the
+        pattern node carries indexable constraints.
+    profile_index:
+        Precomputed profiles/neighborhood subgraphs; required for
+        ``local != 'none'`` unless computed on the fly.
+    local:
+        One of :data:`LOCAL_STRATEGIES`.
+    radius:
+        Neighborhood radius (must equal the profile index's radius when
+        one is supplied).
+    """
+    if local not in LOCAL_STRATEGIES:
+        raise ValueError(f"unknown local strategy {local!r}")
+    if profile_index is not None and profile_index.radius != radius:
+        raise ValueError(
+            f"profile index radius {profile_index.radius} != requested {radius}"
+        )
+    space: Dict[str, List[str]] = {}
+    for name in pattern.node_names():
+        motif_node = pattern.motif.node(name)
+        candidate_ids: Optional[List[str]] = None
+        if attribute_index is not None:
+            pushed = pattern.decomposed.node_preds.get(name)
+            preds = [p for p in (motif_node.predicate, pushed) if p is not None]
+            from ..core.predicate import conjunction
+
+            candidate_ids = attribute_index.candidates_for(
+                motif_node.attrs, conjunction(preds)
+            )
+            if stats is not None:
+                stats.used_index[name] = candidate_ids is not None
+        if candidate_ids is None and profile_index is not None:
+            label = motif_node.attrs.get(label_attr)
+            if label is not None:
+                candidate_ids = profile_index.nodes_with_label(label)
+                if stats is not None:
+                    stats.used_index[name] = True
+        if candidate_ids is None:
+            candidate_ids = graph.node_ids()
+            if stats is not None:
+                stats.used_index[name] = False
+        if stats is not None:
+            stats.scanned[name] = len(candidate_ids)
+        # exact F_u check (Definition 4.8)
+        feasible = [
+            node_id
+            for node_id in candidate_ids
+            if pattern.node_matches(name, graph.node(node_id))
+        ]
+        if stats is not None:
+            stats.after_fu[name] = len(feasible)
+        # local pruning
+        if local == "profile":
+            needed = motif_profile(pattern.motif, name, radius, attr=label_attr)
+            if profile_index is not None:
+                feasible = [
+                    node_id
+                    for node_id in feasible
+                    if profile_contained(needed, profile_index.profile_of(node_id))
+                ]
+            else:
+                from .neighborhood import profile as node_profile
+
+                feasible = [
+                    node_id
+                    for node_id in feasible
+                    if profile_contained(
+                        needed, node_profile(graph, node_id, radius)
+                    )
+                ]
+        elif local == "subgraph":
+            feasible = [
+                node_id
+                for node_id in feasible
+                if neighborhood_subisomorphic(
+                    pattern, name, graph, node_id, radius,
+                    data_subgraph=(
+                        profile_index.subgraph_of(node_id)
+                        if profile_index is not None
+                        else None
+                    ),
+                )
+            ]
+        if stats is not None:
+            stats.after_local[name] = len(feasible)
+        space[name] = feasible
+    return space

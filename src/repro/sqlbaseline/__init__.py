@@ -1,0 +1,37 @@
+"""The SQL-based comparison system (Sections 1.2 and 5 of the paper)."""
+
+from .engine import ExecutionStats, SQLEngine, WorkBudgetExceeded
+from .relation import Relation, RelationalDatabase, SchemaError
+from .sql_parser import (
+    ColumnRef,
+    Comparison,
+    SelectQuery,
+    SQLSyntaxError,
+    parse_sql,
+    tokenize,
+)
+from .translator import (
+    SQLGraphMatcher,
+    TranslationError,
+    load_graph,
+    pattern_to_sql,
+)
+
+__all__ = [
+    "ExecutionStats",
+    "SQLEngine",
+    "WorkBudgetExceeded",
+    "Relation",
+    "RelationalDatabase",
+    "SchemaError",
+    "ColumnRef",
+    "Comparison",
+    "SelectQuery",
+    "SQLSyntaxError",
+    "parse_sql",
+    "tokenize",
+    "SQLGraphMatcher",
+    "TranslationError",
+    "load_graph",
+    "pattern_to_sql",
+]

@@ -1,0 +1,221 @@
+"""A parser for the SQL subset the baseline experiments use.
+
+Covers exactly the query shape of Fig. 4.2 and a little more::
+
+    SELECT a.col, b.col FROM T AS a, U AS b
+    WHERE a.col = 'A' AND a.col = b.col AND a.col <> b.col AND a.n > 3
+
+Grammar (conjunctive queries over base tables):
+
+* select list: ``*`` or a comma list of ``alias.column``;
+* from list: comma list of ``table [AS] alias``;
+* where: ``AND``-conjunction of comparisons between column references
+  and/or literals, with operators ``= <> != < <= > >=``.
+
+The parser produces a :class:`SelectQuery`, executed by
+:mod:`repro.sqlbaseline.engine`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, List, Optional, Tuple, Union
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<string>'(?:[^'\\]|\\.)*'|"(?:[^"\\]|\\.)*")
+      | (?P<number>\d+\.\d+|\d+)
+      | (?P<op><>|!=|<=|>=|=|<|>)
+      | (?P<punct>[(),;*])
+      | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<dot>\.)
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"SELECT", "FROM", "WHERE", "AND", "AS"}
+
+
+class SQLSyntaxError(ValueError):
+    """Raised on malformed SQL text."""
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A reference ``alias.column`` (alias may be a bare table name)."""
+
+    alias: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.alias}.{self.column}"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One WHERE conjunct: ``left OP right``."""
+
+    op: str  # one of = <> < <= > >=  (!= normalized to <>)
+    left: Union[ColumnRef, Any]
+    right: Union[ColumnRef, Any]
+
+    def column_refs(self) -> List[ColumnRef]:
+        """The column references this conjunct mentions."""
+        return [x for x in (self.left, self.right) if isinstance(x, ColumnRef)]
+
+
+@dataclass
+class SelectQuery:
+    """A parsed conjunctive SELECT query."""
+
+    select: List[ColumnRef]  # empty list means SELECT *
+    tables: List[Tuple[str, str]]  # (table name, alias) in FROM order
+    where: List[Comparison]
+
+    @property
+    def select_star(self) -> bool:
+        """Whether the query was ``SELECT *``."""
+        return not self.select
+
+
+def tokenize(text: str) -> List[Tuple[str, Any]]:
+    """Tokenize SQL text to ``(kind, value)`` pairs."""
+    tokens: List[Tuple[str, Any]] = []
+    position = 0
+    while position < len(text):
+        if text[position].isspace():
+            position += 1
+            continue
+        match = _TOKEN_RE.match(text, position)
+        if not match or match.start() != position:
+            raise SQLSyntaxError(f"bad character at {position}: {text[position]!r}")
+        position = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "string":
+            tokens.append(("literal", value[1:-1].replace("\\'", "'").replace('\\"', '"')))
+        elif kind == "number":
+            tokens.append(("literal", float(value) if "." in value else int(value)))
+        elif kind == "name":
+            upper = value.upper()
+            if upper in _KEYWORDS:
+                tokens.append(("keyword", upper))
+            else:
+                tokens.append(("name", value))
+        elif kind == "op":
+            tokens.append(("op", "<>" if value == "!=" else value))
+        elif kind == "punct":
+            tokens.append(("punct", value))
+        elif kind == "dot":
+            tokens.append(("punct", "."))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[Tuple[str, Any]]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    def peek(self) -> Optional[Tuple[str, Any]]:
+        if self.position < len(self.tokens):
+            return self.tokens[self.position]
+        return None
+
+    def next(self) -> Tuple[str, Any]:
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of query")
+        self.position += 1
+        return token
+
+    def expect(self, kind: str, value: Any = None) -> Any:
+        token = self.next()
+        if token[0] != kind or (value is not None and token[1] != value):
+            raise SQLSyntaxError(f"expected {value or kind}, got {token[1]!r}")
+        return token[1]
+
+    def accept(self, kind: str, value: Any = None) -> bool:
+        token = self.peek()
+        if token is not None and token[0] == kind and (value is None or token[1] == value):
+            self.position += 1
+            return True
+        return False
+
+    # -- grammar -----------------------------------------------------------------
+
+    def parse(self) -> SelectQuery:
+        self.expect("keyword", "SELECT")
+        select = self._select_list()
+        self.expect("keyword", "FROM")
+        tables = self._from_list()
+        where: List[Comparison] = []
+        if self.accept("keyword", "WHERE"):
+            where = self._conjunction()
+        self.accept("punct", ";")
+        if self.peek() is not None:
+            raise SQLSyntaxError(f"trailing input: {self.peek()[1]!r}")
+        return SelectQuery(select, tables, where)
+
+    def _select_list(self) -> List[ColumnRef]:
+        if self.accept("punct", "*"):
+            return []
+        refs = [self._column_ref()]
+        while self.accept("punct", ","):
+            refs.append(self._column_ref())
+        return refs
+
+    def _from_list(self) -> List[Tuple[str, str]]:
+        tables = [self._table_decl()]
+        while self.accept("punct", ","):
+            tables.append(self._table_decl())
+        return tables
+
+    def _table_decl(self) -> Tuple[str, str]:
+        name = self.expect("name")
+        alias = name
+        if self.accept("keyword", "AS"):
+            alias = self.expect("name")
+        else:
+            token = self.peek()
+            if token is not None and token[0] == "name":
+                alias = self.next()[1]
+        return (name, alias)
+
+    def _conjunction(self) -> List[Comparison]:
+        comparisons = [self._comparison()]
+        while self.accept("keyword", "AND"):
+            comparisons.append(self._comparison())
+        return comparisons
+
+    def _comparison(self) -> Comparison:
+        left = self._operand()
+        op = self.expect("op")
+        right = self._operand()
+        return Comparison(op, left, right)
+
+    def _operand(self) -> Union[ColumnRef, Any]:
+        token = self.next()
+        if token[0] == "literal":
+            return token[1]
+        if token[0] == "name":
+            if self.accept("punct", "."):
+                column = self.expect("name")
+                return ColumnRef(token[1], column)
+            raise SQLSyntaxError(
+                f"bare column name {token[1]!r}; qualify it as alias.column"
+            )
+        raise SQLSyntaxError(f"bad operand {token[1]!r}")
+
+    def _column_ref(self) -> ColumnRef:
+        name = self.expect("name")
+        self.expect("punct", ".")
+        column = self.expect("name")
+        return ColumnRef(name, column)
+
+
+def parse_sql(text: str) -> SelectQuery:
+    """Parse SQL text into a :class:`SelectQuery`."""
+    return _Parser(tokenize(text)).parse()

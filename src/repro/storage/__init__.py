@@ -1,0 +1,36 @@
+"""Persistence: GraphQL-syntax serialization and the database facade."""
+
+from .buffer import BufferPool, BufferStats
+from .database import GraphDatabase
+from .graphstore import GraphStore
+from .pager import PAGE_SIZE, PageFile, RecordFile, SlottedPage, StorageError
+from .serializer import (
+    collection_from_text,
+    collection_to_text,
+    graph_from_text,
+    graph_to_text,
+    load_collection,
+    load_graph,
+    save_collection,
+    save_graph,
+)
+
+__all__ = [
+    "BufferPool",
+    "BufferStats",
+    "GraphDatabase",
+    "GraphStore",
+    "PAGE_SIZE",
+    "PageFile",
+    "RecordFile",
+    "SlottedPage",
+    "StorageError",
+    "collection_from_text",
+    "collection_to_text",
+    "graph_from_text",
+    "graph_to_text",
+    "load_collection",
+    "load_graph",
+    "save_collection",
+    "save_graph",
+]

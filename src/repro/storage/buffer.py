@@ -1,0 +1,125 @@
+"""A buffer pool: LRU page caching over a :class:`PageFile`.
+
+Completes the Section 7 storage stack: disk-resident systems read pages
+through a buffer pool, so layout quality shows up as hit rate.  The pool
+wraps a page file with the same interface (``read_page`` / ``write_page``
+/ ``allocate_page``), caches page images with LRU eviction, writes back
+dirty pages on eviction and close, and counts hits/misses/evictions.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional
+
+from .pager import PAGE_SIZE, PageFile
+
+
+class BufferStats:
+    """Hit/miss counters for one buffer pool."""
+
+    __slots__ = ("hits", "misses", "evictions", "writebacks")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.writebacks = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of reads served from memory."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferStats(hits={self.hits}, misses={self.misses}, "
+            f"hit_rate={self.hit_rate:.2%})"
+        )
+
+
+class BufferPool:
+    """LRU page cache in front of a page file."""
+
+    def __init__(self, pagefile: PageFile, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError("buffer pool needs at least one frame")
+        self.pagefile = pagefile
+        self.capacity = capacity
+        self.stats = BufferStats()
+        self._frames: "OrderedDict[int, bytearray]" = OrderedDict()
+        self._dirty: Dict[int, bool] = {}
+
+    # -- the PageFile interface -----------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Total pages in the underlying file."""
+        return self.pagefile.num_pages
+
+    def read_page(self, page_no: int) -> bytes:
+        """Read through the cache."""
+        frame = self._frames.get(page_no)
+        if frame is not None:
+            self.stats.hits += 1
+            self._frames.move_to_end(page_no)
+            return bytes(frame)
+        self.stats.misses += 1
+        data = self.pagefile.read_page(page_no)
+        self._admit(page_no, bytearray(data), dirty=False)
+        return data
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        """Write into the cache (flushed on eviction/close)."""
+        if len(data) != PAGE_SIZE:
+            raise ValueError("page data must be exactly PAGE_SIZE bytes")
+        frame = self._frames.get(page_no)
+        if frame is not None:
+            frame[:] = data
+            self._frames.move_to_end(page_no)
+        else:
+            self._admit(page_no, bytearray(data), dirty=True)
+            return
+        self._dirty[page_no] = True
+
+    def allocate_page(self) -> int:
+        """Allocate in the underlying file."""
+        return self.pagefile.allocate_page()
+
+    def free_page(self, page_no: int) -> None:
+        """Free in the underlying file, dropping any cached frame."""
+        self._frames.pop(page_no, None)
+        self._dirty.pop(page_no, None)
+        self.pagefile.free_page(page_no)
+
+    # -- cache mechanics ----------------------------------------------------------
+
+    def _admit(self, page_no: int, frame: bytearray, dirty: bool) -> None:
+        while len(self._frames) >= self.capacity:
+            victim, victim_frame = self._frames.popitem(last=False)
+            self.stats.evictions += 1
+            if self._dirty.pop(victim, False):
+                self.stats.writebacks += 1
+                self.pagefile.write_page(victim, bytes(victim_frame))
+        self._frames[page_no] = frame
+        self._dirty[page_no] = dirty
+
+    def flush(self) -> None:
+        """Write back every dirty frame (cache content retained)."""
+        for page_no, frame in self._frames.items():
+            if self._dirty.get(page_no):
+                self.pagefile.write_page(page_no, bytes(frame))
+                self.stats.writebacks += 1
+                self._dirty[page_no] = False
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        self.flush()
+        self.pagefile.close()
+
+    def __enter__(self) -> "BufferPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

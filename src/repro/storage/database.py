@@ -1,0 +1,187 @@
+"""The graph database facade.
+
+A :class:`GraphDatabase` holds named collections (a single large graph is
+a one-graph collection — the paper treats the two uniformly), resolves
+``doc(name)`` for FLWR queries, caches per-graph access-method state
+(matchers with their indexes and statistics), and runs GraphQL text
+end-to-end.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..core.collection import GraphCollection
+from ..core.graph import Graph
+from ..core.pattern import GraphPattern, GroundPattern
+from ..lang.compiler import compile_pattern_text, compile_program
+from ..matching.planner import GraphMatcher, MatchOptions, MatchReport
+from .serializer import load_collection, save_collection
+
+
+class GraphDatabase:
+    """Named collections of graphs plus cached access methods."""
+
+    #: Collections with at least this many graphs get a path index for
+    #: filter+verify selection (the paper's category-1 access method).
+    COLLECTION_INDEX_THRESHOLD = 32
+
+    def __init__(self) -> None:
+        self._collections: Dict[str, GraphCollection] = {}
+        self._matchers: Dict[int, GraphMatcher] = {}
+        self._collection_indexes: Dict[str, "object"] = {}
+
+    # -- collection management ----------------------------------------------------
+
+    def register(self, name: str, collection: Union[GraphCollection, Graph]) -> None:
+        """Register a collection (or a single large graph) under a name."""
+        if isinstance(collection, Graph):
+            collection = GraphCollection([collection], name=name)
+        collection.name = collection.name or name
+        self._collections[name] = collection
+
+    def doc(self, name: str) -> GraphCollection:
+        """Resolve ``doc(name)`` (FLWR data source)."""
+        if name not in self._collections:
+            raise KeyError(f"unknown document {name!r}")
+        return self._collections[name]
+
+    def names(self) -> list:
+        """All registered document names."""
+        return list(self._collections)
+
+    def load(self, name: str, path: Union[str, Path], directed: bool = False) -> None:
+        """Load a collection from a GraphQL text file."""
+        self.register(name, load_collection(path, directed=directed))
+
+    def save(self, name: str, path: Union[str, Path]) -> None:
+        """Save a collection to a GraphQL text file."""
+        save_collection(self.doc(name), path)
+
+    def save_all(self, directory: Union[str, Path]) -> None:
+        """Persist every collection to a directory (one ``.gql`` file per
+        document plus a ``MANIFEST`` listing names and directedness)."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        manifest_lines = []
+        for name in self.names():
+            collection = self.doc(name)
+            directed = any(g.directed for g in collection)
+            filename = f"{name}.gql"
+            save_collection(collection, directory / filename)
+            manifest_lines.append(f"{name}\t{filename}\t{int(directed)}")
+        (directory / "MANIFEST").write_text(
+            "\n".join(manifest_lines) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def open(cls, directory: Union[str, Path]) -> "GraphDatabase":
+        """Reopen a database directory written by :meth:`save_all`."""
+        directory = Path(directory)
+        manifest = directory / "MANIFEST"
+        if not manifest.exists():
+            raise FileNotFoundError(f"no MANIFEST in {directory}")
+        database = cls()
+        for line in manifest.read_text(encoding="utf-8").splitlines():
+            if not line.strip():
+                continue
+            name, filename, directed = line.split("\t")
+            database.load(name, directory / filename,
+                          directed=bool(int(directed)))
+        return database
+
+    # -- access methods --------------------------------------------------------------
+
+    def matcher_for(self, graph: Graph, radius: int = 1) -> GraphMatcher:
+        """The cached access-method pipeline for one data graph."""
+        key = id(graph)
+        matcher = self._matchers.get(key)
+        if matcher is None or matcher.profile_index is None or (
+            matcher.profile_index.radius != radius
+        ):
+            matcher = GraphMatcher(graph, radius=radius)
+            self._matchers[key] = matcher
+        return matcher
+
+    def match(
+        self,
+        document: str,
+        pattern: Union[GraphPattern, GroundPattern, str],
+        options: Optional[MatchOptions] = None,
+    ) -> Dict[str, MatchReport]:
+        """Match a pattern against every graph of a document.
+
+        Returns one :class:`MatchReport` per graph, keyed by graph name
+        (or positional index when unnamed).  Pattern text is compiled on
+        the fly.
+        """
+        if isinstance(pattern, str):
+            pattern = compile_pattern_text(pattern)
+        reports: Dict[str, MatchReport] = {}
+        for position, graph in enumerate(self.doc(document)):
+            matcher = self.matcher_for(graph)
+            if isinstance(pattern, GroundPattern):
+                report = matcher.match(pattern, options)
+            else:
+                report = matcher.match_pattern(pattern, options)
+            reports[graph.name or f"#{position}"] = report
+        return reports
+
+    def collection_index_for(self, document: str, max_length: int = 3):
+        """The cached path index of a document (built on first use).
+
+        Only collections of at least :data:`COLLECTION_INDEX_THRESHOLD`
+        graphs are indexed; smaller ones return ``None`` (scanning wins).
+        """
+        from ..index.path_index import PathIndex
+
+        collection = self.doc(document)
+        if len(collection) < self.COLLECTION_INDEX_THRESHOLD:
+            return None
+        index = self._collection_indexes.get(document)
+        if index is None or index.collection is not collection:
+            index = PathIndex(collection, max_length=max_length)
+            self._collection_indexes[document] = index
+        return index
+
+    def select(
+        self,
+        document: str,
+        pattern: Union[GraphPattern, GroundPattern, str],
+        exhaustive: bool = True,
+    ) -> GraphCollection:
+        """σ_P over a document, using filter+verify for big collections.
+
+        Small collections (and patterns without label constraints) fall
+        back to a plain scan; results are identical either way.
+        """
+        from ..core.algebra import select as scan_select
+
+        if isinstance(pattern, str):
+            pattern = compile_pattern_text(pattern)
+        if isinstance(pattern, GraphPattern):
+            grounds = pattern.ground()
+        else:
+            grounds = [pattern]
+        index = self.collection_index_for(document)
+        if index is None:
+            out = GraphCollection()
+            for ground in grounds:
+                out.extend(scan_select(self.doc(document), ground,
+                                       exhaustive=exhaustive))
+            return out
+        out = GraphCollection()
+        for ground in grounds:
+            out.extend(index.select(ground, exhaustive=exhaustive))
+        return out
+
+    # -- full query execution ------------------------------------------------------------
+
+    def query(self, source: str, env: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        """Compile and run a GraphQL program; returns the environment.
+
+        The last statement's value is available under ``"__result__"``.
+        """
+        compiled = compile_program(source)
+        return compiled.run(self, env)

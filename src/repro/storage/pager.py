@@ -1,0 +1,270 @@
+"""Page-based physical storage for graph data (Section 7 direction).
+
+The paper's first future-research direction asks how to *"store graphs on
+disks for efficient storage and fast retrieval"*, including *"how to
+decompose the large graph into small chunks and preserve locality"*.
+This module is a working answer at the classic-textbook level:
+
+* :class:`PageFile` — a file of fixed-size pages with a free list and a
+  header page;
+* :class:`SlottedPage` — variable-length records inside a page through a
+  slot directory (forward-growing records, backward-growing slots);
+* :class:`RecordFile` — record ids ``(page, slot)`` over a page file,
+  with insert / read / delete and full-scan.
+
+:mod:`repro.storage.graphstore` builds graph persistence and the BFS
+clustering heuristic on top.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+from typing import Iterator, List, Optional, Tuple
+
+PAGE_SIZE = 4096
+_MAGIC = b"GQLP"
+_HEADER_FMT = "<4sII"  # magic, page_count, free_list_head
+_NO_PAGE = 0xFFFFFFFF
+
+
+class StorageError(RuntimeError):
+    """Raised on corrupt files or invalid record ids."""
+
+
+class PageFile:
+    """A file of fixed-size pages with allocate/free and a header.
+
+    Page 0 is the header; data pages start at 1.  Freed pages form a
+    singly-linked free list threaded through their first four bytes.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        create = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._file = open(path, "r+b" if not create else "w+b")
+        if create:
+            self._page_count = 1
+            self._free_head = _NO_PAGE
+            self._file.write(b"\x00" * PAGE_SIZE)
+            self._write_header()
+        else:
+            self._read_header()
+
+    # -- header -----------------------------------------------------------------
+
+    def _write_header(self) -> None:
+        header = struct.pack(_HEADER_FMT, _MAGIC, self._page_count,
+                             self._free_head)
+        self._file.seek(0)
+        self._file.write(header.ljust(PAGE_SIZE, b"\x00")[:PAGE_SIZE])
+        self._file.flush()
+
+    def _read_header(self) -> None:
+        self._file.seek(0)
+        raw = self._file.read(struct.calcsize(_HEADER_FMT))
+        magic, page_count, free_head = struct.unpack(_HEADER_FMT, raw)
+        if magic != _MAGIC:
+            raise StorageError(f"{self.path}: not a page file")
+        self._page_count = page_count
+        self._free_head = free_head
+
+    # -- page access ---------------------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Total pages including the header."""
+        return self._page_count
+
+    def read_page(self, page_no: int) -> bytes:
+        """Read one page (header page 0 included)."""
+        if page_no >= self._page_count:
+            raise StorageError(f"page {page_no} out of range")
+        self._file.seek(page_no * PAGE_SIZE)
+        data = self._file.read(PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise StorageError(f"short read on page {page_no}")
+        return data
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        """Write one full page."""
+        if len(data) != PAGE_SIZE:
+            raise StorageError("page data must be exactly PAGE_SIZE bytes")
+        if page_no >= self._page_count:
+            raise StorageError(f"page {page_no} out of range")
+        self._file.seek(page_no * PAGE_SIZE)
+        self._file.write(data)
+
+    def allocate_page(self) -> int:
+        """Allocate a page (reusing the free list when possible)."""
+        if self._free_head != _NO_PAGE:
+            page_no = self._free_head
+            raw = self.read_page(page_no)
+            (self._free_head,) = struct.unpack("<I", raw[:4])
+            self._write_header()
+            return page_no
+        page_no = self._page_count
+        self._page_count += 1
+        self._file.seek(page_no * PAGE_SIZE)
+        self._file.write(b"\x00" * PAGE_SIZE)
+        self._write_header()
+        return page_no
+
+    def free_page(self, page_no: int) -> None:
+        """Return a page to the free list."""
+        if page_no == 0 or page_no >= self._page_count:
+            raise StorageError(f"cannot free page {page_no}")
+        data = struct.pack("<I", self._free_head).ljust(PAGE_SIZE, b"\x00")
+        self.write_page(page_no, data)
+        self._free_head = page_no
+        self._write_header()
+
+    def close(self) -> None:
+        """Flush and close the backing file."""
+        self._write_header()
+        self._file.close()
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# slotted page layout:
+#   [u16 slot_count][u16 free_offset] ...records...   ...slots...
+# each slot: [u16 offset][u16 length]; offset 0xFFFF marks a deleted slot
+# (offset 0 cannot be used as a tombstone — it would clash with legal
+# zero-length records, and real offsets start past the page header).
+_PAGE_HEADER = struct.Struct("<HH")
+_SLOT = struct.Struct("<HH")
+_DELETED = 0xFFFF
+
+
+class SlottedPage:
+    """Variable-length records within one page via a slot directory."""
+
+    def __init__(self, data: Optional[bytes] = None) -> None:
+        if data is None:
+            self._buf = bytearray(PAGE_SIZE)
+            self.slot_count = 0
+            self.free_offset = _PAGE_HEADER.size
+            self._store_header()
+        else:
+            self._buf = bytearray(data)
+            self.slot_count, self.free_offset = _PAGE_HEADER.unpack_from(
+                self._buf, 0
+            )
+
+    def _store_header(self) -> None:
+        _PAGE_HEADER.pack_into(self._buf, 0, self.slot_count, self.free_offset)
+
+    def _slot_position(self, slot: int) -> int:
+        return PAGE_SIZE - (slot + 1) * _SLOT.size
+
+    def _read_slot(self, slot: int) -> Tuple[int, int]:
+        if slot >= self.slot_count:
+            raise StorageError(f"slot {slot} out of range")
+        return _SLOT.unpack_from(self._buf, self._slot_position(slot))
+
+    def free_space(self) -> int:
+        """Bytes available for one more record (including its slot)."""
+        directory_start = PAGE_SIZE - self.slot_count * _SLOT.size
+        return max(0, directory_start - self.free_offset - _SLOT.size)
+
+    def insert(self, record: bytes) -> Optional[int]:
+        """Insert a record; returns its slot or None when full."""
+        if len(record) > self.free_space():
+            return None
+        offset = self.free_offset
+        self._buf[offset:offset + len(record)] = record
+        slot = self.slot_count
+        self.slot_count += 1
+        self.free_offset = offset + len(record)
+        _SLOT.pack_into(self._buf, self._slot_position(slot), offset,
+                        len(record))
+        self._store_header()
+        return slot
+
+    def read(self, slot: int) -> bytes:
+        """Read a record by slot (StorageError when deleted)."""
+        offset, length = self._read_slot(slot)
+        if offset == _DELETED:
+            raise StorageError(f"slot {slot} is deleted")
+        return bytes(self._buf[offset:offset + length])
+
+    def delete(self, slot: int) -> None:
+        """Mark a slot deleted (space is reclaimed on page rebuild)."""
+        self._read_slot(slot)  # range check
+        _SLOT.pack_into(self._buf, self._slot_position(slot), _DELETED, 0)
+
+    def records(self) -> Iterator[Tuple[int, bytes]]:
+        """Iterate live ``(slot, record)`` pairs."""
+        for slot in range(self.slot_count):
+            offset, length = self._read_slot(slot)
+            if offset != _DELETED:
+                yield (slot, bytes(self._buf[offset:offset + length]))
+
+    def to_bytes(self) -> bytes:
+        """The raw page image."""
+        return bytes(self._buf)
+
+
+RecordId = Tuple[int, int]  # (page number, slot)
+
+#: Usable record payload bound (page minus header minus one slot).
+MAX_RECORD = PAGE_SIZE - _PAGE_HEADER.size - _SLOT.size
+
+
+class RecordFile:
+    """Record-id addressed storage over a :class:`PageFile`."""
+
+    def __init__(self, pagefile: PageFile) -> None:
+        self.pagefile = pagefile
+        self._data_pages: List[int] = [
+            p for p in range(1, pagefile.num_pages)
+        ]
+        self._last_page: Optional[int] = (
+            self._data_pages[-1] if self._data_pages else None
+        )
+
+    def insert(self, record: bytes) -> RecordId:
+        """Append a record, allocating pages as needed."""
+        if len(record) > MAX_RECORD:
+            raise StorageError(
+                f"record of {len(record)} bytes exceeds page capacity"
+            )
+        if self._last_page is not None:
+            page = SlottedPage(self.pagefile.read_page(self._last_page))
+            slot = page.insert(record)
+            if slot is not None:
+                self.pagefile.write_page(self._last_page, page.to_bytes())
+                return (self._last_page, slot)
+        page_no = self.pagefile.allocate_page()
+        self._data_pages.append(page_no)
+        self._last_page = page_no
+        page = SlottedPage()
+        slot = page.insert(record)
+        assert slot is not None
+        self.pagefile.write_page(page_no, page.to_bytes())
+        return (page_no, slot)
+
+    def read(self, record_id: RecordId) -> bytes:
+        """Read a record by id."""
+        page_no, slot = record_id
+        page = SlottedPage(self.pagefile.read_page(page_no))
+        return page.read(slot)
+
+    def delete(self, record_id: RecordId) -> None:
+        """Delete a record by id."""
+        page_no, slot = record_id
+        page = SlottedPage(self.pagefile.read_page(page_no))
+        page.delete(slot)
+        self.pagefile.write_page(page_no, page.to_bytes())
+
+    def scan(self) -> Iterator[Tuple[RecordId, bytes]]:
+        """Iterate all live records in page order."""
+        for page_no in self._data_pages:
+            page = SlottedPage(self.pagefile.read_page(page_no))
+            for slot, record in page.records():
+                yield ((page_no, slot), record)

@@ -1,0 +1,5 @@
+"""Small shared utilities (deterministic randomness, Zipf sampling)."""
+
+from .zipf import ZipfSampler
+
+__all__ = ["ZipfSampler"]

@@ -1,0 +1,42 @@
+"""Zipf-distributed sampling over a finite label universe.
+
+Section 5.2: *"The distribution of the labels follows Zipf's law, i.e.,
+probability of the x-th label p(x) is proportional to x^-1."*
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List, Sequence
+
+
+class ZipfSampler:
+    """Samples indices 1..n with p(x) ∝ x^(-s) (s=1 is the paper's law)."""
+
+    def __init__(self, n: int, s: float = 1.0) -> None:
+        if n < 1:
+            raise ValueError("need at least one item")
+        weights = [1.0 / (x ** s) for x in range(1, n + 1)]
+        total = sum(weights)
+        self.n = n
+        self.s = s
+        self._cumulative: List[float] = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            self._cumulative.append(running)
+        self._cumulative[-1] = 1.0  # guard against float drift
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one index in [0, n)."""
+        return bisect.bisect_left(self._cumulative, rng.random())
+
+    def probability(self, index: int) -> float:
+        """The probability of index (0-based)."""
+        prev = self._cumulative[index - 1] if index > 0 else 0.0
+        return self._cumulative[index] - prev
+
+    def sample_label(self, rng: random.Random, labels: Sequence[str]) -> str:
+        """Draw one label from a sequence of length >= n."""
+        return labels[self.sample(rng)]

@@ -1,0 +1,36 @@
+"""Shared fixtures: the paper's worked examples and small datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Graph, GroundPattern, clique_motif
+
+
+@pytest.fixture
+def paper_graph() -> Graph:
+    """The database graph G of Figs. 4.1 / 4.16.
+
+    Six nodes A1,A2,B1,B2,C1,C2 with labels A/B/C; edges chosen so the
+    neighborhood profiles match Fig. 4.17 (A1:ABC, B1:ABCC, B2:ABC,
+    C1:BC, C2:ABBC, A2:AB) and the only triangle with labels {A,B,C} is
+    (A1,B1,C2).
+    """
+    graph = Graph("G")
+    for node_id, label in [
+        ("A1", "A"), ("A2", "A"), ("B1", "B"),
+        ("B2", "B"), ("C1", "C"), ("C2", "C"),
+    ]:
+        graph.add_node(node_id, label=label)
+    for source, target in [
+        ("A1", "B1"), ("A1", "C2"), ("B1", "C1"),
+        ("B1", "C2"), ("B2", "C2"), ("A2", "B2"),
+    ]:
+        graph.add_edge(source, target)
+    return graph
+
+
+@pytest.fixture
+def triangle_pattern() -> GroundPattern:
+    """The query pattern P of Figs. 4.1 / 4.16: a labeled triangle A-B-C."""
+    return GroundPattern(clique_motif(["A", "B", "C"]))

@@ -1,0 +1,177 @@
+"""Unit tests for aggregation and ordering (Section 7 extension)."""
+
+import pytest
+
+from repro.core import Graph, GraphCollection, GroundPattern, select
+from repro.core.aggregate import (
+    AggregateError,
+    aggregate,
+    group_by,
+    order_by,
+    top_k,
+)
+from repro.core.motif import SimpleMotif
+from repro.core.predicate import AttrRef, Literal
+
+
+def ref(path):
+    return AttrRef(tuple(path.split(".")))
+
+
+def papers() -> GraphCollection:
+    out = GraphCollection()
+    for i, (venue, year, authors) in enumerate([
+        ("SIGMOD", 2006, 3),
+        ("SIGMOD", 2007, 1),
+        ("VLDB", 2006, 2),
+        ("VLDB", 2007, 4),
+        ("ICDE", 2007, 2),
+    ]):
+        g = Graph(f"p{i}")
+        g.tuple.set("booktitle", venue)
+        g.tuple.set("year", year)
+        g.tuple.set("num_authors", authors)
+        g.add_node("n")
+        out.add(g)
+    return out
+
+
+class TestGroupBy:
+    def test_groups_by_attribute(self):
+        groups = group_by(papers(), ref("booktitle"))
+        assert set(groups) == {"SIGMOD", "VLDB", "ICDE"}
+        assert len(groups["SIGMOD"]) == 2
+
+    def test_missing_key_groups_under_none(self):
+        collection = papers()
+        extra = Graph("weird")
+        extra.add_node("n")
+        collection.add(extra)
+        groups = group_by(collection, ref("booktitle"))
+        assert len(groups[None]) == 1
+
+
+class TestAggregate:
+    def test_global_count(self):
+        result = aggregate(papers(), [("n", "count", None)])
+        assert len(result) == 1
+        assert result[0].node("r")["n"] == 5
+
+    def test_grouped_aggregates(self):
+        result = aggregate(
+            papers(),
+            [("papers", "count", None),
+             ("total_authors", "sum", ref("num_authors")),
+             ("avg_authors", "avg", ref("num_authors")),
+             ("first_year", "min", ref("year")),
+             ("last_year", "max", ref("year"))],
+            key=ref("booktitle"),
+            key_name="venue",
+        )
+        by_venue = {g.node("r")["venue"]: g.node("r") for g in result}
+        assert set(by_venue) == {"SIGMOD", "VLDB", "ICDE"}
+        sigmod = by_venue["SIGMOD"]
+        assert sigmod["papers"] == 2
+        assert sigmod["total_authors"] == 4
+        assert sigmod["avg_authors"] == 2.0
+        assert sigmod["first_year"] == 2006
+        assert sigmod["last_year"] == 2007
+
+    def test_count_distinct(self):
+        result = aggregate(
+            papers(), [("years", "count_distinct", ref("year"))]
+        )
+        assert result[0].node("r")["years"] == 2
+
+    def test_missing_values_skipped(self):
+        collection = papers()
+        extra = Graph("no-authors")
+        extra.tuple.set("booktitle", "SIGMOD")
+        extra.add_node("n")
+        collection.add(extra)
+        result = aggregate(
+            collection,
+            [("total", "sum", ref("num_authors"))],
+            key=ref("booktitle"),
+        )
+        by_venue = {g.node("r")["key"]: g.node("r") for g in result}
+        assert by_venue["SIGMOD"]["total"] == 4  # unchanged
+
+    def test_unknown_aggregate_rejected(self):
+        with pytest.raises(AggregateError):
+            aggregate(papers(), [("x", "median", ref("year"))])
+
+    def test_non_count_requires_expression(self):
+        with pytest.raises(AggregateError):
+            aggregate(papers(), [("x", "sum", None)])
+
+    def test_aggregate_over_matched_graphs(self):
+        """Count author nodes per paper through a selection binding."""
+        collection = GraphCollection()
+        g = Graph("g")
+        g.tuple.set("booktitle", "SIGMOD")
+        g.add_node("a1", tag="author", name="X")
+        g.add_node("a2", tag="author", name="Y")
+        collection.add(g)
+        motif = SimpleMotif()
+        motif.add_node("v", tag="author")
+        matched = select(collection, GroundPattern(motif, name="P"))
+        result = aggregate(matched, [("authors", "count", None)],
+                           key=ref("booktitle"))
+        assert result[0].node("r")["authors"] == 2
+
+
+class TestOrdering:
+    def test_order_by_single_key(self):
+        ranked = order_by(papers(), [(ref("num_authors"), True)])
+        counts = [g["num_authors"] for g in ranked]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_order_by_two_keys(self):
+        ranked = order_by(
+            papers(), [(ref("year"), False), (ref("num_authors"), True)]
+        )
+        rows = [(g["year"], g["num_authors"]) for g in ranked]
+        assert rows == [(2006, 3), (2006, 2), (2007, 4), (2007, 2), (2007, 1)]
+
+    def test_missing_sorts_last(self):
+        collection = papers()
+        extra = Graph("weird")
+        extra.add_node("n")
+        collection.add(extra)
+        ranked = order_by(collection, [(ref("year"), False)])
+        assert ranked[len(ranked) - 1].name == "weird"
+        ranked_desc = order_by(collection, [(ref("year"), True)])
+        assert ranked_desc[len(ranked_desc) - 1].name == "weird"
+
+    def test_top_k(self):
+        best = top_k(papers(), ref("num_authors"), 2)
+        assert [g["num_authors"] for g in best] == [4, 3]
+        worst = top_k(papers(), ref("num_authors"), 2, descending=False)
+        assert [g["num_authors"] for g in worst] == [1, 2]
+
+
+class TestAggregateProperties:
+    def test_group_sums_equal_global_sum(self):
+        """Partition property: per-group sums add up to the global sum."""
+        collection = papers()
+        grouped = aggregate(
+            collection, [("total", "sum", ref("num_authors"))],
+            key=ref("booktitle"),
+        )
+        global_result = aggregate(
+            collection, [("total", "sum", ref("num_authors"))]
+        )
+        group_total = sum(g.node("r")["total"] for g in grouped)
+        assert group_total == global_result[0].node("r")["total"]
+
+    def test_group_counts_partition_collection(self):
+        collection = papers()
+        grouped = aggregate(collection, [("n", "count", None)],
+                            key=ref("booktitle"))
+        assert sum(g.node("r")["n"] for g in grouped) == len(collection)
+
+    def test_summary_attrs_mirrored_at_graph_level(self):
+        result = aggregate(papers(), [("n", "count", None)])
+        summary = result[0]
+        assert summary.get("n") == summary.node("r")["n"] == 5

@@ -1,0 +1,188 @@
+"""Unit tests for the graph algebra (Section 3.3)."""
+
+import pytest
+
+from repro.core import (
+    Graph,
+    GraphCollection,
+    GraphTemplate,
+    GroundPattern,
+    cartesian_product,
+    compose,
+    difference,
+    intersection,
+    join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.core.motif import SimpleMotif
+from repro.core.predicate import AttrRef, BinOp, Literal
+
+
+def ref(path):
+    return AttrRef(tuple(path.split(".")))
+
+
+def labeled_graph(name, labels, edges=()):
+    g = Graph(name)
+    for node_id, label in labels:
+        g.add_node(node_id, label=label)
+    for s, t in edges:
+        g.add_edge(s, t)
+    return g
+
+
+def single_node_pattern(label):
+    motif = SimpleMotif()
+    motif.add_node("u", attrs={"label": label})
+    return GroundPattern(motif, name="P")
+
+
+class TestSelection:
+    def test_select_returns_matched_graphs(self):
+        c = GraphCollection(
+            [
+                labeled_graph("g1", [("a", "A")]),
+                labeled_graph("g2", [("b", "B")]),
+                labeled_graph("g3", [("c", "A")]),
+            ]
+        )
+        result = select(c, single_node_pattern("A"))
+        assert len(result) == 2
+        names = {mg.graph.name for mg in result}
+        assert names == {"g1", "g3"}
+
+    def test_exhaustive_vs_first(self):
+        g = labeled_graph("g", [("a", "A"), ("b", "A")])
+        c = GraphCollection([g])
+        assert len(select(c, single_node_pattern("A"), exhaustive=True)) == 2
+        assert len(select(c, single_node_pattern("A"), exhaustive=False)) == 1
+
+    def test_select_over_matched_graphs(self):
+        """A collection of matched graphs is again a collection of graphs."""
+        c = GraphCollection([labeled_graph("g", [("a", "A"), ("b", "B")])])
+        first = select(c, single_node_pattern("A"))
+        second = select(first, single_node_pattern("B"))
+        assert len(second) == 1
+        assert second[0].node("u")["label"] == "B"
+
+
+class TestProductAndJoin:
+    def test_product_size_and_members(self):
+        c = GraphCollection([labeled_graph("g1", [("a", "A")]),
+                             labeled_graph("g2", [("b", "B")])])
+        d = GraphCollection([labeled_graph("h1", [("x", "X")])])
+        prod = cartesian_product(c, d)
+        assert len(prod) == 2
+        composite = prod[0]
+        assert composite.has_node("G1.a")
+        assert composite.has_node("G2.x")
+        assert composite.num_edges() == 0
+        assert set(composite.members) == {"G1", "G2"}
+
+    def test_valued_join_fig_4_10(self):
+        """join on G1.id = G2.id keeps only matching pairs."""
+        c = GraphCollection([_graph_with_id("c1", 1), _graph_with_id("c2", 2)])
+        d = GraphCollection([_graph_with_id("d1", 2), _graph_with_id("d2", 3)])
+        condition = BinOp("==", ref("G1.id"), ref("G2.id"))
+        result = join(c, d, condition)
+        assert len(result) == 1
+        assert result[0].members["G1"].get("id") == 2
+
+    def test_join_with_pattern_condition(self):
+        c = GraphCollection([labeled_graph("g1", [("a", "A")])])
+        d = GraphCollection([labeled_graph("h1", [("x", "A")]),
+                             labeled_graph("h2", [("y", "B")])])
+        motif = SimpleMotif()
+        motif.add_node("u1", attrs={"label": "A"})
+        motif.add_node("u2", attrs={"label": "A"})
+        where = None
+        pattern = GroundPattern(motif, where)
+        result = join(c, d, pattern)
+        # only g1 x h1 contains two A-labeled nodes
+        assert len(result) == 2  # two symmetric mappings of u1/u2
+        assert all(mg.graph.has_node("G1.a") for mg in result)
+
+
+class TestComposition:
+    def test_primitive_composition(self):
+        c = GraphCollection([labeled_graph("g", [("a", "A")])])
+        matched = select(c, single_node_pattern("A"))
+        template = GraphTemplate(["P"])
+        template.add_node("v1", attr_exprs={"copied": ref("P.u.label")})
+        out = compose(template, matched)
+        assert len(out) == 1
+        assert out[0].node("v1")["copied"] == "A"
+
+    def test_multi_collection_composition(self):
+        c = GraphCollection([labeled_graph("g1", [("a", "A")]),
+                             labeled_graph("g2", [("b", "B")])])
+        d = GraphCollection([labeled_graph("h", [("x", "X")])])
+        template = GraphTemplate(["C1", "C2"])
+        template.include_graph("C1")
+        template.include_graph("C2")
+        out = compose(template, c, d)
+        assert len(out) == 2  # |C| x |D|
+        assert all(g.num_nodes() == 2 for g in out)
+
+    def test_arity_mismatch_rejected(self):
+        template = GraphTemplate(["A", "B"])
+        with pytest.raises(ValueError):
+            compose(template, GraphCollection())
+
+
+class TestSetOperators:
+    def test_union_dedupes(self):
+        g = labeled_graph("g", [("a", "A")])
+        c = GraphCollection([g])
+        d = GraphCollection([g.copy(), labeled_graph("h", [("b", "B")])])
+        assert len(union(c, d)) == 2
+
+    def test_difference(self):
+        g = labeled_graph("g", [("a", "A")])
+        h = labeled_graph("h", [("b", "B")])
+        out = difference(GraphCollection([g, h]), GraphCollection([g.copy()]))
+        assert len(out) == 1
+        assert out[0].name == "h"
+
+    def test_intersection(self):
+        g = labeled_graph("g", [("a", "A")])
+        h = labeled_graph("h", [("b", "B")])
+        out = intersection(GraphCollection([g, h]), GraphCollection([h.copy()]))
+        assert len(out) == 1
+        assert out[0].name == "h"
+
+    def test_difference_and_intersection_relate(self):
+        g = labeled_graph("g", [("a", "A")])
+        h = labeled_graph("h", [("b", "B")])
+        c = GraphCollection([g, h])
+        d = GraphCollection([h.copy()])
+        # C ∩ D == C - (C - D)
+        left = intersection(c, d)
+        right = difference(c, difference(c, d))
+        assert len(left) == len(right) == 1
+        assert left[0].equals(right[0])
+
+
+class TestDerivedOperators:
+    def test_project(self):
+        c = GraphCollection([labeled_graph("g", [("a", "A")])])
+        out = project(c, single_node_pattern("A"), {"val": "P.u.label"})
+        assert len(out) == 1
+        assert out[0].node("v1")["val"] == "A"
+
+    def test_rename(self):
+        c = GraphCollection([labeled_graph("g", [("a", "A")])])
+        out = rename(c, {"label": "tag_name"})
+        node = out[0].node("a")
+        assert node.get("tag_name") == "A"
+        assert node.get("label") is None
+
+
+def _graph_with_id(name, value):
+    g = Graph(name)
+    g.tuple.set("id", value)
+    g.add_node("n")
+    return g

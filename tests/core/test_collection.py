@@ -1,0 +1,53 @@
+"""Unit tests for graph collections."""
+
+from repro.core import Graph, GraphCollection
+
+
+def g(name, label):
+    graph = Graph(name)
+    graph.add_node("n", label=label)
+    return graph
+
+
+class TestContainer:
+    def test_add_iterate_index(self):
+        c = GraphCollection()
+        c.add(g("a", "A"))
+        c.extend([g("b", "B"), g("c", "C")])
+        assert len(c) == 3
+        assert [x.name for x in c] == ["a", "b", "c"]
+        assert c[1].name == "b"
+        assert c.first().name == "a"
+
+    def test_first_empty_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            GraphCollection().first()
+
+    def test_filter_and_map(self):
+        c = GraphCollection([g("a", "A"), g("b", "B")])
+        only_a = c.filter(lambda graph: graph.node("n")["label"] == "A")
+        assert len(only_a) == 1
+        renamed = c.map(lambda graph: graph.copy(name=graph.name + "!"))
+        assert [x.name for x in renamed] == ["a!", "b!"]
+
+
+class TestSetSemantics:
+    def test_distinct(self):
+        a = g("a", "A")
+        c = GraphCollection([a, a.copy(), g("b", "B")])
+        assert len(c.distinct()) == 2
+
+    def test_union_difference_intersection(self):
+        a, b, x = g("a", "A"), g("b", "B"), g("x", "X")
+        c = GraphCollection([a, b])
+        d = GraphCollection([b.copy(), x])
+        assert len(c.union(d)) == 3
+        assert [gr.name for gr in c.difference(d)] == ["a"]
+        assert [gr.name for gr in c.intersection(d)] == ["b"]
+
+    def test_union_idempotent(self):
+        a = g("a", "A")
+        c = GraphCollection([a])
+        assert len(c.union(c)) == 1

@@ -1,0 +1,146 @@
+"""Unit tests for FLWR expression evaluation (Section 3.4)."""
+
+import pytest
+
+from repro.core import (
+    Assignment,
+    DictSource,
+    FLWRQuery,
+    ForClause,
+    Graph,
+    GraphCollection,
+    GraphTemplate,
+    GroundPattern,
+    Program,
+)
+from repro.core.motif import SimpleMotif
+from repro.core.predicate import AttrRef, BinOp, Literal
+from repro.datasets import tiny_dblp
+
+
+def ref(path):
+    return AttrRef(tuple(path.split(".")))
+
+
+def author_pair_pattern() -> GroundPattern:
+    motif = SimpleMotif()
+    motif.add_node("v1", tag="author")
+    motif.add_node("v2", tag="author")
+    return GroundPattern(motif, name="P")
+
+
+class TestForClause:
+    def test_variable_binding(self):
+        source = DictSource({"D": tiny_dblp()})
+        clause = ForClause("D", var="G")
+        bindings = clause.bindings(source, {})
+        assert len(bindings) == 2
+
+    def test_pattern_binding_exhaustive(self):
+        source = DictSource({"D": tiny_dblp()})
+        clause = ForClause("D", pattern=_wrap(author_pair_pattern()),
+                           exhaustive=True)
+        bindings = clause.bindings(source, {})
+        # G1: 2 ordered pairs; G2: 6 ordered pairs
+        assert len(bindings) == 8
+
+    def test_pattern_binding_first_only(self):
+        source = DictSource({"D": tiny_dblp()})
+        clause = ForClause("D", pattern=_wrap(author_pair_pattern()),
+                           exhaustive=False)
+        assert len(clause.bindings(source, {})) == 2  # one per graph
+
+    def test_where_filters_bindings(self):
+        source = DictSource({"D": tiny_dblp()})
+        where = BinOp("==", ref("P.v1.name"), Literal("A"))
+        clause = ForClause("D", pattern=_wrap(author_pair_pattern()),
+                           exhaustive=True, where=where)
+        bindings = clause.bindings(source, {})
+        assert all(b.node("v1")["name"] == "A" for b in bindings)
+
+    def test_requires_exactly_one_binding_kind(self):
+        with pytest.raises(ValueError):
+            ForClause("D")
+        with pytest.raises(ValueError):
+            ForClause("D", var="x", pattern=_wrap(author_pair_pattern()))
+
+    def test_unknown_document(self):
+        source = DictSource({})
+        clause = ForClause("D", var="G")
+        with pytest.raises(KeyError):
+            clause.bindings(source, {})
+
+
+class TestReturnMode:
+    def test_return_emits_one_graph_per_binding(self):
+        source = DictSource({"D": tiny_dblp()})
+        template = GraphTemplate(["P"])
+        template.add_node("n", attr_exprs={"who": ref("P.v1.name")})
+        q = FLWRQuery(
+            ForClause("D", pattern=_wrap(author_pair_pattern()), exhaustive=True),
+            template,
+        )
+        result = q.evaluate(source)
+        assert isinstance(result, GraphCollection)
+        assert len(result) == 8
+
+
+class TestLetMode:
+    def test_let_accumulates(self):
+        """The Fig. 4.12 query end-to-end over the Fig. 4.13 collection."""
+        source = DictSource({"DBLP": tiny_dblp()})
+        template = GraphTemplate(["C", "P"])
+        template.include_graph("C")
+        template.add_copied_node("P.v1")
+        template.add_copied_node("P.v2")
+        template.add_edge("P.v1", "P.v2", name="e1")
+        template.unify("P.v1", "C.v1",
+                       where=BinOp("==", ref("P.v1.name"), ref("C.v1.name")))
+        template.unify("P.v2", "C.v2",
+                       where=BinOp("==", ref("P.v2.name"), ref("C.v2.name")))
+        q = FLWRQuery(
+            ForClause("DBLP", pattern=_wrap(author_pair_pattern()),
+                      exhaustive=True),
+            template,
+            let_var="C",
+        )
+        env = {"C": Graph("C")}
+        result = q.evaluate(source, env)
+        names = sorted(n["name"] for n in result.nodes())
+        assert names == ["A", "B", "C", "D"]
+        assert result.num_edges() == 4  # A-B, C-D, A-C, A-D
+        assert env["C"] is result
+
+
+class TestProgram:
+    def test_assignment_then_flwr(self):
+        source = DictSource({"DBLP": tiny_dblp()})
+        template = GraphTemplate(["C", "P"])
+        template.include_graph("C")
+        template.add_copied_node("P.v1")
+        q = FLWRQuery(
+            ForClause("DBLP", pattern=_wrap(author_pair_pattern()),
+                      exhaustive=False),
+            template,
+            let_var="C",
+        )
+        program = Program([Assignment("C", Graph("C")), q])
+        env = program.run(source)
+        assert "C" in env
+        assert env["__result__"] is env["C"]
+
+    def test_assignment_copies(self):
+        base = Graph("C")
+        base.add_node("keepme")
+        program = Program([Assignment("C", base)])
+        env = program.run(DictSource({}))
+        env["C"].add_node("extra")
+        assert not base.has_node("extra")
+
+
+def _wrap(ground: GroundPattern):
+    """Adapt a GroundPattern into the GraphPattern protocol the clause uses."""
+    from repro.core import GraphPattern
+
+    pattern = GraphPattern(ground.motif, where=None, name=ground.name)
+    return pattern

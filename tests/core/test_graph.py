@@ -1,0 +1,198 @@
+"""Unit tests for the attributed-graph data model."""
+
+import pytest
+
+from repro.core import Graph, disjoint_union
+
+
+def small_graph() -> Graph:
+    g = Graph("G")
+    g.add_node("a", label="A")
+    g.add_node("b", label="B")
+    g.add_node("c", label="C")
+    g.add_edge("a", "b", edge_id="e1", weight=3)
+    g.add_edge("b", "c", edge_id="e2")
+    return g
+
+
+class TestConstruction:
+    def test_counts(self):
+        g = small_graph()
+        assert g.num_nodes() == 3
+        assert g.num_edges() == 2
+        assert len(g) == 3
+
+    def test_auto_ids(self):
+        g = Graph()
+        n1 = g.add_node()
+        n2 = g.add_node()
+        assert n1.id != n2.id
+        e = g.add_edge(n1.id, n2.id)
+        assert e.id.startswith("e")
+
+    def test_auto_id_skips_taken(self):
+        g = Graph()
+        g.add_node("v1")
+        n = g.add_node()
+        assert n.id != "v1"
+
+    def test_duplicate_node_rejected(self):
+        g = small_graph()
+        with pytest.raises(ValueError):
+            g.add_node("a")
+
+    def test_edge_to_unknown_node_rejected(self):
+        g = small_graph()
+        with pytest.raises(KeyError):
+            g.add_edge("a", "zzz")
+
+    def test_node_attributes(self):
+        g = small_graph()
+        assert g.node("a")["label"] == "A"
+        assert g.node("a").label == "A"
+        assert g.edge("e1")["weight"] == 3
+
+
+class TestAdjacency:
+    def test_has_edge_both_directions_undirected(self):
+        g = small_graph()
+        assert g.has_edge("a", "b")
+        assert g.has_edge("b", "a")
+        assert not g.has_edge("a", "c")
+
+    def test_neighbors(self):
+        g = small_graph()
+        assert sorted(g.neighbors("b")) == ["a", "c"]
+        assert g.neighbors("a") == ["b"]
+
+    def test_degree(self):
+        g = small_graph()
+        assert g.degree("b") == 2
+        assert g.degree("a") == 1
+
+    def test_edge_between(self):
+        g = small_graph()
+        assert g.edge_between("b", "a").id == "e1"
+        assert g.edge_between("a", "c") is None
+
+    def test_incident_edges(self):
+        g = small_graph()
+        assert sorted(g.incident_edges("b")) == ["e1", "e2"]
+
+    def test_self_loop_degree(self):
+        g = Graph()
+        g.add_node("x")
+        g.add_edge("x", "x")
+        # the classic convention: a self loop contributes 2 to the degree
+        assert g.degree("x") == 2
+
+
+class TestDirected:
+    def test_directed_edges_one_way(self):
+        g = Graph(directed=True)
+        g.add_node("a")
+        g.add_node("b")
+        g.add_edge("a", "b")
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+        assert g.neighbors("a") == ["b"]
+        assert g.neighbors("b") == []
+        assert g.in_neighbors("b") == ["a"]
+        assert g.all_neighbors("b") == ["a"]
+
+    def test_directed_degree(self):
+        g = Graph(directed=True)
+        for n in "abc":
+            g.add_node(n)
+        g.add_edge("a", "b")
+        g.add_edge("c", "b")
+        assert g.degree("b") == 2
+
+
+class TestRemoval:
+    def test_remove_edge(self):
+        g = small_graph()
+        g.remove_edge("e1")
+        assert not g.has_edge("a", "b")
+        assert g.num_edges() == 1
+        assert g.degree("a") == 0
+
+    def test_remove_node_removes_incident_edges(self):
+        g = small_graph()
+        g.remove_node("b")
+        assert g.num_nodes() == 2
+        assert g.num_edges() == 0
+        assert not g.has_edge("a", "b")
+
+    def test_remove_unknown_node(self):
+        g = small_graph()
+        with pytest.raises(KeyError):
+            g.remove_node("zzz")
+
+
+class TestDerivedGraphs:
+    def test_copy_independent(self):
+        g = small_graph()
+        h = g.copy()
+        h.node("a").tuple.set("label", "Z")
+        h.add_node("d")
+        assert g.node("a")["label"] == "A"
+        assert not g.has_node("d")
+
+    def test_copy_equals(self):
+        g = small_graph()
+        assert g.equals(g.copy())
+
+    def test_induced_subgraph(self):
+        g = small_graph()
+        sub = g.induced_subgraph(["a", "b"])
+        assert sorted(sub.node_ids()) == ["a", "b"]
+        assert sub.num_edges() == 1
+        assert sub.has_edge("a", "b")
+
+    def test_relabeled(self):
+        g = small_graph()
+        h = g.relabeled({"a": "x"})
+        assert h.has_node("x") and not h.has_node("a")
+        assert h.has_edge("x", "b")
+
+    def test_disjoint_union(self):
+        g = small_graph()
+        h = small_graph()
+        u = disjoint_union({"G1": g, "G2": h})
+        assert u.num_nodes() == 6
+        assert u.num_edges() == 4
+        assert u.has_node("G1.a") and u.has_node("G2.a")
+        assert u.has_edge("G1.a", "G1.b")
+        assert not u.has_edge("G1.a", "G2.b")
+        assert u.members["G1"] is g
+
+
+class TestEquality:
+    def test_equals_detects_attr_change(self):
+        g = small_graph()
+        h = small_graph()
+        h.node("a").tuple.set("label", "Z")
+        assert not g.equals(h)
+
+    def test_equals_detects_edge_change(self):
+        g = small_graph()
+        h = small_graph()
+        h.add_edge("a", "c")
+        assert not g.equals(h)
+
+    def test_equals_ignores_edge_orientation_when_undirected(self):
+        g = Graph()
+        g.add_node("a")
+        g.add_node("b")
+        g.add_edge("a", "b")
+        h = Graph()
+        h.add_node("a")
+        h.add_node("b")
+        h.add_edge("b", "a")
+        assert g.equals(h)
+
+    def test_signature_consistency(self):
+        g = small_graph()
+        h = small_graph()
+        assert g.signature() == h.signature()

@@ -1,0 +1,224 @@
+"""Unit tests for the formal language for graphs (Section 2)."""
+
+import pytest
+
+from repro.core.motif import (
+    Disjunction,
+    GraphGrammar,
+    MotifBlock,
+    MotifError,
+    MotifRef,
+    SimpleMotif,
+    clique_motif,
+    cycle_motif,
+    path_motif,
+    recursive_path_grammar,
+)
+
+
+def triangle_block() -> MotifBlock:
+    """The simple motif G1 of Fig. 4.3."""
+    block = MotifBlock()
+    for name in ("v1", "v2", "v3"):
+        block.add_node(name)
+    block.add_edge("v1", "v2", name="e1")
+    block.add_edge("v2", "v3", name="e2")
+    block.add_edge("v3", "v1", name="e3")
+    return block
+
+
+class TestSimpleMotif:
+    def test_ground_expansion_is_identity(self):
+        motif = path_motif(2)
+        assert list(motif.expand()) == [motif]
+
+    def test_block_expands_to_one_simple_motif(self):
+        grounds = list(triangle_block().expand())
+        assert len(grounds) == 1
+        motif = grounds[0]
+        assert motif.num_nodes() == 3
+        assert motif.num_edges() == 3
+
+    def test_adjacency(self):
+        motif = path_motif(2)  # v1 - v2 - v3
+        assert sorted(motif.neighbors("v2")) == ["v1", "v3"]
+        assert motif.degree("v2") == 2
+        assert motif.degree("v1") == 1
+
+    def test_is_connected(self):
+        assert path_motif(3).is_connected()
+        disconnected = SimpleMotif()
+        disconnected.add_node("a")
+        disconnected.add_node("b")
+        assert not disconnected.is_connected()
+
+    def test_duplicate_node_rejected(self):
+        motif = SimpleMotif()
+        motif.add_node("a")
+        with pytest.raises(MotifError):
+            motif.add_node("a")
+
+    def test_edge_to_unknown_node_rejected(self):
+        motif = SimpleMotif()
+        motif.add_node("a")
+        with pytest.raises(MotifError):
+            motif.add_edge("a", "zzz")
+
+    def test_from_graph_extracts_label_constraints(self, paper_graph):
+        motif = SimpleMotif.from_graph(paper_graph.induced_subgraph(["A1", "B1"]))
+        assert motif.node("A1").attrs == {"label": "A"}
+        assert motif.num_edges() == 1
+
+    def test_to_graph(self):
+        graph = clique_motif(["A", "B"]).to_graph()
+        assert graph.num_nodes() == 2
+        assert graph.num_edges() == 1
+        assert graph.node("u1")["label"] == "A"
+
+
+class TestConcatenation:
+    def test_concatenation_by_edges_fig_4_4a(self):
+        """G2 = two copies of G1 joined by two new edges."""
+        grammar = GraphGrammar()
+        grammar.define("G1", triangle_block())
+        g2 = MotifBlock()
+        g2.add_member(MotifRef("G1"), alias="X")
+        g2.add_member(MotifRef("G1"), alias="Y")
+        g2.add_edge("X.v1", "Y.v1", name="e4")
+        g2.add_edge("X.v3", "Y.v2", name="e5")
+        grounds = grammar_expand(grammar, g2)
+        assert len(grounds) == 1
+        motif = grounds[0]
+        assert motif.num_nodes() == 6
+        assert motif.num_edges() == 8  # 3 + 3 + 2
+
+    def test_concatenation_by_unification_fig_4_4b(self):
+        """G3 = two copies of G1 with two node pairs unified."""
+        grammar = GraphGrammar()
+        grammar.define("G1", triangle_block())
+        g3 = MotifBlock()
+        g3.add_member(MotifRef("G1"), alias="X")
+        g3.add_member(MotifRef("G1"), alias="Y")
+        g3.unify("X.v1", "Y.v1")
+        g3.unify("X.v3", "Y.v2")
+        grounds = grammar_expand(grammar, g3)
+        assert len(grounds) == 1
+        motif = grounds[0]
+        # 6 nodes - 2 unifications = 4 nodes; Y.e1 (Y.v1-Y.v2) becomes the
+        # edge X.v1-X.v3 which duplicates X.e3 and is unified away: 5 edges
+        assert motif.num_nodes() == 4
+        assert motif.num_edges() == 5
+
+    def test_unify_conflicting_constraints_rejected(self):
+        block = MotifBlock()
+        block.add_node("a", attrs={"label": "A"})
+        block.add_node("b", attrs={"label": "B"})
+        block.unify("a", "b")
+        with pytest.raises(MotifError):
+            list(block.expand())
+
+
+class TestDisjunction:
+    def test_fig_4_5_two_alternatives(self):
+        """G4: base v1-v2 plus either one extra node or two."""
+        alt1 = MotifBlock()
+        alt1.add_node("v1")
+        alt1.add_node("v2")
+        alt1.add_edge("v1", "v2", name="e1")
+        alt1.add_node("v3")
+        alt1.add_edge("v1", "v3", name="e2")
+        alt1.add_edge("v2", "v3", name="e3")
+        alt2 = MotifBlock()
+        alt2.add_node("v1")
+        alt2.add_node("v2")
+        alt2.add_edge("v1", "v2", name="e1")
+        alt2.add_node("v3")
+        alt2.add_node("v4")
+        alt2.add_edge("v1", "v3", name="e2")
+        alt2.add_edge("v2", "v4", name="e3")
+        alt2.add_edge("v3", "v4", name="e4")
+        grounds = list(Disjunction([alt1, alt2]).expand())
+        assert len(grounds) == 2
+        assert grounds[0].num_nodes() == 3
+        assert grounds[1].num_nodes() == 4
+
+
+class TestRepetition:
+    def test_path_grammar_derives_growing_paths(self):
+        grammar = recursive_path_grammar()
+        grounds = grammar.derive("Path", max_depth=4)
+        sizes = sorted(g.num_nodes() for g in grounds)
+        # each unrolling adds one node; base case has 2 nodes
+        assert sizes[0] == 2
+        assert sizes == list(range(2, 2 + len(sizes)))
+        for ground in grounds:
+            # a path with k nodes has k-1 edges
+            assert ground.num_edges() == ground.num_nodes() - 1
+            assert ground.is_connected()
+
+    def test_exports_compose_through_nesting(self):
+        grammar = recursive_path_grammar()
+        cycle = MotifBlock()
+        cycle.add_member(MotifRef("Path"), alias="Path")
+        cycle.add_edge("Path.v1", "Path.v2", name="e1")
+        grounds = grammar_expand(grammar, cycle, max_depth=4)
+        for ground in grounds:
+            if ground.num_nodes() == 2:
+                # the closing edge of a 2-node path duplicates the path
+                # edge and is unified away (edges with the same end nodes
+                # unify automatically)
+                assert ground.num_edges() == 1
+            else:
+                assert ground.num_edges() == ground.num_nodes()  # cycles
+
+    def test_depth_bound_limits_derivations(self):
+        grammar = recursive_path_grammar()
+        shallow = grammar.derive("Path", max_depth=2)
+        deep = grammar.derive("Path", max_depth=6)
+        assert len(shallow) < len(deep)
+
+    def test_unknown_reference_rejected(self):
+        block = MotifBlock()
+        block.add_member(MotifRef("NoSuchMotif"))
+        with pytest.raises(MotifError):
+            list(block.expand(GraphGrammar()))
+
+
+class TestGrammar:
+    def test_define_and_derive(self):
+        grammar = GraphGrammar()
+        grammar.define("T", triangle_block())
+        assert "T" in grammar
+        assert grammar.names() == ["T"]
+        assert len(grammar.derive("T")) == 1
+
+    def test_derive_unknown_rejected(self):
+        with pytest.raises(MotifError):
+            GraphGrammar().derive("X")
+
+
+class TestBuilders:
+    def test_path_motif(self):
+        motif = path_motif(3)
+        assert motif.num_nodes() == 4
+        assert motif.num_edges() == 3
+
+    def test_cycle_motif(self):
+        motif = cycle_motif(5)
+        assert motif.num_nodes() == 5
+        assert motif.num_edges() == 5
+        assert all(motif.degree(n) == 2 for n in motif.node_names())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_motif(2)
+
+    def test_clique_motif(self):
+        motif = clique_motif(["A", "B", "C", "D"])
+        assert motif.num_nodes() == 4
+        assert motif.num_edges() == 6
+        assert motif.node("u1").attrs == {"label": "A"}
+
+
+def grammar_expand(grammar, block, max_depth=8):
+    return list(block.expand(grammar, max_depth))

@@ -1,0 +1,170 @@
+"""Unit tests for graph patterns and pattern matching definitions."""
+
+import pytest
+
+from repro.core import Graph, GraphPattern, GroundPattern
+from repro.core.motif import MotifBlock, SimpleMotif, clique_motif
+from repro.core.predicate import AttrRef, BinOp, Literal
+from repro.core.bindings import Mapping
+from repro.matching import find_matches
+
+
+def ref(path: str) -> AttrRef:
+    return AttrRef(tuple(path.split(".")))
+
+
+def paper_fig_4_7_graph() -> Graph:
+    graph = Graph("G")
+    graph.tuple.set("booktitle", "SIGMOD")
+    graph.add_node("v1", title="Title1", year=2006)
+    graph.add_node("v2", tag="author", name="A")
+    graph.add_node("v3", tag="author", name="B")
+    return graph
+
+
+class TestNodeMatching:
+    def test_declarative_attr_constraint(self):
+        motif = SimpleMotif()
+        motif.add_node("u", attrs={"label": "A"})
+        pattern = GroundPattern(motif)
+        graph = Graph()
+        a = graph.add_node("x", label="A")
+        b = graph.add_node("y", label="B")
+        assert pattern.node_matches("u", a)
+        assert not pattern.node_matches("u", b)
+
+    def test_tag_constraint(self):
+        motif = SimpleMotif()
+        motif.add_node("u", tag="author")
+        pattern = GroundPattern(motif)
+        graph = paper_fig_4_7_graph()
+        assert pattern.node_matches("u", graph.node("v2"))
+        assert not pattern.node_matches("u", graph.node("v1"))
+
+    def test_node_level_where(self):
+        motif = SimpleMotif()
+        motif.add_node("u", predicate=BinOp(">", ref("year"), Literal(2000)))
+        pattern = GroundPattern(motif)
+        graph = paper_fig_4_7_graph()
+        assert pattern.node_matches("u", graph.node("v1"))
+        assert not pattern.node_matches("u", graph.node("v2"))  # no year
+
+    def test_pushed_down_pattern_where(self):
+        """Fig. 4.8: both predicate styles are equivalent."""
+        motif = SimpleMotif()
+        motif.add_node("v1")
+        motif.add_node("v2")
+        where = BinOp(
+            "&",
+            BinOp("==", ref("v1.name"), Literal("A")),
+            BinOp(">", ref("v2.year"), Literal(2000)),
+        )
+        pattern = GroundPattern(motif, where)
+        graph = paper_fig_4_7_graph()
+        assert pattern.node_matches("v1", graph.node("v2"))  # name=A
+        assert not pattern.node_matches("v1", graph.node("v3"))
+        assert pattern.node_matches("v2", graph.node("v1"))  # year=2006
+        assert not pattern.node_matches("v2", graph.node("v2"))
+
+
+class TestEdgeMatching:
+    def test_edge_attr_constraint(self):
+        motif = SimpleMotif()
+        motif.add_node("a")
+        motif.add_node("b")
+        motif.add_edge("a", "b", name="e", attrs={"kind": "shipping"})
+        pattern = GroundPattern(motif)
+        graph = Graph()
+        graph.add_node("x")
+        graph.add_node("y")
+        good = graph.add_edge("x", "y", kind="shipping")
+        assert pattern.edge_matches("e", good)
+        graph2 = Graph()
+        graph2.add_node("x")
+        graph2.add_node("y")
+        bad = graph2.add_edge("x", "y", kind="billing")
+        assert not pattern.edge_matches("e", bad)
+
+
+class TestResidual:
+    def test_cross_node_predicate(self):
+        motif = SimpleMotif()
+        motif.add_node("u1")
+        motif.add_node("u2")
+        where = BinOp("==", ref("u1.label"), ref("u2.label"))
+        pattern = GroundPattern(motif, where)
+        graph = Graph()
+        graph.add_node("x", label="A")
+        graph.add_node("y", label="A")
+        graph.add_node("z", label="B")
+        ok = Mapping({"u1": "x", "u2": "y"})
+        bad = Mapping({"u1": "x", "u2": "z"})
+        assert pattern.residual_holds(ok, graph)
+        assert not pattern.residual_holds(bad, graph)
+
+    def test_pattern_name_binds_matched_graph(self):
+        """``where P.booktitle="SIGMOD"`` reads the matched graph's attrs."""
+        motif = SimpleMotif()
+        motif.add_node("v1", tag="author")
+        where = BinOp("==", ref("P.booktitle"), Literal("SIGMOD"))
+        pattern = GroundPattern(motif, where, name="P")
+        graph = paper_fig_4_7_graph()
+        mapping = Mapping({"v1": "v2"})
+        assert pattern.residual_holds(mapping, graph)
+        graph.tuple.set("booktitle", "VLDB")
+        assert not pattern.residual_holds(mapping, graph)
+
+
+class TestGraphPattern:
+    def test_single_requires_unique_derivation(self):
+        block = MotifBlock()
+        block.add_node("v1")
+        pattern = GraphPattern(block)
+        assert pattern.single().num_nodes() == 1
+
+    def test_single_rejects_disjunction(self):
+        from repro.core.motif import Disjunction
+
+        a = MotifBlock()
+        a.add_node("v1")
+        b = MotifBlock()
+        b.add_node("v1")
+        b.add_node("v2")
+        pattern = GraphPattern(Disjunction([a, b]))
+        with pytest.raises(ValueError):
+            pattern.single()
+        assert len(pattern.ground()) == 2
+
+    def test_recursive_pattern_matches_any_derivation(self):
+        """A recursive Path pattern matches a graph containing any path."""
+        from repro.core.motif import recursive_path_grammar
+
+        grammar = recursive_path_grammar()
+        from repro.core.motif import MotifRef
+
+        pattern = GraphPattern(MotifRef("Path"), name="Paths")
+        graph = Graph()
+        for n in ("a", "b", "c"):
+            graph.add_node(n)
+        graph.add_edge("a", "b")
+        graph.add_edge("b", "c")
+        total = 0
+        for ground in pattern.ground(grammar, max_depth=4):
+            total += len(find_matches(ground, graph))
+        # 2-node paths: 4 mappings (2 edges x 2 directions);
+        # 3-node path: 2 mappings (a-b-c, c-b-a); longer: none
+        assert total == 6
+
+
+class TestMapping:
+    def test_mapping_equality_and_hash(self):
+        a = Mapping({"u": "x"})
+        b = Mapping({"u": "x"}, {"e": "e1"})
+        assert a == b  # node assignments define identity
+        assert hash(a) == hash(b)
+
+    def test_copy_independent(self):
+        a = Mapping({"u": "x"})
+        b = a.copy()
+        b.nodes["u"] = "y"
+        assert a["u"] == "x"

@@ -1,0 +1,198 @@
+"""Tests for algebraic plans and rewrite laws (Section 3.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DictSource, Graph, GraphCollection, GroundPattern
+from repro.core.motif import SimpleMotif
+from repro.core.plans import (
+    Compose,
+    Difference,
+    Doc,
+    Filter,
+    Plan,
+    Product,
+    Select,
+    Union,
+    Values,
+    optimize,
+)
+from repro.core.predicate import AttrRef, BinOp, Literal
+from repro.core.template import GraphTemplate
+
+
+def ref(path):
+    return AttrRef(tuple(path.split(".")))
+
+
+def record(name, **attrs):
+    g = Graph(name)
+    for key, value in attrs.items():
+        g.tuple.set(key, value)
+    g.add_node("n")
+    return g
+
+
+def source():
+    return DictSource({
+        "R": GraphCollection([record("r1", x=1), record("r2", x=2),
+                              record("r3", x=3)]),
+        "S": GraphCollection([record("s1", y=2), record("s2", y=4)]),
+    })
+
+
+def result_names(collection):
+    out = []
+    for item in collection:
+        graph = item.as_graph() if hasattr(item, "as_graph") else item
+        out.append(graph.name)
+    return sorted(filter(None, out))
+
+
+class TestEvaluation:
+    def test_doc_and_filter(self):
+        plan = Filter(Doc("R"), BinOp(">", ref("x"), Literal(1)))
+        assert result_names(plan.evaluate(source())) == ["r2", "r3"]
+
+    def test_union_difference(self):
+        u = Union(Doc("R"), Doc("R"))
+        assert len(u.evaluate(source())) == 3  # set semantics dedupe
+        d = Difference(Doc("R"), Values(GraphCollection([record("r1", x=1)])))
+        assert result_names(d.evaluate(source())) == ["r2", "r3"]
+
+    def test_product_members(self):
+        plan = Product(Doc("R"), Doc("S"))
+        collection = plan.evaluate(source())
+        assert len(collection) == 6
+        assert set(collection[0].members) == {"G1", "G2"}
+
+    def test_select(self):
+        motif = SimpleMotif()
+        motif.add_node("u")
+        plan = Select(Doc("R"), GroundPattern(motif))
+        assert len(plan.evaluate(source())) == 3
+
+    def test_compose(self):
+        template = GraphTemplate(["P"])
+        template.add_node("v", attr_exprs={"copied": ref("P.x")})
+        plan = Compose(Doc("R"), template, param="P")
+        collection = plan.evaluate(source())
+        assert sorted(g.node("v")["copied"] for g in collection) == [1, 2, 3]
+
+    def test_describe(self):
+        plan = Filter(Product(Doc("R"), Doc("S")),
+                      BinOp("==", ref("G1.x"), ref("G2.y")))
+        text = plan.describe()
+        assert "Filter" in text and "Product" in text and "Doc(R)" in text
+
+
+class TestRewrites:
+    def test_filter_cascade(self):
+        plan = Filter(Filter(Doc("R"), BinOp(">", ref("x"), Literal(1))),
+                      BinOp("<", ref("x"), Literal(3)))
+        optimized = optimize(plan)
+        assert isinstance(optimized, Filter)
+        assert isinstance(optimized.child, Doc)
+        assert result_names(optimized.evaluate(source())) == ["r2"]
+
+    def test_filter_through_union(self):
+        plan = Filter(Union(Doc("R"), Doc("R")),
+                      BinOp("==", ref("x"), Literal(2)))
+        optimized = optimize(plan)
+        assert isinstance(optimized, Union)
+        assert result_names(optimized.evaluate(source())) == ["r2"]
+
+    def test_filter_through_difference(self):
+        plan = Filter(
+            Difference(Doc("R"), Values(GraphCollection([record("r3", x=3)]))),
+            BinOp(">", ref("x"), Literal(1)),
+        )
+        optimized = optimize(plan)
+        assert isinstance(optimized, Difference)
+        assert result_names(optimized.evaluate(source())) == ["r2"]
+
+    def test_selection_pushdown_through_product(self):
+        predicate = BinOp(
+            "&",
+            BinOp(">", ref("G1.x"), Literal(1)),
+            BinOp("==", ref("G1.x"), ref("G2.y")),
+        )
+        plan = Filter(Product(Doc("R"), Doc("S")), predicate)
+        optimized = optimize(plan)
+        # the single-side conjunct moved below the product
+        assert isinstance(optimized, Filter)  # residual join condition
+        assert isinstance(optimized.child, Product)
+        assert isinstance(optimized.child.left, Filter)
+        before = _pairs(plan.evaluate(source()))
+        after = _pairs(optimized.evaluate(source()))
+        assert before == after == {(2, 2)}
+
+    def test_pushdown_reduces_product_size(self):
+        predicate = BinOp("==", ref("G1.x"), Literal(1))
+        plan = Filter(Product(Doc("R"), Doc("S")), predicate)
+        optimized = optimize(plan)
+        # pushing the filter shrinks the product input from 3 to 1 graph
+        assert isinstance(optimized, Product)
+        assert len(optimized.evaluate(source())) == 2  # 1 x 2
+
+
+def _pairs(collection):
+    out = set()
+    for composite in collection:
+        graph = composite.as_graph() if hasattr(composite, "as_graph") else composite
+        out.add((graph.members["G1"].get("x"), graph.members["G2"].get("y")))
+    return out
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10 ** 9))
+def test_optimize_preserves_semantics(seed):
+    """Property: optimized plans return exactly the same graphs."""
+    rng = random.Random(seed)
+    docs = {
+        "A": GraphCollection([
+            record(f"a{i}", x=rng.randint(0, 3), y=rng.randint(0, 3))
+            for i in range(rng.randint(0, 4))
+        ]),
+        "B": GraphCollection([
+            record(f"b{i}", x=rng.randint(0, 3))
+            for i in range(rng.randint(0, 4))
+        ]),
+    }
+    src = DictSource(docs)
+
+    def random_pred(aliases):
+        base = []
+        for _ in range(rng.randint(1, 3)):
+            attr = rng.choice(["x", "y"])
+            path = (f"{rng.choice(aliases)}.{attr}"
+                    if aliases else attr)
+            op = rng.choice(["==", "!=", "<", ">"])
+            base.append(BinOp(op, ref(path), Literal(rng.randint(0, 3))))
+        expr = base[0]
+        for extra in base[1:]:
+            expr = BinOp("&", expr, extra)
+        return expr
+
+    choice = rng.randrange(4)
+    if choice == 0:
+        plan = Filter(Filter(Doc("A"), random_pred([])), random_pred([]))
+    elif choice == 1:
+        plan = Filter(Union(Doc("A"), Doc("B")), random_pred([]))
+    elif choice == 2:
+        plan = Filter(Difference(Doc("A"), Doc("B")), random_pred([]))
+    else:
+        plan = Filter(Product(Doc("A"), Doc("B")),
+                      random_pred(["G1", "G2"]))
+    before = plan.evaluate(src)
+    after = optimize(plan).evaluate(src)
+    assert len(before) == len(after)
+    for graph_before in before:
+        target = graph_before if isinstance(graph_before, Graph) else graph_before.as_graph()
+        assert any(
+            (g if isinstance(g, Graph) else g.as_graph()).equals(target)
+            for g in after
+        )

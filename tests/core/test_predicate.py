@@ -1,0 +1,162 @@
+"""Unit tests for predicate expressions and pushdown decomposition."""
+
+import pytest
+
+from repro.core import Graph
+from repro.core.predicate import (
+    MISSING,
+    AttrRef,
+    BinOp,
+    Literal,
+    Not,
+    Scope,
+    conjunction,
+    decompose,
+)
+
+
+def ref(path: str) -> AttrRef:
+    return AttrRef(tuple(path.split(".")))
+
+
+class TestEvaluation:
+    def test_literal(self):
+        assert Literal(5).evaluate(Scope()) == 5
+
+    def test_missing_ref_is_false(self):
+        expr = BinOp("==", ref("v1.name"), Literal("A"))
+        assert expr.holds(Scope()) is False
+
+    def test_node_attribute_resolution(self):
+        g = Graph()
+        node = g.add_node("v1", name="A", year=2006)
+        scope = Scope({"v1": node})
+        assert BinOp("==", ref("v1.name"), Literal("A")).holds(scope)
+        assert BinOp(">", ref("v1.year"), Literal(2000)).holds(scope)
+        assert not BinOp(">", ref("v1.year"), Literal(2010)).holds(scope)
+
+    def test_fallback_entity(self):
+        g = Graph()
+        node = g.add_node("v1", name="A")
+        scope = Scope({}, fallback=node)
+        assert BinOp("==", ref("name"), Literal("A")).holds(scope)
+
+    def test_graph_attribute_resolution(self):
+        g = Graph("G")
+        g.tuple.set("booktitle", "SIGMOD")
+        scope = Scope({"P": g})
+        assert BinOp("==", ref("P.booktitle"), Literal("SIGMOD")).holds(scope)
+
+    def test_path_through_graph_to_node(self):
+        g = Graph("G")
+        g.add_node("v1", name="A")
+        scope = Scope({"G": g})
+        assert BinOp("==", ref("G.v1.name"), Literal("A")).holds(scope)
+
+    def test_arithmetic(self):
+        scope = Scope()
+        expr = BinOp("==", BinOp("+", Literal(2), Literal(3)), Literal(5))
+        assert expr.holds(scope)
+        expr = BinOp("==", BinOp("*", Literal(2), Literal(3)), Literal(6))
+        assert expr.holds(scope)
+
+    def test_division_by_zero_is_missing(self):
+        expr = BinOp("/", Literal(1), Literal(0))
+        assert expr.evaluate(Scope()) is MISSING
+
+    def test_boolean_connectives(self):
+        t = BinOp("==", Literal(1), Literal(1))
+        f = BinOp("==", Literal(1), Literal(2))
+        assert BinOp("&", t, t).holds(Scope())
+        assert not BinOp("&", t, f).holds(Scope())
+        assert BinOp("|", f, t).holds(Scope())
+        assert not BinOp("|", f, f).holds(Scope())
+        assert Not(f).holds(Scope())
+
+    def test_mixed_type_comparison_is_false(self):
+        assert not BinOp("<", Literal("a"), Literal(1)).holds(Scope())
+        assert BinOp("!=", Literal("a"), Literal(1)).holds(Scope())
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("**", Literal(1), Literal(2))
+
+
+class TestScopes:
+    def test_child_scope_shadows(self):
+        parent = Scope({"x": 1})
+        child = parent.child({"x": 2})
+        assert child.lookup("x") == 2
+        assert parent.lookup("x") == 1
+
+    def test_child_scope_falls_through(self):
+        parent = Scope({"y": 3})
+        child = parent.child({})
+        assert child.lookup("y") == 3
+
+    def test_dict_resolution(self):
+        g = Graph()
+        node = g.add_node("v1", name="A")
+        scope = Scope({"C": {"v1": node}})
+        assert BinOp("==", ref("C.v1.name"), Literal("A")).holds(scope)
+
+
+class TestStructure:
+    def test_conjuncts_flatten(self):
+        a = BinOp("==", Literal(1), Literal(1))
+        b = BinOp("==", Literal(2), Literal(2))
+        c = BinOp("==", Literal(3), Literal(3))
+        combined = conjunction([a, b, c])
+        assert combined.conjuncts() == [a, b, c]
+
+    def test_conjunction_of_empty(self):
+        assert conjunction([]) is None
+
+    def test_root_names(self):
+        expr = BinOp(
+            "&",
+            BinOp("==", ref("v1.name"), Literal("A")),
+            BinOp(">", ref("v2.year"), ref("v1.year")),
+        )
+        assert expr.root_names() == {"v1", "v2"}
+
+    def test_to_graphql_round_trippable(self):
+        from repro.lang import parse_expression
+
+        expr = BinOp(
+            "&",
+            BinOp("==", ref("v1.name"), Literal("A")),
+            BinOp(">", ref("v2.year"), Literal(2000)),
+        )
+        parsed = parse_expression(expr.to_graphql())
+        assert parsed == expr
+
+
+class TestDecompose:
+    def test_single_node_conjuncts_pushed(self):
+        expr = conjunction(
+            [
+                BinOp("==", ref("v1.name"), Literal("A")),
+                BinOp(">", ref("v2.year"), Literal(2000)),
+                BinOp("==", ref("v1.label"), ref("v2.label")),
+            ]
+        )
+        d = decompose(expr, {"v1", "v2"}, set())
+        assert set(d.node_preds) == {"v1", "v2"}
+        assert d.residual is not None
+        assert d.residual.root_names() == {"v1", "v2"}
+
+    def test_edge_conjuncts_pushed(self):
+        expr = BinOp("==", ref("e1.kind"), Literal("shipping"))
+        d = decompose(expr, {"v1"}, {"e1"})
+        assert set(d.edge_preds) == {"e1"}
+        assert d.residual is None
+
+    def test_none_predicate(self):
+        d = decompose(None, {"v1"}, set())
+        assert not d.node_preds and not d.edge_preds and d.residual is None
+
+    def test_unknown_root_stays_residual(self):
+        expr = BinOp("==", ref("P.booktitle"), Literal("SIGMOD"))
+        d = decompose(expr, {"v1"}, set())
+        assert d.residual == expr

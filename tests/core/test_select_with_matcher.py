@@ -1,0 +1,46 @@
+"""Selection through the access-method pipeline (matcher_factory path)."""
+
+from repro.core import GraphCollection, GroundPattern, select
+from repro.core.motif import clique_motif
+from repro.matching import GraphMatcher
+
+
+class TestSelectWithMatcherFactory:
+    def test_same_results_as_scan(self, paper_graph, triangle_pattern):
+        collection = GraphCollection([paper_graph])
+        factories = {}
+
+        def factory(graph):
+            if id(graph) not in factories:
+                factories[id(graph)] = GraphMatcher(graph)
+            return factories[id(graph)]
+
+        via_matcher = select(collection, triangle_pattern,
+                             matcher_factory=factory)
+        via_scan = select(collection, triangle_pattern)
+        assert {frozenset(m.mapping.nodes.items()) for m in via_matcher} == {
+            frozenset(m.mapping.nodes.items()) for m in via_scan
+        }
+        assert factories  # the factory really was consulted
+
+    def test_first_match_mode(self, paper_graph):
+        collection = GraphCollection([paper_graph])
+        pattern = GroundPattern(clique_motif(["B"]))
+        result = select(collection, pattern, exhaustive=False,
+                        matcher_factory=GraphMatcher)
+        assert len(result) == 1
+
+    def test_flwr_routes_large_graphs(self):
+        """FLWR uses the database's cached matcher for big documents."""
+        from repro.datasets import erdos_renyi_graph
+        from repro.storage import GraphDatabase
+
+        db = GraphDatabase()
+        db.register("big", erdos_renyi_graph(400, 1200, seed=3))
+        env = db.query("""
+            graph Q { node a <label="L000">; node b; edge e (a, b); };
+            for Q exhaustive in doc("big")
+            return graph { node n <who=Q.a.label>; };
+        """)
+        assert len(db._matchers) == 1  # cached pipeline was built
+        assert len(env["__result__"]) > 0

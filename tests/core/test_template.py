@@ -1,0 +1,151 @@
+"""Unit tests for graph templates and instantiation (Definition 4.4)."""
+
+import pytest
+
+from repro.core import Graph, GraphTemplate, GroundPattern, MatchedGraph
+from repro.core.bindings import Mapping
+from repro.core.motif import SimpleMotif
+from repro.core.predicate import AttrRef, BinOp, Literal
+from repro.core.template import TemplateError
+
+
+def ref(path):
+    return AttrRef(tuple(path.split(".")))
+
+
+def fig_4_7_graph() -> Graph:
+    g = Graph("G")
+    g.add_node("v1", title="Title1", year=2006)
+    g.add_node("v2", tag="author", name="A")
+    g.add_node("v3", tag="author", name="B")
+    return g
+
+
+def fig_4_8_binding() -> MatchedGraph:
+    motif = SimpleMotif()
+    motif.add_node("v1")
+    motif.add_node("v2")
+    pattern = GroundPattern(motif, name="P")
+    mapping = Mapping({"v1": "v2", "v2": "v1"})  # Fig. 4.9 mapping
+    return MatchedGraph(mapping, pattern, fig_4_7_graph())
+
+
+class TestInstantiation:
+    def test_fig_4_11_template(self):
+        """T_P builds two nodes from P and an edge between them."""
+        template = GraphTemplate(["P"])
+        template.add_node("v1", attr_exprs={"label": ref("P.v1.name")})
+        template.add_node("v2", attr_exprs={"label": ref("P.v2.title")})
+        template.add_edge("v1", "v2", name="e1")
+        result = template.instantiate({"P": fig_4_8_binding()})
+        assert result.node("v1")["label"] == "A"
+        assert result.node("v2")["label"] == "Title1"
+        assert result.has_edge("v1", "v2")
+
+    def test_copied_node_keeps_attributes(self):
+        template = GraphTemplate(["P"])
+        template.add_copied_node("P.v1")
+        result = template.instantiate({"P": fig_4_8_binding()})
+        (node,) = list(result.nodes())
+        assert node["name"] == "A"
+        assert node.tag == "author"
+
+    def test_missing_argument_rejected(self):
+        template = GraphTemplate(["P"])
+        with pytest.raises(TemplateError):
+            template.instantiate({})
+
+    def test_missing_attribute_rejected(self):
+        template = GraphTemplate(["P"])
+        template.add_node("v1", attr_exprs={"x": ref("P.v1.nonexistent")})
+        with pytest.raises(TemplateError):
+            template.instantiate({"P": fig_4_8_binding()})
+
+    def test_include_graph_copies_everything(self):
+        template = GraphTemplate(["C"])
+        template.include_graph("C")
+        base = fig_4_7_graph()
+        result = template.instantiate({"C": base})
+        assert result.num_nodes() == 3
+        # the source graph is never mutated
+        result.node("v2").tuple.set("name", "Z")
+        assert base.node("v2")["name"] == "A"
+
+    def test_graph_level_attrs(self):
+        template = GraphTemplate(["P"], tag="summary",
+                                 attr_exprs={"of": ref("P.v1.name")})
+        result = template.instantiate({"P": fig_4_8_binding()})
+        assert result.tuple.tag == "summary"
+        assert result["of"] == "A"
+
+    def test_edge_between_copied_nodes(self):
+        template = GraphTemplate(["P"])
+        template.add_copied_node("P.v1")
+        template.add_copied_node("P.v2")
+        template.add_edge("P.v1", "P.v2", name="e1")
+        result = template.instantiate({"P": fig_4_8_binding()})
+        assert result.num_edges() == 1
+
+    def test_unknown_edge_endpoint_rejected(self):
+        template = GraphTemplate(["P"])
+        template.add_node("v1")
+        template.add_edge("v1", "nope")
+        with pytest.raises(TemplateError):
+            template.instantiate({"P": fig_4_8_binding()})
+
+
+class TestUnification:
+    def test_unconditional_unify(self):
+        template = GraphTemplate([])
+        template.add_node("a", attr_exprs={"x": Literal(1)})
+        template.add_node("b", attr_exprs={"y": Literal(2)})
+        template.add_node("c")
+        template.add_edge("a", "c")
+        template.add_edge("b", "c")
+        template.unify("a", "b")
+        result = template.instantiate({})
+        assert result.num_nodes() == 2
+        merged = [n for n in result.nodes() if n.get("x") is not None][0]
+        assert merged["y"] == 2  # attributes merged
+        assert result.num_edges() == 1  # parallel edges unified
+
+    def test_conditional_unify_against_included_graph(self):
+        """The Fig. 4.12 dedup: unify a new node with the accumulator node
+        carrying the same name, wherever it sits."""
+        accumulator = Graph("C")
+        accumulator.add_node("n1", name="A")
+        accumulator.add_node("n2", name="B")
+        template = GraphTemplate(["C", "P"])
+        template.include_graph("C")
+        template.add_copied_node("P.v1")
+        template.unify(
+            "P.v1", "C.v1",
+            where=BinOp("==", ref("P.v1.name"), ref("C.v1.name")),
+        )
+        result = template.instantiate({"C": accumulator, "P": fig_4_8_binding()})
+        # P.v1 is author "A": unified with accumulator's A node
+        assert result.num_nodes() == 2
+        names = sorted(n["name"] for n in result.nodes())
+        assert names == ["A", "B"]
+
+    def test_conditional_unify_no_match_keeps_both(self):
+        accumulator = Graph("C")
+        accumulator.add_node("n1", name="Z")
+        template = GraphTemplate(["C", "P"])
+        template.include_graph("C")
+        template.add_copied_node("P.v1")
+        template.unify(
+            "P.v1", "C.v1",
+            where=BinOp("==", ref("P.v1.name"), ref("C.v1.name")),
+        )
+        result = template.instantiate({"C": accumulator, "P": fig_4_8_binding()})
+        assert result.num_nodes() == 2
+        names = sorted(n["name"] for n in result.nodes())
+        assert names == ["A", "Z"]
+
+    def test_unify_unknown_path_rejected(self):
+        template = GraphTemplate([])
+        template.add_node("a")
+        template.unify("a", "nothing.here")
+        with pytest.raises(TemplateError):
+            template.instantiate({})

@@ -1,0 +1,87 @@
+"""Unit tests for attribute tuples (Section 3.1 data model)."""
+
+import pytest
+
+from repro.core.tuples import AttributeTuple
+
+
+class TestBasics:
+    def test_empty_tuple(self):
+        t = AttributeTuple()
+        assert t.tag is None
+        assert len(t) == 0
+        assert t.get("x") is None
+
+    def test_attributes_and_tag(self):
+        t = AttributeTuple({"name": "A", "year": 2006}, tag="author")
+        assert t.tag == "author"
+        assert t["name"] == "A"
+        assert t["year"] == 2006
+        assert "name" in t and "missing" not in t
+
+    def test_declaration_order_preserved(self):
+        t = AttributeTuple({"b": 1, "a": 2, "c": 3})
+        assert t.names() == ("b", "a", "c")
+
+    def test_get_with_default(self):
+        t = AttributeTuple({"x": 1})
+        assert t.get("y", 42) == 42
+
+    def test_rejects_non_scalar_values(self):
+        with pytest.raises(TypeError):
+            AttributeTuple({"x": [1, 2]})
+        t = AttributeTuple()
+        with pytest.raises(TypeError):
+            t.set("x", {"nested": True})
+
+    def test_set_and_update(self):
+        t = AttributeTuple({"x": 1})
+        t.set("x", 2)
+        t.update({"y": "z"})
+        assert t["x"] == 2 and t["y"] == "z"
+
+
+class TestEqualityAndCopy:
+    def test_equality_includes_tag(self):
+        a = AttributeTuple({"x": 1}, tag="t")
+        b = AttributeTuple({"x": 1}, tag="t")
+        c = AttributeTuple({"x": 1})
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_copy_is_independent(self):
+        a = AttributeTuple({"x": 1})
+        b = a.copy()
+        b.set("x", 2)
+        assert a["x"] == 1
+
+
+class TestMerge:
+    def test_merged_prefers_self(self):
+        a = AttributeTuple({"x": 1}, tag="ta")
+        b = AttributeTuple({"x": 2, "y": 3}, tag="tb")
+        merged = a.merged(b)
+        assert merged["x"] == 1  # survivor wins
+        assert merged["y"] == 3  # absorbed fills gaps
+        assert merged.tag == "ta"
+
+    def test_merged_takes_other_tag_when_missing(self):
+        a = AttributeTuple({"x": 1})
+        b = AttributeTuple({}, tag="tb")
+        assert a.merged(b).tag == "tb"
+
+
+class TestConstraints:
+    def test_tag_constraint(self):
+        t = AttributeTuple({"name": "A"}, tag="author")
+        assert t.matches_constraints("author", None)
+        assert not t.matches_constraints("editor", None)
+        assert t.matches_constraints(None, None)
+
+    def test_attr_constraints(self):
+        t = AttributeTuple({"name": "A", "year": 2006})
+        assert t.matches_constraints(None, {"name": "A"})
+        assert t.matches_constraints(None, {"name": "A", "year": 2006})
+        assert not t.matches_constraints(None, {"name": "B"})
+        assert not t.matches_constraints(None, {"missing": 1})

@@ -1,0 +1,54 @@
+"""Unit tests for the Zipf sampler used by the synthetic datasets."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.utils import ZipfSampler
+
+
+class TestZipfSampler:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(10)
+        total = sum(sampler.probability(i) for i in range(10))
+        assert abs(total - 1.0) < 1e-9
+
+    def test_zipf_law_ratio(self):
+        """p(x) ∝ 1/x: the first item is twice as likely as the second."""
+        sampler = ZipfSampler(100, s=1.0)
+        assert sampler.probability(0) == pytest.approx(
+            2 * sampler.probability(1)
+        )
+
+    def test_sampling_respects_skew(self):
+        sampler = ZipfSampler(50, s=1.0)
+        rng = random.Random(0)
+        counts = Counter(sampler.sample(rng) for _ in range(20000))
+        assert counts[0] > counts[10] > counts[40]
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(5)
+        rng = random.Random(1)
+        for _ in range(1000):
+            assert 0 <= sampler.sample(rng) < 5
+
+    def test_uniform_when_s_zero(self):
+        sampler = ZipfSampler(4, s=0.0)
+        for i in range(4):
+            assert sampler.probability(i) == pytest.approx(0.25)
+
+    def test_sample_label(self):
+        sampler = ZipfSampler(3)
+        rng = random.Random(2)
+        labels = ["x", "y", "z"]
+        assert sampler.sample_label(rng, labels) in labels
+
+    def test_needs_at_least_one(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+
+    def test_deterministic_given_seed(self):
+        a = [ZipfSampler(20).sample(random.Random(7)) for _ in range(5)]
+        b = [ZipfSampler(20).sample(random.Random(7)) for _ in range(5)]
+        assert a == b

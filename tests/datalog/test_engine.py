@@ -1,0 +1,176 @@
+"""Unit tests for the Datalog engine (stratified semi-naive evaluation)."""
+
+import pytest
+
+from repro.datalog import (
+    Atom,
+    BodyLiteral,
+    Builtin,
+    Program,
+    Rule,
+    StratificationError,
+    Var,
+    evaluate,
+    query,
+    stratify,
+)
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+
+
+def edge_program(edges):
+    program = Program()
+    for a, b in edges:
+        program.fact("e", a, b)
+    return program
+
+
+class TestFacts:
+    def test_fact_storage(self):
+        program = edge_program([(1, 2)])
+        assert program.facts["e"] == {(1, 2)}
+
+    def test_non_ground_fact_rejected(self):
+        program = Program()
+        with pytest.raises(ValueError):
+            program.add_fact(Atom("p", [X]))
+
+
+class TestSafety:
+    def test_unsafe_head_rejected(self):
+        rule = Rule(Atom("p", [X, Y]), [BodyLiteral(Atom("q", [X]))])
+        program = Program()
+        with pytest.raises(ValueError):
+            program.add_rule(rule)
+
+    def test_unsafe_negation_rejected(self):
+        rule = Rule(
+            Atom("p", [X]),
+            [BodyLiteral(Atom("q", [X])),
+             BodyLiteral(Atom("r", [Y]), negated=True)],
+        )
+        with pytest.raises(ValueError):
+            rule.check_safety()
+
+    def test_unsafe_builtin_rejected(self):
+        rule = Rule(Atom("p", [X]),
+                    [BodyLiteral(Atom("q", [X])), Builtin("<", Y, 3)])
+        with pytest.raises(ValueError):
+            rule.check_safety()
+
+
+class TestEvaluation:
+    def test_simple_join(self):
+        program = edge_program([(1, 2), (2, 3)])
+        program.add_rule(Rule(
+            Atom("two_hop", [X, Z]),
+            [BodyLiteral(Atom("e", [X, Y])), BodyLiteral(Atom("e", [Y, Z]))],
+        ))
+        assert query(program, Atom("two_hop", [X, Z])) == [(1, 3)]
+
+    def test_constants_in_body(self):
+        program = edge_program([(1, 2), (2, 3)])
+        program.add_rule(Rule(
+            Atom("from_one", [Y]),
+            [BodyLiteral(Atom("e", [1, Y]))],
+        ))
+        assert query(program, Atom("from_one", [Y])) == [(2,)]
+
+    def test_builtin_comparisons(self):
+        program = Program()
+        for n in (1, 5, 9):
+            program.fact("n", n)
+        program.add_rule(Rule(
+            Atom("big", [X]),
+            [BodyLiteral(Atom("n", [X])), Builtin(">", X, 4)],
+        ))
+        assert query(program, Atom("big", [X])) == [(5,), (9,)]
+
+    def test_recursion_reachability(self):
+        program = edge_program([(1, 2), (2, 3), (3, 4)])
+        program.add_rule(Rule(Atom("reach", [X, Y]),
+                              [BodyLiteral(Atom("e", [X, Y]))]))
+        program.add_rule(Rule(
+            Atom("reach", [X, Y]),
+            [BodyLiteral(Atom("reach", [X, Z])),
+             BodyLiteral(Atom("e", [Z, Y]))],
+        ))
+        rows = query(program, Atom("reach", [X, Y]))
+        assert set(rows) == {(1, 2), (1, 3), (1, 4), (2, 3), (2, 4), (3, 4)}
+
+    def test_recursion_with_cycle_terminates(self):
+        program = edge_program([(1, 2), (2, 1)])
+        program.add_rule(Rule(Atom("reach", [X, Y]),
+                              [BodyLiteral(Atom("e", [X, Y]))]))
+        program.add_rule(Rule(
+            Atom("reach", [X, Y]),
+            [BodyLiteral(Atom("reach", [X, Z])),
+             BodyLiteral(Atom("e", [Z, Y]))],
+        ))
+        rows = query(program, Atom("reach", [X, Y]))
+        assert set(rows) == {(1, 1), (1, 2), (2, 1), (2, 2)}
+
+    def test_stratified_negation(self):
+        program = edge_program([(1, 2), (2, 3)])
+        for n in (1, 2, 3):
+            program.fact("n", n)
+        program.add_rule(Rule(Atom("reach", [X, Y]),
+                              [BodyLiteral(Atom("e", [X, Y]))]))
+        program.add_rule(Rule(
+            Atom("reach", [X, Y]),
+            [BodyLiteral(Atom("reach", [X, Z])),
+             BodyLiteral(Atom("e", [Z, Y]))],
+        ))
+        program.add_rule(Rule(
+            Atom("unreach", [X, Y]),
+            [BodyLiteral(Atom("n", [X])), BodyLiteral(Atom("n", [Y])),
+             BodyLiteral(Atom("reach", [X, Y]), negated=True)],
+        ))
+        rows = query(program, Atom("unreach", [1, Y]))
+        assert rows == [(1, 1)]
+
+    def test_non_stratifiable_rejected(self):
+        program = Program()
+        program.fact("n", 1)
+        program.rules.append(Rule(
+            Atom("p", [X]),
+            [BodyLiteral(Atom("n", [X])),
+             BodyLiteral(Atom("q", [X]), negated=True)],
+        ))
+        program.rules.append(Rule(
+            Atom("q", [X]),
+            [BodyLiteral(Atom("n", [X])),
+             BodyLiteral(Atom("p", [X]), negated=True)],
+        ))
+        with pytest.raises(StratificationError):
+            evaluate(program)
+
+    def test_goal_with_constant_filter(self):
+        program = edge_program([(1, 2), (1, 3), (2, 3)])
+        program.add_rule(Rule(Atom("copy", [X, Y]),
+                              [BodyLiteral(Atom("e", [X, Y]))]))
+        rows = query(program, Atom("copy", [1, Y]))
+        assert set(rows) == {(1, 2), (1, 3)}
+
+    def test_goal_with_repeated_variable(self):
+        program = edge_program([(1, 1), (1, 2)])
+        program.add_rule(Rule(Atom("copy", [X, Y]),
+                              [BodyLiteral(Atom("e", [X, Y]))]))
+        rows = query(program, Atom("copy", [X, X]))
+        assert rows == [(1, 1)]
+
+
+class TestStratify:
+    def test_two_strata(self):
+        program = Program()
+        program.fact("n", 1)
+        program.add_rule(Rule(Atom("p", [X]), [BodyLiteral(Atom("n", [X]))]))
+        program.add_rule(Rule(
+            Atom("q", [X]),
+            [BodyLiteral(Atom("n", [X])),
+             BodyLiteral(Atom("p", [X]), negated=True)],
+        ))
+        strata = stratify(program)
+        assert len(strata) == 2
+        assert strata[0][0].head.predicate == "p"
+        assert strata[1][0].head.predicate == "q"

@@ -1,0 +1,130 @@
+"""Unit tests for the GraphQL → Datalog translation (Theorem 4.6)."""
+
+import pytest
+
+from repro.core import Graph, GroundPattern
+from repro.core.motif import SimpleMotif, clique_motif
+from repro.core.predicate import AttrRef, BinOp, Literal
+from repro.datalog import (
+    Atom,
+    Var,
+    graph_to_facts,
+    match_with_datalog,
+    pattern_to_rule,
+    query,
+)
+from repro.matching import find_matches
+
+
+def ref(path):
+    return AttrRef(tuple(path.split(".")))
+
+
+class TestGraphToFacts:
+    def test_fig_4_14_shape(self):
+        g = Graph("G")
+        g.tuple.set("attr1", 7)
+        g.add_node("v1")
+        g.add_node("v2")
+        g.add_node("v3")
+        g.add_edge("v1", "v2", edge_id="e1")
+        program = graph_to_facts(g)
+        assert ("G",) in program.facts["graph"]
+        assert ("G", "G.v1") in program.facts["node"]
+        assert len(program.facts["node"]) == 3
+        # undirected edge written twice to permute end points
+        assert ("G", "G.e1", "G.v1", "G.v2") in program.facts["edge"]
+        assert ("G", "G.e1", "G.v2", "G.v1") in program.facts["edge"]
+        assert ("G", "attr1", 7) in program.facts["attribute"]
+
+    def test_node_attributes_and_tags(self):
+        g = Graph("G")
+        g.add_node("v1", tag="author", name="A")
+        program = graph_to_facts(g)
+        assert ("G.v1", "name", "A") in program.facts["attribute"]
+        assert ("G.v1", "author") in program.facts["tag"]
+
+    def test_directed_edge_once(self):
+        g = Graph("G", directed=True)
+        g.add_node("a")
+        g.add_node("b")
+        g.add_edge("a", "b", edge_id="e1")
+        program = graph_to_facts(g)
+        assert len(program.facts["edge"]) == 1
+
+
+class TestPatternToRule:
+    def test_fig_4_15_shape(self):
+        motif = SimpleMotif()
+        motif.add_node("v2")
+        motif.add_node("v3")
+        motif.add_edge("v3", "v2", name="e1")
+        where = BinOp(">", ref("v2.attr1"), Literal(5))
+        rule = pattern_to_rule(GroundPattern(motif, where))
+        predicates = [
+            element.atom.predicate
+            for element in rule.body
+            if hasattr(element, "atom")
+        ]
+        assert predicates.count("graph") == 1
+        assert predicates.count("node") == 2
+        assert predicates.count("edge") == 1
+        assert predicates.count("attribute") == 1
+        assert rule.head.predicate == "Pattern"
+
+    def test_label_constraint_becomes_attribute_atom(self):
+        pattern = GroundPattern(clique_motif(["A", "B"]))
+        rule = pattern_to_rule(pattern)
+        attribute_atoms = [
+            element.atom
+            for element in rule.body
+            if hasattr(element, "atom") and element.atom.predicate == "attribute"
+        ]
+        assert len(attribute_atoms) == 2
+
+    def test_rule_is_safe(self, triangle_pattern):
+        rule = pattern_to_rule(triangle_pattern)
+        rule.check_safety()  # must not raise
+
+
+class TestEndToEnd:
+    def test_paper_example(self, paper_graph, triangle_pattern):
+        native = {frozenset(m.nodes.items())
+                  for m in find_matches(triangle_pattern, paper_graph)}
+        datalog = {frozenset(m.nodes.items())
+                   for m in match_with_datalog(triangle_pattern, paper_graph)}
+        assert native == datalog
+
+    def test_predicate_pattern(self, paper_graph):
+        motif = SimpleMotif()
+        motif.add_node("u", predicate=BinOp("==", ref("label"), Literal("B")))
+        pattern = GroundPattern(motif)
+        mappings = match_with_datalog(pattern, paper_graph)
+        assert sorted(m.nodes["u"] for m in mappings) == ["B1", "B2"]
+
+    def test_residual_cross_node_predicate(self, paper_graph):
+        motif = SimpleMotif()
+        motif.add_node("u1")
+        motif.add_node("u2")
+        motif.add_edge("u1", "u2")
+        where = BinOp("==", ref("u1.label"), ref("u2.label"))
+        pattern = GroundPattern(motif, where)
+        native = {frozenset(m.nodes.items())
+                  for m in find_matches(pattern, paper_graph)}
+        datalog = {frozenset(m.nodes.items())
+                   for m in match_with_datalog(pattern, paper_graph)}
+        assert native == datalog
+
+    def test_injectivity_enforced(self):
+        """Without the != builtins, u1=u2 mappings would appear."""
+        g = Graph("G")
+        g.add_node("x", label="A")
+        g.add_node("y", label="A")
+        g.add_edge("x", "y")
+        motif = SimpleMotif()
+        motif.add_node("u1", attrs={"label": "A"})
+        motif.add_node("u2", attrs={"label": "A"})
+        pattern = GroundPattern(motif)
+        mappings = match_with_datalog(pattern, g)
+        assert all(m.nodes["u1"] != m.nodes["u2"] for m in mappings)
+        assert len(mappings) == 2

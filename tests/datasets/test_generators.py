@@ -1,0 +1,150 @@
+"""Unit tests for the dataset generators (Section 5 workloads)."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datasets import (
+    clique_queries,
+    dblp_collection,
+    erdos_renyi_graph,
+    extract_connected_query,
+    extracted_queries,
+    go_term_labels,
+    label_universe,
+    ppi_network,
+    tiny_dblp,
+    top_labels,
+)
+from repro.datasets.queries import find_clique, seeded_clique_query
+from repro.matching import find_matches
+
+
+class TestErdosRenyi:
+    def test_sizes(self):
+        g = erdos_renyi_graph(100, 250, seed=1)
+        assert g.num_nodes() == 100
+        assert g.num_edges() == 250
+
+    def test_deterministic(self):
+        a = erdos_renyi_graph(50, 100, seed=9)
+        b = erdos_renyi_graph(50, 100, seed=9)
+        assert a.equals(b)
+
+    def test_different_seeds_differ(self):
+        a = erdos_renyi_graph(50, 100, seed=1)
+        b = erdos_renyi_graph(50, 100, seed=2)
+        assert not a.equals(b)
+
+    def test_zipf_label_skew(self):
+        g = erdos_renyi_graph(2000, 4000, num_labels=100, seed=3)
+        counts = Counter(n.label for n in g.nodes())
+        ordered = [c for _, c in counts.most_common()]
+        # most frequent label clearly dominates the tail
+        assert ordered[0] > 4 * ordered[-1]
+
+    def test_impossible_edge_count_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(3, 100, seed=1)
+
+    def test_no_self_loops_or_parallels(self):
+        g = erdos_renyi_graph(30, 60, seed=4)
+        seen = set()
+        for e in g.edges():
+            assert e.source != e.target
+            key = tuple(sorted((e.source, e.target)))
+            assert key not in seen
+            seen.add(key)
+
+
+class TestPPI:
+    def test_paper_scale_defaults(self):
+        g = ppi_network()
+        assert g.num_nodes() == 3112
+        assert g.num_edges() == 12519
+        labels = {n.label for n in g.nodes()}
+        assert len(labels) <= 183
+
+    def test_heavy_tail_degrees(self):
+        g = ppi_network(n=500, m=2000, seed=2)
+        degrees = sorted((g.degree(n) for n in g.node_ids()), reverse=True)
+        mean = sum(degrees) / len(degrees)
+        # hubs well above the mean (a uniform random graph would
+        # concentrate tightly around it)
+        assert degrees[0] > 3 * mean
+
+    def test_contains_cliques(self):
+        g = ppi_network(n=500, m=2000, seed=2)
+        rng = random.Random(0)
+        assert find_clique(g, 4, rng) is not None
+
+    def test_top_labels_ordering(self):
+        g = ppi_network(n=500, m=2000, seed=2)
+        top = top_labels(g, 10)
+        counts = Counter(n.label for n in g.nodes())
+        assert counts[top[0]] >= counts[top[-1]]
+        assert len(top) == 10
+
+    def test_label_names(self):
+        assert len(go_term_labels()) == 183
+        assert go_term_labels()[0].startswith("GO:")
+        assert len(label_universe(5)) == 5
+
+
+class TestDBLP:
+    def test_tiny_matches_fig_4_13(self):
+        c = tiny_dblp()
+        assert len(c) == 2
+        assert c[0].num_nodes() == 2
+        assert c[1].num_nodes() == 3
+        assert c[1].node("v3")["name"] == "A"  # the shared author
+
+    def test_collection_shape(self):
+        c = dblp_collection(num_papers=50, num_authors=20, seed=1)
+        assert len(c) == 50
+        for paper in c:
+            assert paper.get("booktitle") is not None
+            assert paper.num_edges() == 0
+            assert 1 <= paper.num_nodes() <= 4
+            for node in paper.nodes():
+                assert node.tag == "author"
+
+    def test_author_reuse(self):
+        c = dblp_collection(num_papers=100, num_authors=10, seed=1)
+        authors = Counter(
+            node["name"] for paper in c for node in paper.nodes()
+        )
+        assert authors.most_common(1)[0][1] > 5  # prolific authors recur
+
+
+class TestQueries:
+    def test_clique_queries_batch(self):
+        queries = clique_queries([2, 3], ["A", "B"], per_size=5, seed=1)
+        assert len(queries) == 10
+        assert queries[0].num_nodes() == 2
+        assert queries[-1].num_nodes() == 3
+
+    def test_seeded_clique_query_has_answer(self):
+        g = ppi_network(n=400, m=1600, seed=5)
+        rng = random.Random(1)
+        q = seeded_clique_query(g, 3, rng)
+        assert q is not None
+        assert find_matches(q, g, exhaustive=False)
+
+    def test_extracted_query_has_answer(self):
+        g = erdos_renyi_graph(200, 600, seed=6)
+        rng = random.Random(2)
+        q = extract_connected_query(g, 5, rng)
+        assert q.motif.is_connected()
+        assert find_matches(q, g, exhaustive=False)
+
+    def test_extracted_queries_batch(self):
+        g = erdos_renyi_graph(200, 600, seed=6)
+        queries = extracted_queries(g, [3, 4], per_size=3, seed=0)
+        assert len(queries) == 6
+
+    def test_extract_too_large_rejected(self):
+        g = erdos_renyi_graph(5, 4, seed=1)
+        with pytest.raises(ValueError):
+            extract_connected_query(g, 10, random.Random(0))

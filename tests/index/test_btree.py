@@ -1,0 +1,156 @@
+"""Unit and property tests for the B-tree index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import BTree
+
+
+class TestBasics:
+    def test_insert_and_get(self):
+        tree = BTree(min_degree=2)
+        tree.insert(5, "a")
+        tree.insert(3, "b")
+        tree.insert(5, "c")
+        assert tree.get(5) == ["a", "c"]
+        assert tree.get(3) == ["b"]
+        assert tree.get(99) == []
+        assert len(tree) == 3
+
+    def test_contains(self):
+        tree = BTree(min_degree=2)
+        tree.insert(1, "x")
+        assert 1 in tree
+        assert 2 not in tree
+
+    def test_min_max(self):
+        tree = BTree(min_degree=2)
+        for k in (5, 1, 9, 3):
+            tree.insert(k, k)
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+    def test_min_max_empty(self):
+        tree = BTree()
+        with pytest.raises(ValueError):
+            tree.min_key()
+        with pytest.raises(ValueError):
+            tree.max_key()
+
+    def test_bad_degree(self):
+        with pytest.raises(ValueError):
+            BTree(min_degree=1)
+
+    def test_items_sorted(self):
+        tree = BTree(min_degree=2)
+        keys = [7, 2, 9, 4, 1, 8, 3]
+        for k in keys:
+            tree.insert(k, str(k))
+        assert [k for k, _ in tree.items()] == sorted(keys)
+        assert list(tree.keys()) == sorted(keys)
+
+
+class TestRange:
+    def make(self):
+        tree = BTree(min_degree=2)
+        for k in range(10):
+            tree.insert(k, f"p{k}")
+        return tree
+
+    def test_closed_range(self):
+        tree = self.make()
+        assert [k for k, _ in tree.range(3, 6)] == [3, 4, 5, 6]
+
+    def test_open_ends(self):
+        tree = self.make()
+        assert [k for k, _ in tree.range(3, 6, include_low=False)] == [4, 5, 6]
+        assert [k for k, _ in tree.range(3, 6, include_high=False)] == [3, 4, 5]
+
+    def test_unbounded(self):
+        tree = self.make()
+        assert [k for k, _ in tree.range(None, 2)] == [0, 1, 2]
+        assert [k for k, _ in tree.range(8, None)] == [8, 9]
+        assert len(list(tree.range())) == 10
+
+    def test_empty_range(self):
+        tree = self.make()
+        assert list(tree.range(100, 200)) == []
+
+
+class TestDelete:
+    def test_delete_whole_key(self):
+        tree = BTree(min_degree=2)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1)
+        assert tree.get(1) == []
+        assert len(tree) == 0
+
+    def test_delete_one_payload(self):
+        tree = BTree(min_degree=2)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.delete(1, "a")
+        assert tree.get(1) == ["b"]
+        assert len(tree) == 1
+
+    def test_delete_missing(self):
+        tree = BTree(min_degree=2)
+        tree.insert(1, "a")
+        assert not tree.delete(2)
+        assert not tree.delete(1, "zzz")
+
+    def test_bulk_delete_keeps_invariants(self):
+        rng = random.Random(5)
+        tree = BTree(min_degree=2)
+        keys = list(range(200))
+        rng.shuffle(keys)
+        for k in keys:
+            tree.insert(k, k)
+        rng.shuffle(keys)
+        for k in keys[:150]:
+            assert tree.delete(k)
+            tree.validate()
+        remaining = sorted(keys[150:])
+        assert [k for k, _ in tree.items()] == remaining
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.sampled_from("IDR"), st.integers(0, 50)),
+        max_size=120,
+    ),
+    st.integers(2, 5),
+)
+def test_btree_behaves_like_sorted_multimap(operations, degree):
+    """Property: a B-tree agrees with a reference dict-of-lists under a
+    random interleaving of inserts, deletes and range scans."""
+    tree = BTree(min_degree=degree)
+    reference: dict = {}
+    counter = 0
+    for op, key in operations:
+        if op == "I":
+            counter += 1
+            tree.insert(key, counter)
+            reference.setdefault(key, []).append(counter)
+        elif op == "D":
+            expected = key in reference
+            assert tree.delete(key) == expected
+            reference.pop(key, None)
+        else:  # R: compare a window
+            low, high = key, key + 10
+            got = sorted((k, p) for k, p in tree.range(low, high))
+            want = sorted(
+                (k, p)
+                for k, payloads in reference.items()
+                if low <= k <= high
+                for p in payloads
+            )
+            assert got == want
+        tree.validate()
+    assert len(tree) == sum(len(v) for v in reference.values())
+    assert [k for k in tree.keys()] == sorted(reference)

@@ -1,0 +1,120 @@
+"""Integration tests for the repro-gql command line."""
+
+import pytest
+
+from repro.cli import main
+from repro.datasets import tiny_dblp
+from repro.storage import save_collection
+
+
+@pytest.fixture
+def dblp_file(tmp_path):
+    path = tmp_path / "dblp.gql"
+    save_collection(tiny_dblp(), path)
+    return str(path)
+
+
+@pytest.fixture
+def triangle_file(tmp_path, paper_graph):
+    from repro.core import GraphCollection
+    from repro.storage import save_collection as save
+
+    path = tmp_path / "net.gql"
+    save(GraphCollection([paper_graph]), path)
+    return str(path)
+
+
+class TestInfo:
+    def test_summarizes(self, dblp_file, capsys):
+        assert main(["info", dblp_file]) == 0
+        out = capsys.readouterr().out
+        assert "2 graph(s)" in out
+        assert "G1" in out and "G2" in out
+
+    def test_missing_file(self, capsys):
+        assert main(["info", "/nonexistent/x.gql"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestMatch:
+    def test_matches_pattern(self, triangle_file, tmp_path, capsys):
+        pattern = tmp_path / "q.gql"
+        pattern.write_text("""
+            graph P {
+                node u1 <label="A">; node u2 <label="B">; node u3 <label="C">;
+                edge e1 (u1, u2); edge e2 (u2, u3); edge e3 (u3, u1);
+            }
+        """)
+        assert main(["match", triangle_file, "--pattern", str(pattern)]) == 0
+        out = capsys.readouterr().out
+        assert "total: 1 mapping(s)" in out
+        assert "u1->A1" in out
+
+    def test_baseline_flag(self, triangle_file, tmp_path, capsys):
+        pattern = tmp_path / "q.gql"
+        pattern.write_text('graph P { node u <label="B">; }')
+        assert main(["match", triangle_file, "--pattern", str(pattern),
+                     "--baseline"]) == 0
+        assert "total: 2 mapping(s)" in capsys.readouterr().out
+
+    def test_bad_pattern(self, triangle_file, tmp_path, capsys):
+        pattern = tmp_path / "q.gql"
+        pattern.write_text("graph P { node ;;; }")
+        assert main(["match", triangle_file, "--pattern", str(pattern)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_coauthorship_program(self, dblp_file, tmp_path, capsys):
+        program = tmp_path / "prog.gql"
+        program.write_text("""
+            graph P { node v1 <author>; node v2 <author>; };
+            C := graph {};
+            for P exhaustive in doc("DBLP")
+            let C := graph {
+              graph C;
+              node P.v1, P.v2;
+              edge e1 (P.v1, P.v2);
+              unify P.v1, C.v1 where P.v1.name=C.v1.name;
+              unify P.v2, C.v2 where P.v2.name=C.v2.name;
+            }
+        """)
+        out_file = tmp_path / "result.gql"
+        assert main(["run", str(program), "--doc", f"DBLP={dblp_file}",
+                     "--out", str(out_file)]) == 0
+        text = out_file.read_text()
+        assert text.count("node") == 4
+        assert text.count("edge") == 4
+
+    def test_return_mode_prints_collection(self, dblp_file, tmp_path, capsys):
+        program = tmp_path / "prog.gql"
+        program.write_text("""
+            graph P { node v1 <author>; };
+            for P exhaustive in doc("DBLP")
+            return graph { node n <who=P.v1.name>; };
+        """)
+        assert main(["run", str(program), "--doc", f"DBLP={dblp_file}"]) == 0
+        out = capsys.readouterr().out
+        assert "5 graph(s)" in out
+
+    def test_bad_doc_binding(self, tmp_path, capsys):
+        program = tmp_path / "prog.gql"
+        program.write_text("C := graph {};")
+        assert main(["run", str(program), "--doc", "nopath"]) == 2
+
+
+class TestExplainFlag:
+    def test_explain_prints_plan(self, triangle_file, tmp_path, capsys):
+        pattern = tmp_path / "q.gql"
+        pattern.write_text("""
+            graph P {
+                node u1 <label="A">; node u2 <label="B">; node u3 <label="C">;
+                edge e1 (u1, u2); edge e2 (u2, u3); edge e3 (u3, u1);
+            }
+        """)
+        assert main(["match", triangle_file, "--pattern", str(pattern),
+                     "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "search order" in out
+        assert "Algorithm 4.2" in out
+        assert "Mapping(" not in out  # no search was run

@@ -1,0 +1,32 @@
+"""Documentation stays executable: GraphQL blocks in docs must parse."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.lang import parse_program
+
+DOCS = Path(__file__).resolve().parents[2] / "docs"
+
+
+def graphql_blocks(path: Path):
+    text = path.read_text(encoding="utf-8")
+    for block in re.findall(r"```\n(.*?)```", text, re.S):
+        if "graph" in block:
+            yield block
+
+
+@pytest.mark.parametrize("doc", ["language.md"])
+def test_doc_code_blocks_parse(doc):
+    blocks = list(graphql_blocks(DOCS / doc))
+    assert blocks, f"{doc} lost its examples?"
+    for block in blocks:
+        parse_program(block)  # raises on syntax regressions
+
+
+def test_readme_quickstart_pattern_parses():
+    readme = (DOCS.parent / "README.md").read_text(encoding="utf-8")
+    snippets = re.findall(r'"""\s*(graph.*?)"""', readme, re.S)
+    for snippet in snippets:
+        parse_program(snippet)

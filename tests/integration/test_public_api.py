@@ -1,0 +1,77 @@
+"""The public API surface: exports exist and the README quickstart runs."""
+
+import repro
+
+
+class TestExports:
+    def test_top_level_all_resolves(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_subpackage_all_resolves(self):
+        import repro.core
+        import repro.datalog
+        import repro.datasets
+        import repro.index
+        import repro.lang
+        import repro.matching
+        import repro.sqlbaseline
+        import repro.storage
+
+        for module in (repro.core, repro.datalog, repro.datasets, repro.index,
+                       repro.lang, repro.matching, repro.sqlbaseline,
+                       repro.storage):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_version(self):
+        assert repro.__version__
+
+
+class TestReadmeQuickstart:
+    def test_quickstart_block(self):
+        from repro import GraphDatabase
+        from repro.core import Graph
+
+        g = Graph("G")
+        for nid, label in [("A1", "A"), ("B1", "B"), ("C2", "C")]:
+            g.add_node(nid, label=label)
+        g.add_edge("A1", "B1")
+        g.add_edge("B1", "C2")
+        g.add_edge("C2", "A1")
+
+        db = GraphDatabase()
+        db.register("net", g)
+
+        reports = db.match("net", """
+            graph P {
+                node u1 <label="A">; node u2 <label="B">; node u3 <label="C">;
+                edge e1 (u1, u2); edge e2 (u2, u3); edge e3 (u3, u1);
+            }
+        """)
+        assert len(reports["G"].mappings) == 1
+        assert reports["G"].mappings[0].nodes == {
+            "u1": "A1", "u2": "B1", "u3": "C2",
+        }
+
+        env = db.query("""
+            graph Q { node a <label="A">; node b <label="B">; edge e (a, b); };
+            for Q exhaustive in doc("net")
+            return graph { node n <left=Q.a.label, right=Q.b.label>; };
+        """)
+        assert len(env["__result__"]) == 1
+
+    def test_package_docstring_quickstart(self):
+        """The snippet in repro/__init__'s docstring works as written."""
+        from repro import GraphDatabase
+        from repro.datasets import tiny_dblp
+
+        db = GraphDatabase()
+        db.register("DBLP", tiny_dblp())
+        env = db.query('''
+            graph P { node v1 <author>; node v2 <author>; };
+            for P exhaustive in doc("DBLP")
+            return graph { node v1 <name=P.v1.name>; node v2 <name=P.v2.name>;
+                           edge e1 (v1, v2); };
+        ''')
+        assert len(env["__result__"]) == 8

@@ -1,0 +1,189 @@
+"""Unit tests for AST → core lowering."""
+
+import pytest
+
+from repro.core import DictSource, Graph, GraphCollection
+from repro.lang import (
+    GraphQLCompileError,
+    compile_graph_text,
+    compile_pattern_text,
+    compile_program,
+)
+from repro.matching import find_matches
+
+
+class TestDataGraphs:
+    def test_fig_4_7(self):
+        graph = compile_graph_text("""
+            graph G <inproceedings> {
+                node v1 <title="Title1", year=2006>;
+                node v2 <author name="A">;
+                node v3 <author name="B">;
+            }
+        """)
+        assert graph.name == "G"
+        assert graph.tuple.tag == "inproceedings"
+        assert graph.node("v1")["year"] == 2006
+        assert graph.node("v2").tag == "author"
+        assert graph.num_edges() == 0
+
+    def test_edges_with_attrs(self):
+        graph = compile_graph_text("""
+            graph G { node a, b; edge e1 (a, b) <weight=3>; }
+        """)
+        assert graph.edge("e1")["weight"] == 3
+
+    def test_where_rejected_in_data_graph(self):
+        with pytest.raises(GraphQLCompileError):
+            compile_graph_text('graph G { node v1; } where v1.x = 1')
+
+    def test_predicate_node_rejected(self):
+        with pytest.raises(GraphQLCompileError):
+            compile_graph_text('graph G { node v1 where x = 1; }')
+
+
+class TestPatterns:
+    def test_fig_4_8_pattern_both_styles_equivalent(self, paper_graph):
+        outer = compile_pattern_text("""
+            graph P { node v1; node v2; }
+            where v1.label="A" & v2.label="B"
+        """)
+        inner = compile_pattern_text("""
+            graph P { node v1 where label="A"; node v2 where label="B"; }
+        """)
+        outer_matches = find_matches(outer.single(), paper_graph)
+        inner_matches = find_matches(inner.single(), paper_graph)
+        assert {frozenset(m.nodes.items()) for m in outer_matches} == {
+            frozenset(m.nodes.items()) for m in inner_matches
+        }
+        assert len(outer_matches) == 4  # 2 As x 2 Bs, no edges required
+
+    def test_triangle_pattern_text(self, paper_graph):
+        pattern = compile_pattern_text("""
+            graph P {
+                node u1 <label="A">; node u2 <label="B">; node u3 <label="C">;
+                edge e1 (u1, u2); edge e2 (u2, u3); edge e3 (u3, u1);
+            }
+        """)
+        matches = find_matches(pattern.single(), paper_graph)
+        assert len(matches) == 1
+        assert matches[0].nodes == {"u1": "A1", "u2": "B1", "u3": "C2"}
+
+    def test_disjunction_pattern(self, paper_graph):
+        pattern = compile_pattern_text("""
+            graph P { node u <label="A">; } | { node u <label="C">; }
+        """)
+        grounds = pattern.ground()
+        assert len(grounds) == 2
+        total = sum(len(find_matches(g, paper_graph)) for g in grounds)
+        assert total == 4
+
+    def test_nested_anonymous_disjunction_fig_4_5(self, paper_graph):
+        """The Fig. 4.5 motif: triangle or square on a base edge."""
+        pattern = compile_pattern_text("""
+            graph G4 {
+                node v1, v2;
+                edge e1 (v1, v2);
+                { node v3; edge e2 (v1, v3); edge e3 (v2, v3); }
+              | { node v3, v4; edge e2 (v1, v3); edge e3 (v2, v4);
+                  edge e4 (v3, v4); };
+            }
+        """)
+        grounds = pattern.ground()
+        assert len(grounds) == 2
+        assert grounds[0].num_nodes() == 3 and grounds[0].num_edges() == 3
+        assert grounds[1].num_nodes() == 4 and grounds[1].num_edges() == 4
+
+    def test_concatenation_by_reference(self):
+        compiled = compile_program("""
+            graph G1 { node v1, v2, v3;
+                       edge e1 (v1, v2); edge e2 (v2, v3); edge e3 (v3, v1); };
+            graph G2 { graph G1 as X; graph G1 as Y;
+                       edge e4 (X.v1, Y.v1); edge e5 (X.v3, Y.v2); };
+        """)
+        pattern = compiled.patterns["G2"]
+        grounds = pattern.ground(compiled.grammar)
+        assert len(grounds) == 1
+        assert grounds[0].num_nodes() == 6
+        assert grounds[0].num_edges() == 8
+
+    def test_recursive_path_pattern(self):
+        compiled = compile_program("""
+            graph Path { graph Path; node v1; edge e1 (v1, Path.v1);
+                         export Path.v2 as v2; export v1 as v1; }
+                       | { node v1, v2; edge e1 (v1, v2);
+                           export v1 as v1; export v2 as v2; };
+        """)
+        pattern = compiled.patterns["Path"]
+        assert pattern.is_recursive()
+        grounds = pattern.ground(compiled.grammar, max_depth=5)
+        sizes = sorted(g.num_nodes() for g in grounds)
+        assert sizes[0] == 2 and len(sizes) >= 3
+
+
+class TestTemplates:
+    def test_return_template_with_expressions(self):
+        compiled = compile_program("""
+            graph P { node v1 <author>; };
+            for P exhaustive in doc("D")
+            return graph { node n <who=P.v1.name>; };
+        """)
+        g = Graph("g")
+        g.tuple.set("booktitle", "X")
+        g.add_node("a", tag="author", name="Ann")
+        env = compiled.run(DictSource({"D": GraphCollection([g])}))
+        result = env["__result__"]
+        assert len(result) == 1
+        assert result[0].node("n")["who"] == "Ann"
+
+    def test_template_param_inference(self):
+        from repro.lang.compiler import compile_template
+        from repro.lang.parser import parse_graph_decl
+
+        template = compile_template(parse_graph_decl("""
+            graph {
+                graph C;
+                node P.v1;
+                edge e1 (P.v1, C.n0);
+            }
+        """))
+        assert template.params == ["C", "P"]
+
+
+class TestEndToEnd:
+    def test_fig_4_12_coauthorship(self):
+        from repro.datasets import tiny_dblp
+
+        compiled = compile_program("""
+            graph P {
+              node v1 <author>;
+              node v2 <author>;
+            } where P.booktitle="SIGMOD";
+            C := graph {};
+            for P exhaustive in doc("DBLP")
+            let C := graph {
+              graph C;
+              node P.v1, P.v2;
+              edge e1 (P.v1, P.v2);
+              unify P.v1, C.v1 where P.v1.name=C.v1.name;
+              unify P.v2, C.v2 where P.v2.name=C.v2.name;
+            }
+        """)
+        env = compiled.run(DictSource({"DBLP": tiny_dblp()}))
+        result = env["C"]
+        assert sorted(n["name"] for n in result.nodes()) == ["A", "B", "C", "D"]
+        assert result.num_edges() == 4
+
+    def test_booktitle_filter_applies(self):
+        from repro.datasets import tiny_dblp
+
+        compiled = compile_program("""
+            graph P {
+              node v1 <author>; node v2 <author>;
+            } where P.booktitle="VLDB";
+            C := graph {};
+            for P exhaustive in doc("DBLP")
+            let C := graph { graph C; node P.v1, P.v2; edge e1 (P.v1, P.v2); }
+        """)
+        env = compiled.run(DictSource({"DBLP": tiny_dblp()}))
+        assert env["C"].num_nodes() == 0  # nothing is from VLDB

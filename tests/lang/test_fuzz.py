@@ -1,0 +1,47 @@
+"""Fuzz tests: the front-end never crashes, it raises syntax errors."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import GraphQLCompileError, GraphQLSyntaxError, parse_program
+from repro.lang.compiler import compile_program
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.text(max_size=200))
+def test_parser_never_crashes_on_text(text):
+    """Arbitrary text either parses or raises a GraphQL error."""
+    try:
+        parse_program(text)
+    except GraphQLSyntaxError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(
+    alphabet="graphnode dge{}<>();,.=\"'|&123abcPCv ",
+    max_size=300,
+))
+def test_parser_never_crashes_on_tokenish_text(text):
+    """Token-shaped garbage is the adversarial case for a parser."""
+    try:
+        parse_program(text)
+    except GraphQLSyntaxError:
+        pass
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(
+    alphabet="graphnode dge{}<>();,.=\"'|&123abcPCv ",
+    max_size=200,
+))
+def test_compiler_never_crashes(text):
+    """Whatever parses either compiles or raises a compile error."""
+    try:
+        ast = parse_program(text)
+    except GraphQLSyntaxError:
+        return
+    try:
+        compile_program(ast)
+    except (GraphQLCompileError, ValueError):
+        pass

@@ -1,0 +1,88 @@
+"""Appendix 4.A grammar conformance: every production is exercised.
+
+One test per grammar production family, each parsing a minimal exemplar
+of the construct — so grammar regressions localize precisely.
+"""
+
+import pytest
+
+from repro.lang import GraphQLSyntaxError, parse_graph_decl, parse_program
+
+VALID_DECLS = {
+    "empty graph": "graph {}",
+    "named graph": "graph G {}",
+    "graph tuple": "graph G <t a=1> {}",
+    "node list": "graph { node v1, v2, v3; }",
+    "anonymous node": "graph { node; }",
+    "node tuple tag only": "graph { node v <author>; }",
+    "node tuple attrs": 'graph { node v <a=1 b="s" c=1.5>; }',
+    "node where": "graph { node v where x > 1; }",
+    "edge basic": "graph { node a, b; edge (a, b); }",
+    "edge named": "graph { node a, b; edge e1 (a, b); }",
+    "edge list": "graph { node a, b, c; edge e1 (a, b), e2 (b, c); }",
+    "edge tuple": "graph { node a, b; edge e (a, b) <w=2>; }",
+    "edge where": "graph { node a, b; edge e (a, b) where w > 1; }",
+    "graph member": "graph { graph G1; }",
+    "graph member list": "graph { graph G1, G2; }",
+    "graph member alias": "graph { graph G1 as X; }",
+    "unify": "graph { node a, b; unify a, b; }",
+    "unify three": "graph { node a, b, c; unify a, b, c; }",
+    "export": "graph { graph P; export P.v as v; }",
+    "top-level disjunction": "graph { node v; } | { node v, w; }",
+    "nested disjunction": "graph { node v; { node w; } | { node x; }; }",
+    "graph where": "graph { node v1, v2; } where v1.x = v2.x",
+    "dotted edge endpoints": "graph { graph X; edge e (X.v1, X.v2); }",
+}
+
+VALID_PROGRAMS = {
+    "pattern statement": "graph P { node v; };",
+    "assignment": "C := graph {};",
+    "for return": 'for graph P { node v; } in doc("D") '
+                  'return graph { node n; };',
+    "for named": 'graph P { node v; }; for P in doc("D") '
+                 'return graph { node n; };',
+    "for exhaustive": 'for graph P { node v; } exhaustive in doc("D") '
+                      'return graph { node n; };',
+    "for where": 'for graph P { node v; } in doc("D") where P.x > 1 '
+                 'return graph { node n; };',
+    "let with :=": 'for graph P { node v; } in doc("D") '
+                   'let C := graph { graph C; };',
+    "let with =": 'for graph P { node v; } in doc("D") '
+                  'let C = graph { graph C; };',
+    "template tuple exprs": 'for graph P { node v; } in doc("D") '
+                            'return graph { node n <x=P.v.a + 1>; };',
+    "template unify where": 'for graph P { node v; } in doc("D") '
+                            'let C := graph { graph C; node P.v; '
+                            'unify P.v, C.x where P.v.id = C.x.id; };',
+    "multiple statements": 'graph A { node v; }; graph B { node w; }; '
+                           'C := graph {};',
+}
+
+INVALID = {
+    "missing brace": "graph G { node v;",
+    "edge without parens": "graph { node a, b; edge e a, b; }",
+    "unify single name": "graph { node a; unify a; }",
+    "export without as": "graph { graph P; export P.v; }",
+    "for without in": 'for graph P { node v; } doc("D") '
+                      'return graph { node n; };',
+    "doc without string": "for graph P { node v; } in doc(D) "
+                          "return graph { node n; };",
+    "let without value": 'for graph P { node v; } in doc("D") let C :=;',
+    "stray token": "graph G {} trailing",
+}
+
+
+@pytest.mark.parametrize("name", sorted(VALID_DECLS))
+def test_valid_declaration(name):
+    parse_graph_decl(VALID_DECLS[name])
+
+
+@pytest.mark.parametrize("name", sorted(VALID_PROGRAMS))
+def test_valid_program(name):
+    parse_program(VALID_PROGRAMS[name])
+
+
+@pytest.mark.parametrize("name", sorted(INVALID))
+def test_invalid_input_rejected(name):
+    with pytest.raises(GraphQLSyntaxError):
+        parse_program(INVALID[name])

@@ -1,0 +1,60 @@
+"""Unit tests for the GraphQL tokenizer."""
+
+import pytest
+
+from repro.lang import GraphQLSyntaxError, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]  # drop EOF
+
+
+class TestTokens:
+    def test_keywords_vs_ids(self):
+        assert kinds("graph G") == [("keyword", "graph"), ("id", "G")]
+        assert kinds("Graph") == [("id", "Graph")]  # case sensitive
+
+    def test_numbers(self):
+        assert kinds("42") == [("int", 42)]
+        assert kinds("3.14") == [("float", 3.14)]
+
+    def test_number_then_dot_name(self):
+        # "v1.name" style: the dot after an int with no digit is a symbol
+        assert kinds("2.x") == [("int", 2), ("symbol", "."), ("id", "x")]
+
+    def test_strings_with_escapes(self):
+        assert kinds('"a\\"b"') == [("string", 'a"b')]
+        assert kinds("'sq'") == [("string", "sq")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(GraphQLSyntaxError):
+            tokenize('"oops')
+
+    def test_multi_char_symbols(self):
+        assert kinds(":= == != <= >= <>") == [
+            ("symbol", ":="), ("symbol", "=="), ("symbol", "!="),
+            ("symbol", "<="), ("symbol", ">="), ("symbol", "<>"),
+        ]
+
+    def test_single_symbols(self):
+        # spaced out so maximal munch does not form "<>"
+        assert kinds("{ } ( ) , ; . | & < > =") == [
+            ("symbol", c) for c in "{}(),;.|&<>="
+        ]
+
+    def test_comments_ignored(self):
+        assert kinds("graph // a comment\nG # more\n") == [
+            ("keyword", "graph"), ("id", "G"),
+        ]
+
+    def test_positions(self):
+        tokens = tokenize("graph\n  G")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_bad_character(self):
+        with pytest.raises(GraphQLSyntaxError):
+            tokenize("@")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"

@@ -1,0 +1,234 @@
+"""Unit tests for the GraphQL parser (Appendix 4.A grammar)."""
+
+import pytest
+
+from repro.core.predicate import AttrRef, BinOp, Literal
+from repro.lang import GraphQLSyntaxError, parse_expression, parse_graph_decl, parse_program
+from repro.lang.ast import (
+    AssignAst,
+    EdgeDeclAst,
+    ExportAst,
+    FLWRAst,
+    GraphDeclAst,
+    GraphMemberAst,
+    NestedBlocksAst,
+    NodeDeclAst,
+    UnifyAst,
+)
+
+
+class TestGraphDecls:
+    def test_fig_4_3_simple_motif(self):
+        decl = parse_graph_decl("""
+            graph G1 {
+                node v1, v2, v3;
+                edge e1 (v1, v2);
+                edge e2 (v2, v3);
+                edge e3 (v3, v1);
+            }
+        """)
+        assert decl.name == "G1"
+        (nodes, *edges) = decl.blocks[0].members
+        assert [n.name for n in nodes] == ["v1", "v2", "v3"]
+        assert edges[0][0].name == "e1"
+        assert (edges[0][0].source, edges[0][0].target) == ("v1", "v2")
+
+    def test_tuple_with_tag_and_attrs(self):
+        decl = parse_graph_decl('graph G { node v2 <author name="A">; }')
+        node = decl.blocks[0].members[0][0]
+        assert node.tuple.tag == "author"
+        assert node.tuple.entries == [("name", Literal("A"))]
+
+    def test_tuple_without_tag(self):
+        decl = parse_graph_decl('graph G { node v1 <title="T" year=2006>; }')
+        node = decl.blocks[0].members[0][0]
+        assert node.tuple.tag is None
+        assert dict(node.tuple.entries) == {
+            "title": Literal("T"), "year": Literal(2006),
+        }
+
+    def test_tuple_optional_commas(self):
+        decl = parse_graph_decl('graph G { node v1 <a=1, b=2>; }')
+        node = decl.blocks[0].members[0][0]
+        assert len(node.tuple.entries) == 2
+
+    def test_node_level_where(self):
+        decl = parse_graph_decl('graph P { node v1 where name="A"; }')
+        node = decl.blocks[0].members[0][0]
+        assert node.where == BinOp("==", AttrRef(("name",)), Literal("A"))
+
+    def test_graph_level_where(self):
+        decl = parse_graph_decl(
+            'graph P { node v1; node v2; } '
+            'where v1.name="A" & v2.year>2000'
+        )
+        assert decl.where is not None
+        assert decl.where.root_names() == {"v1", "v2"}
+
+    def test_graph_members_with_alias(self):
+        decl = parse_graph_decl("""
+            graph G2 {
+                graph G1 as X;
+                graph G1 as Y;
+                edge e4 (X.v1, Y.v1);
+            }
+        """)
+        members = [m for m in decl.blocks[0].members
+                   if isinstance(m, GraphMemberAst)]
+        assert [(m.refs[0][0], m.refs[0][1]) for m in members] == [
+            ("G1", "X"), ("G1", "Y"),
+        ]
+
+    def test_unify(self):
+        decl = parse_graph_decl("""
+            graph G3 { graph G1 as X; graph G1 as Y;
+                       unify X.v1, Y.v1; }
+        """)
+        unify = decl.blocks[0].members[-1]
+        assert isinstance(unify, UnifyAst)
+        assert unify.paths == ["X.v1", "Y.v1"]
+
+    def test_export(self):
+        decl = parse_graph_decl("""
+            graph Path { graph Path; node v1;
+                         edge e1 (v1, Path.v1);
+                         export Path.v2 as v2; }
+        """)
+        export = decl.blocks[0].members[-1]
+        assert isinstance(export, ExportAst)
+        assert export.path == "Path.v2" and export.alias == "v2"
+
+    def test_top_level_disjunction(self):
+        decl = parse_graph_decl("""
+            graph Path { node v1, v2; edge e1 (v1, v2); }
+                       | { node v1; }
+        """)
+        assert len(decl.blocks) == 2
+
+    def test_nested_anonymous_disjunction_fig_4_5(self):
+        decl = parse_graph_decl("""
+            graph G4 {
+                node v1, v2;
+                edge e1 (v1, v2);
+                { node v3; edge e2 (v1, v3); edge e3 (v2, v3); }
+              | { node v3, v4; edge e2 (v1, v3); edge e3 (v2, v4);
+                  edge e4 (v3, v4); };
+            }
+        """)
+        nested = [m for m in decl.blocks[0].members
+                  if isinstance(m, NestedBlocksAst)]
+        assert len(nested) == 1
+        assert len(nested[0].blocks) == 2
+
+    def test_anonymous_graph(self):
+        decl = parse_graph_decl("graph { node v1; }")
+        assert decl.name is None
+
+    def test_dotted_node_names_in_templates(self):
+        decl = parse_graph_decl("graph { node P.v1, P.v2; edge e1 (P.v1, P.v2); }")
+        nodes = decl.blocks[0].members[0]
+        assert [n.name for n in nodes] == ["P.v1", "P.v2"]
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = parse_expression("a.x = 1 & b.y > 2 | c.z < 3")
+        # | binds loosest
+        assert isinstance(expr, BinOp) and expr.op == "|"
+        assert expr.left.op == "&"
+
+    def test_equals_normalized(self):
+        assert parse_expression('x = 1') == parse_expression('x == 1')
+        assert parse_expression('x != 1') == parse_expression('x <> 1')
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expression("a.x + 2 * 3 == 7")
+        assert expr.op == "=="
+        assert expr.left.op == "+"
+        assert expr.left.right.op == "*"
+
+    def test_parentheses(self):
+        expr = parse_expression("(a.x + 2) * 3 == 7")
+        assert expr.left.op == "*"
+
+    def test_unary_minus(self):
+        expr = parse_expression("x < -5")
+        assert expr.right == BinOp("-", Literal(0), Literal(5))
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(GraphQLSyntaxError):
+            parse_expression("x == 1 1")
+
+
+class TestFLWR:
+    def test_for_named_pattern(self):
+        program = parse_program("""
+            graph P { node v1 <author>; };
+            for P exhaustive in doc("DBLP")
+            return graph { node n <who=P.v1.name>; };
+        """)
+        assert len(program.statements) == 2
+        flwr = program.statements[1]
+        assert isinstance(flwr, FLWRAst)
+        assert flwr.binding_name == "P"
+        assert flwr.exhaustive
+        assert flwr.source == "DBLP"
+        assert flwr.let_var is None
+
+    def test_for_inline_pattern_with_let(self):
+        program = parse_program("""
+            C := graph {};
+            for graph Q { node v1; } in doc("D")
+            let C := graph { graph C; node Q.v1; };
+        """)
+        assign, flwr = program.statements
+        assert isinstance(assign, AssignAst) and assign.name == "C"
+        assert flwr.pattern is not None and flwr.pattern.name == "Q"
+        assert flwr.let_var == "C"
+        assert not flwr.exhaustive
+
+    def test_for_where_clause(self):
+        program = parse_program("""
+            for graph P { node v1; } in doc("D") where P.year > 2000
+            return graph { node n; };
+        """)
+        assert program.statements[0].where is not None
+
+    def test_fig_4_12_full_query_parses(self):
+        program = parse_program("""
+            graph P {
+              node v1 <author>;
+              node v2 <author>;
+            } where P.booktitle="SIGMOD";
+            C := graph {};
+            for P exhaustive in doc("DBLP")
+            let C := graph {
+              graph C;
+              node P.v1, P.v2;
+              edge e1 (P.v1, P.v2);
+              unify P.v1, C.v1 where P.v1.name=C.v1.name;
+              unify P.v2, C.v2 where P.v2.name=C.v2.name;
+            }
+        """)
+        assert len(program.statements) == 3
+
+    def test_let_accepts_equals_sign(self):
+        program = parse_program("""
+            for graph P { node v1; } in doc("D")
+            let C = graph { node n; };
+        """)
+        assert program.statements[0].let_var == "C"
+
+
+class TestErrors:
+    def test_missing_brace(self):
+        with pytest.raises(GraphQLSyntaxError):
+            parse_graph_decl("graph G { node v1; ")
+
+    def test_bad_statement(self):
+        with pytest.raises(GraphQLSyntaxError):
+            parse_program("node v1;")
+
+    def test_edge_needs_parens(self):
+        with pytest.raises(GraphQLSyntaxError):
+            parse_graph_decl("graph G { node a, b; edge e a, b; }")

@@ -1,0 +1,80 @@
+"""Additional parser/compiler coverage: corner productions."""
+
+import pytest
+
+from repro.core import DictSource, Graph, GraphCollection
+from repro.lang import (
+    GraphQLSyntaxError,
+    compile_program,
+    parse_program,
+)
+from repro.lang.ast import FLWRAst
+
+
+class TestBareTemplateReference:
+    def test_return_bound_graph_by_name(self):
+        """``return C`` re-emits the graph bound to C per binding."""
+        program_text = """
+            C := graph { node seed <label="S">; };
+            for graph P { node v1; } in doc("D")
+            return C;
+        """
+        compiled = compile_program(program_text)
+        g = Graph("g")
+        g.add_node("x")
+        g.add_node("y")
+        env = compiled.run(DictSource({"D": GraphCollection([g])}))
+        result = env["__result__"]
+        assert len(result) == 1  # non-exhaustive: one binding
+        assert result[0].num_nodes() == 1
+        assert next(result[0].nodes())["label"] == "S"
+
+
+class TestNumericEdgeCases:
+    def test_float_attribute(self):
+        compiled = compile_program("C := graph { node v <score=2.5>; };")
+        env = compiled.run(DictSource({}))
+        assert env["C"].node("v")["score"] == 2.5
+
+    def test_negative_literal_in_where(self):
+        from repro.lang import compile_pattern_text
+        from repro.matching import find_matches
+
+        pattern = compile_pattern_text(
+            "graph P { node v where delta > -2; }"
+        ).single()
+        g = Graph()
+        g.add_node("a", delta=-1)
+        g.add_node("b", delta=-5)
+        matches = find_matches(pattern, g)
+        assert [m.nodes["v"] for m in matches] == ["a"]
+
+
+class TestKeywordsAsAttributeNames:
+    def test_doc_as_attribute_path_component(self):
+        """Keywords may appear inside dotted paths in expressions."""
+        from repro.lang import parse_expression
+
+        expr = parse_expression("v1.doc == 3")
+        assert expr.left.path == ("v1", "doc")
+
+
+class TestErrorPositions:
+    def test_error_mentions_line(self):
+        try:
+            parse_program("graph G {\n node v1\n}")
+        except GraphQLSyntaxError as exc:
+            assert exc.line >= 2
+        else:
+            pytest.fail("expected a syntax error")
+
+
+class TestExhaustiveDefaults:
+    def test_for_without_exhaustive_takes_first(self):
+        program = parse_program("""
+            for graph P { node v1; } in doc("D")
+            return graph { node n; };
+        """)
+        flwr = program.statements[0]
+        assert isinstance(flwr, FLWRAst)
+        assert not flwr.exhaustive

@@ -1,0 +1,110 @@
+"""Round-trip tests for the pattern pretty-printer."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Graph, GroundPattern
+from repro.core.motif import SimpleMotif, clique_motif
+from repro.lang import compile_pattern_text
+from repro.lang.printer import motif_to_text, pattern_to_text
+from repro.matching import find_matches
+
+
+class TestPrinter:
+    def test_triangle_round_trip(self, paper_graph, triangle_pattern):
+        text = pattern_to_text(triangle_pattern)
+        reparsed = compile_pattern_text(text).single()
+        before = {frozenset(m.nodes.items())
+                  for m in find_matches(triangle_pattern, paper_graph)}
+        after = {frozenset(m.nodes.items())
+                 for m in find_matches(reparsed, paper_graph)}
+        assert before == after
+
+    def test_predicates_survive(self, paper_graph):
+        original = compile_pattern_text("""
+            graph P { node v1 where label="A"; node v2; }
+            where v1.label != v2.label
+        """).single()
+        text = pattern_to_text(original)
+        reparsed = compile_pattern_text(text).single()
+        assert len(find_matches(reparsed, paper_graph)) == len(
+            find_matches(original, paper_graph)
+        )
+
+    def test_tags_and_edge_attrs(self):
+        motif = SimpleMotif()
+        motif.add_node("a", tag="author", attrs={"name": "X"})
+        motif.add_node("b")
+        motif.add_edge("a", "b", name="e1", attrs={"kind": "writes"})
+        text = motif_to_text(motif, "P")
+        assert "<author name=\"X\">" in text
+        assert "<kind=\"writes\">" in text
+        reparsed = compile_pattern_text(text).single()
+        assert reparsed.motif.node("a").tag == "author"
+        assert reparsed.motif.edge("e1").attrs == {"kind": "writes"}
+
+    def test_dotted_names_sanitized(self):
+        motif = SimpleMotif()
+        motif.add_node("X.v1", attrs={"label": "A"})
+        motif.add_node("X.v2", attrs={"label": "B"})
+        motif.add_edge("X.v1", "X.v2", name="X.e1")
+        text = pattern_to_text(GroundPattern(motif))
+        reparsed = compile_pattern_text(text).single()
+        assert set(reparsed.motif.node_names()) == {"X_v1", "X_v2"}
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10 ** 9))
+def test_printer_round_trip_preserves_matches(seed):
+    """Property: print -> parse gives a pattern with identical matches."""
+    rng = random.Random(seed)
+    graph = Graph("G")
+    for i in range(rng.randint(3, 7)):
+        graph.add_node(f"n{i}", label=rng.choice("AB"))
+    ids = graph.node_ids()
+    for _ in range(rng.randint(2, 10)):
+        a, b = rng.choice(ids), rng.choice(ids)
+        if a != b and not graph.has_edge(a, b):
+            graph.add_edge(a, b)
+    motif = SimpleMotif()
+    size = rng.randint(1, 3)
+    for i in range(size):
+        motif.add_node(f"u{i}", attrs={"label": rng.choice("AB")})
+    names = motif.node_names()
+    for _ in range(rng.randint(0, 3)):
+        a, b = rng.choice(names), rng.choice(names)
+        if a != b and not motif.edges_between(a, b):
+            motif.add_edge(a, b)
+    pattern = GroundPattern(motif)
+    reparsed = compile_pattern_text(pattern_to_text(pattern)).single()
+    before = {frozenset(m.nodes.items()) for m in find_matches(pattern, graph)}
+    after = {frozenset(m.nodes.items()) for m in find_matches(reparsed, graph)}
+    assert before == after
+
+
+class TestGraphPatternPrinter:
+    def test_disjunctive_pattern_renders_alternatives(self):
+        from repro.core import GraphPattern
+        from repro.core.motif import Disjunction, MotifBlock
+        from repro.lang.printer import graph_pattern_to_text
+
+        a = MotifBlock()
+        a.add_node("v", attrs={"label": "A"})
+        b = MotifBlock()
+        b.add_node("v", attrs={"label": "B"})
+        pattern = GraphPattern(Disjunction([a, b]), name="P")
+        text = graph_pattern_to_text(pattern)
+        assert text.count("|") == 1
+        assert '"A"' in text and '"B"' in text
+
+    def test_recursive_pattern_rejected(self):
+        from repro.core import GraphPattern
+        from repro.core.motif import MotifRef
+        from repro.lang.printer import graph_pattern_to_text
+
+        import pytest
+
+        with pytest.raises(ValueError):
+            graph_pattern_to_text(GraphPattern(MotifRef("Path")))

@@ -1,0 +1,137 @@
+"""Unit and property tests for approximate (edge-tolerant) matching."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Graph, GroundPattern
+from repro.core.motif import SimpleMotif, clique_motif
+from repro.matching import find_matches
+from repro.matching.approximate import find_approximate_matches
+
+
+def near_clique_graph() -> Graph:
+    """Labels A,B,C,D; the A-B-C-D 'clique' is missing the A-C edge."""
+    g = Graph()
+    for nid, label in [("a", "A"), ("b", "B"), ("c", "C"), ("d", "D")]:
+        g.add_node(nid, label=label)
+    for s, t in [("a", "b"), ("b", "c"), ("c", "d"), ("a", "d"), ("b", "d")]:
+        g.add_edge(s, t)
+    return g
+
+
+class TestApproximateMatching:
+    def test_zero_budget_equals_exact(self, paper_graph, triangle_pattern):
+        exact = {frozenset(m.nodes.items())
+                 for m in find_matches(triangle_pattern, paper_graph)}
+        approx = find_approximate_matches(triangle_pattern, paper_graph,
+                                          max_missing_edges=0)
+        assert {frozenset(m.mapping.nodes.items()) for m in approx} == exact
+        assert all(m.similarity == 1.0 for m in approx)
+
+    def test_one_missing_edge_found(self):
+        graph = near_clique_graph()
+        pattern = GroundPattern(clique_motif(["A", "B", "C", "D"]))
+        assert find_matches(pattern, graph) == []  # not exactly there
+        approx = find_approximate_matches(pattern, graph,
+                                          max_missing_edges=1)
+        assert len(approx) == 1
+        match = approx[0]
+        assert len(match.missing_edges) == 1
+        assert match.matched_edges == 5
+        assert match.similarity == 5 / 6
+
+    def test_budget_respected(self):
+        graph = near_clique_graph()
+        graph.remove_edge(graph.edge_between("b", "d").id)  # two edges short
+        pattern = GroundPattern(clique_motif(["A", "B", "C", "D"]))
+        assert find_approximate_matches(pattern, graph,
+                                        max_missing_edges=1) == []
+        approx = find_approximate_matches(pattern, graph,
+                                          max_missing_edges=2)
+        assert len(approx) == 1
+        assert len(approx[0].missing_edges) == 2
+
+    def test_exact_matches_ranked_first(self, paper_graph):
+        motif = SimpleMotif()
+        motif.add_node("u1", attrs={"label": "A"})
+        motif.add_node("u2", attrs={"label": "B"})
+        motif.add_edge("u1", "u2")
+        pattern = GroundPattern(motif)
+        approx = find_approximate_matches(pattern, paper_graph,
+                                          max_missing_edges=1)
+        missing_counts = [len(m.missing_edges) for m in approx]
+        assert missing_counts == sorted(missing_counts)
+        assert missing_counts[0] == 0  # A1-B1 and A2-B2 exist exactly
+
+    def test_node_constraints_stay_exact(self, paper_graph):
+        motif = SimpleMotif()
+        motif.add_node("u", attrs={"label": "Z"})  # no Z-labeled node
+        pattern = GroundPattern(motif)
+        assert find_approximate_matches(pattern, paper_graph,
+                                        max_missing_edges=5) == []
+
+    def test_limit(self, paper_graph):
+        motif = SimpleMotif()
+        motif.add_node("u1")
+        motif.add_node("u2")
+        motif.add_edge("u1", "u2")
+        approx = find_approximate_matches(GroundPattern(motif), paper_graph,
+                                          max_missing_edges=1, limit=3)
+        assert len(approx) <= 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10 ** 9))
+def test_budget_zero_equals_exact_on_random_graphs(seed):
+    rng = random.Random(seed)
+    graph = Graph()
+    for i in range(rng.randint(3, 7)):
+        graph.add_node(f"n{i}", label=rng.choice("AB"))
+    ids = graph.node_ids()
+    for _ in range(rng.randint(2, 10)):
+        a, b = rng.choice(ids), rng.choice(ids)
+        if a != b and not graph.has_edge(a, b):
+            graph.add_edge(a, b)
+    motif = SimpleMotif()
+    for i in range(rng.randint(1, 3)):
+        motif.add_node(f"u{i}", attrs={"label": rng.choice("AB")})
+    names = motif.node_names()
+    for _ in range(rng.randint(0, 3)):
+        a, b = rng.choice(names), rng.choice(names)
+        if a != b and not motif.edges_between(a, b):
+            motif.add_edge(a, b)
+    pattern = GroundPattern(motif)
+    exact = {frozenset(m.nodes.items())
+             for m in find_matches(pattern, graph)}
+    approx = find_approximate_matches(pattern, graph, max_missing_edges=0)
+    assert {frozenset(m.mapping.nodes.items()) for m in approx} == exact
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(0, 10 ** 9))
+def test_larger_budget_is_superset(seed):
+    rng = random.Random(seed)
+    graph = Graph()
+    for i in range(rng.randint(3, 6)):
+        graph.add_node(f"n{i}", label=rng.choice("AB"))
+    ids = graph.node_ids()
+    for _ in range(rng.randint(1, 8)):
+        a, b = rng.choice(ids), rng.choice(ids)
+        if a != b and not graph.has_edge(a, b):
+            graph.add_edge(a, b)
+    motif = SimpleMotif()
+    for i in range(rng.randint(2, 3)):
+        motif.add_node(f"u{i}", attrs={"label": rng.choice("AB")})
+    names = motif.node_names()
+    for _ in range(rng.randint(1, 3)):
+        a, b = rng.choice(names), rng.choice(names)
+        if a != b and not motif.edges_between(a, b):
+            motif.add_edge(a, b)
+    pattern = GroundPattern(motif)
+    tight = {frozenset(m.mapping.nodes.items())
+             for m in find_approximate_matches(pattern, graph, 0)}
+    loose = {frozenset(m.mapping.nodes.items())
+             for m in find_approximate_matches(pattern, graph, 1)}
+    assert tight <= loose

@@ -1,0 +1,32 @@
+"""Tests for the EXPLAIN-style access-plan rendering."""
+
+from repro.matching import GraphMatcher, MatchOptions, baseline_options
+
+
+class TestExplain:
+    def test_optimized_plan_sections(self, paper_graph, triangle_pattern):
+        matcher = GraphMatcher(paper_graph)
+        text = matcher.explain(triangle_pattern)
+        assert "retrieve + local pruning [profile]" in text
+        assert "refine (Algorithm 4.2)" in text
+        assert "greedy cost-based" in text
+        assert "space size 1" in text
+        # the Fig. 4.17/4.18 spaces appear in the plan
+        assert "u1:1, u2:2, u3:1" in text
+        assert "u1:1, u2:1, u3:1" in text
+
+    def test_baseline_plan(self, paper_graph, triangle_pattern):
+        matcher = GraphMatcher(paper_graph)
+        text = matcher.explain(triangle_pattern, baseline_options())
+        assert "[none]" in text
+        assert "refine: skipped" in text
+        assert "connected" in text
+        assert "space size 8" in text
+
+    def test_explain_does_not_run_search(self, paper_graph, triangle_pattern):
+        """explain must stay cheap: no mappings are materialized."""
+        matcher = GraphMatcher(paper_graph)
+        text = matcher.explain(
+            triangle_pattern, MatchOptions(local="profile", refine=True)
+        )
+        assert "Mapping(" not in text

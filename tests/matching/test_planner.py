@@ -1,0 +1,106 @@
+"""Unit tests for the full access-method pipeline (GraphMatcher)."""
+
+import pytest
+
+from repro.core import GraphPattern, GroundPattern
+from repro.core.motif import MotifBlock, clique_motif
+from repro.matching import (
+    GraphMatcher,
+    MatchOptions,
+    baseline_options,
+    optimized_options,
+)
+
+
+class TestPipeline:
+    def test_all_strategies_agree(self, paper_graph, triangle_pattern):
+        matcher = GraphMatcher(paper_graph)
+        expected = None
+        for local in ("none", "profile", "subgraph"):
+            for refine in (False, True):
+                for optimize in (False, True):
+                    options = MatchOptions(
+                        local=local, refine=refine, optimize_order=optimize
+                    )
+                    report = matcher.match(triangle_pattern, options)
+                    found = {frozenset(m.nodes.items()) for m in report.mappings}
+                    if expected is None:
+                        expected = found
+                    assert found == expected, (local, refine, optimize)
+
+    def test_space_sizes_follow_fig_4_17(self, paper_graph, triangle_pattern):
+        matcher = GraphMatcher(paper_graph)
+        profile_report = matcher.match(
+            triangle_pattern, MatchOptions(local="profile", refine=False)
+        )
+        subgraph_report = matcher.match(
+            triangle_pattern, MatchOptions(local="subgraph", refine=False)
+        )
+        refined_report = matcher.match(
+            triangle_pattern, MatchOptions(local="profile", refine=True)
+        )
+        assert profile_report.baseline_space == 8  # 2 x 2 x 2
+        assert profile_report.retrieved_space == 2  # {A1} x {B1,B2} x {C2}
+        assert subgraph_report.retrieved_space == 1
+        assert refined_report.refined_space == 1
+
+    def test_reduction_ratio(self, paper_graph, triangle_pattern):
+        matcher = GraphMatcher(paper_graph)
+        report = matcher.match(triangle_pattern, optimized_options())
+        assert report.reduction_ratio("retrieved") == pytest.approx(2 / 8)
+        assert report.reduction_ratio("refined") == pytest.approx(1 / 8)
+
+    def test_times_recorded(self, paper_graph, triangle_pattern):
+        matcher = GraphMatcher(paper_graph)
+        report = matcher.match(triangle_pattern, optimized_options())
+        for step in ("retrieve_baseline", "local_pruning", "refine",
+                     "order", "search"):
+            assert step in report.times
+        assert report.total_time >= 0
+
+    def test_limit(self, paper_graph):
+        motif = clique_motif(["A"])
+        matcher = GraphMatcher(paper_graph)
+        report = matcher.match(GroundPattern(motif),
+                               MatchOptions(limit=1))
+        assert len(report.mappings) == 1
+
+    def test_first_match_mode(self, paper_graph):
+        motif = clique_motif(["B"])
+        matcher = GraphMatcher(paper_graph)
+        report = matcher.match(GroundPattern(motif),
+                               MatchOptions(exhaustive=False))
+        assert len(report.mappings) == 1
+
+    def test_without_indexes(self, paper_graph, triangle_pattern):
+        matcher = GraphMatcher(paper_graph, build_attribute_index=False,
+                               build_profile_index=False)
+        report = matcher.match(triangle_pattern, optimized_options())
+        assert len(report.mappings) == 1
+
+    def test_option_presets(self):
+        base = baseline_options()
+        assert (base.local, base.refine, base.optimize_order) == (
+            "none", False, False,
+        )
+        opt = optimized_options(limit=7)
+        assert (opt.local, opt.refine, opt.optimize_order) == (
+            "profile", True, True,
+        )
+        assert opt.limit == 7
+
+
+class TestRecursivePatterns:
+    def test_match_pattern_unions_derivations(self, paper_graph):
+        from repro.core.motif import Disjunction
+
+        a = MotifBlock()
+        a.add_node("u", attrs={"label": "A"})
+        b = MotifBlock()
+        b.add_node("u", attrs={"label": "C"})
+        pattern = GraphPattern(Disjunction([a, b]), name="AorC")
+        matcher = GraphMatcher(paper_graph)
+        report = matcher.match_pattern(pattern)
+        labels = {paper_graph.node(m.nodes["u"]).label for m in report.mappings}
+        assert labels == {"A", "C"}
+        assert len(report.mappings) == 4

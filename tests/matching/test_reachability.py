@@ -1,0 +1,142 @@
+"""Unit and property tests for the reachability access method."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Graph
+from repro.matching.reachability import (
+    ReachabilityIndex,
+    match_path_pattern,
+)
+
+
+def directed_graph(edges, nodes=None) -> Graph:
+    g = Graph(directed=True)
+    node_ids = set()
+    for a, b in edges:
+        node_ids.add(a)
+        node_ids.add(b)
+    if nodes:
+        node_ids.update(nodes)
+    for n in sorted(node_ids):
+        g.add_node(n)
+    for a, b in edges:
+        g.add_edge(a, b)
+    return g
+
+
+class TestDirectedReachability:
+    def test_chain(self):
+        index = ReachabilityIndex(directed_graph([("a", "b"), ("b", "c")]))
+        assert index.reachable("a", "c")
+        assert not index.reachable("c", "a")
+        assert index.reachable("b", "b")
+
+    def test_diamond(self):
+        index = ReachabilityIndex(directed_graph(
+            [("s", "l"), ("s", "r"), ("l", "t"), ("r", "t")]
+        ))
+        assert index.reachable("s", "t")
+        assert not index.reachable("l", "r")
+
+    def test_cycle_collapses_to_component(self):
+        index = ReachabilityIndex(directed_graph(
+            [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d")]
+        ))
+        assert index.reachable("a", "c")
+        assert index.reachable("c", "a")  # inside the cycle
+        assert index.reachable("a", "d")
+        assert not index.reachable("d", "a")
+        assert index.component_of("a") == index.component_of("c")
+        assert index.component_of("d") != index.component_of("a")
+
+    def test_disconnected(self):
+        index = ReachabilityIndex(directed_graph(
+            [("a", "b")], nodes=["z"]
+        ))
+        assert not index.reachable("a", "z")
+        assert index.num_components() == 3
+
+    def test_two_cycles_bridged(self):
+        index = ReachabilityIndex(directed_graph(
+            [("a", "b"), ("b", "a"), ("b", "x"),
+             ("x", "y"), ("y", "x")]
+        ))
+        assert index.reachable("a", "y")
+        assert not index.reachable("y", "a")
+
+
+class TestUndirectedReachability:
+    def test_connected_components(self):
+        g = Graph()
+        for n in "abcde":
+            g.add_node(n)
+        g.add_edge("a", "b")
+        g.add_edge("b", "c")
+        g.add_edge("d", "e")
+        index = ReachabilityIndex(g)
+        assert index.reachable("a", "c")
+        assert index.reachable("c", "a")
+        assert not index.reachable("a", "d")
+        assert index.num_components() == 2
+
+
+class TestPathPatternMatching:
+    def test_labeled_endpoints(self):
+        g = Graph(directed=True)
+        g.add_node("s1", label="S")
+        g.add_node("s2", label="S")
+        g.add_node("m", label="M")
+        g.add_node("t1", label="T")
+        g.add_edge("s1", "m")
+        g.add_edge("m", "t1")
+        pairs = match_path_pattern(
+            g,
+            source_filter=lambda n: n.label == "S",
+            target_filter=lambda n: n.label == "T",
+        )
+        assert pairs == [("s1", "t1")]
+
+    def test_reuses_prebuilt_index(self):
+        g = directed_graph([("a", "b")])
+        index = ReachabilityIndex(g)
+        pairs = match_path_pattern(
+            g, lambda n: n.id == "a", lambda n: n.id == "b", index=index
+        )
+        assert pairs == [("a", "b")]
+
+
+def _bfs_reachable(graph: Graph, source: str, target: str) -> bool:
+    seen = {source}
+    stack = [source]
+    while stack:
+        node = stack.pop()
+        if node == target:
+            return True
+        for neighbor in graph.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                stack.append(neighbor)
+    return False
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.integers(0, 10 ** 9))
+def test_index_matches_bfs(seed):
+    """Property: the index agrees with plain BFS on random digraphs."""
+    rng = random.Random(seed)
+    n = rng.randint(2, 12)
+    g = Graph(directed=True)
+    for i in range(n):
+        g.add_node(f"n{i}")
+    ids = g.node_ids()
+    for _ in range(rng.randint(0, 3 * n)):
+        a, b = rng.choice(ids), rng.choice(ids)
+        if a != b and not g.has_edge(a, b):
+            g.add_edge(a, b)
+    index = ReachabilityIndex(g)
+    for _ in range(20):
+        s, t = rng.choice(ids), rng.choice(ids)
+        assert index.reachable(s, t) == (s == t or _bfs_reachable(g, s, t))

@@ -1,0 +1,113 @@
+"""Unit tests for Algorithm 4.2 (joint search-space reduction)."""
+
+from repro.core import GroundPattern
+from repro.core.motif import SimpleMotif, clique_motif, path_motif
+from repro.matching import (
+    RefinementStats,
+    find_matches,
+    refine_search_space,
+    scan_feasible_mates,
+    space_reduction_ratio,
+    space_size,
+)
+
+
+class TestPaperExample:
+    def test_fig_4_18_execution(self, paper_graph, triangle_pattern):
+        """Level 1 removes A2 and C1; level 2 removes B2."""
+        space = scan_feasible_mates(triangle_pattern, paper_graph)
+        stats = RefinementStats()
+        refined = refine_search_space(
+            triangle_pattern.motif, paper_graph, space, level=3, stats=stats
+        )
+        assert refined == {"u1": ["A1"], "u2": ["B1"], "u3": ["C2"]}
+        assert stats.pairs_removed == 3  # A2, C1, B2
+        assert stats.levels_run >= 2
+
+    def test_level_one_only(self, paper_graph, triangle_pattern):
+        """With a single level, only degree-driven removals happen."""
+        space = scan_feasible_mates(triangle_pattern, paper_graph)
+        refined = refine_search_space(
+            triangle_pattern.motif, paper_graph, space, level=1
+        )
+        # A2 and C1 go at level 1 (their neighborhoods cannot cover two
+        # distinct pattern neighbors); B2 needs the second level
+        assert refined["u1"] == ["A1"]
+        assert refined["u3"] == ["C2"]
+        assert refined["u2"] == ["B1", "B2"]
+
+
+class TestSoundness:
+    def test_never_removes_true_match(self, paper_graph, triangle_pattern):
+        space = scan_feasible_mates(triangle_pattern, paper_graph)
+        refined = refine_search_space(
+            triangle_pattern.motif, paper_graph, space, level=10
+        )
+        for mapping in find_matches(triangle_pattern, paper_graph):
+            for pattern_node, data_node in mapping.nodes.items():
+                assert data_node in refined[pattern_node]
+
+    def test_matches_unchanged_after_refinement(self, paper_graph, triangle_pattern):
+        space = scan_feasible_mates(triangle_pattern, paper_graph)
+        refined = refine_search_space(
+            triangle_pattern.motif, paper_graph, space, level=5
+        )
+        before = {frozenset(m.nodes.items())
+                  for m in find_matches(triangle_pattern, paper_graph)}
+        after = {frozenset(m.nodes.items())
+                 for m in find_matches(triangle_pattern, paper_graph,
+                                       candidates=refined)}
+        assert before == after
+
+
+class TestBehaviour:
+    def test_empty_space_stays_empty(self, paper_graph, triangle_pattern):
+        refined = refine_search_space(
+            triangle_pattern.motif, paper_graph,
+            {"u1": [], "u2": ["B1"], "u3": ["C2"]},
+        )
+        assert refined["u1"] == []
+
+    def test_isolated_pattern_node_untouched(self, paper_graph):
+        motif = SimpleMotif()
+        motif.add_node("solo", attrs={"label": "A"})
+        pattern = GroundPattern(motif)
+        space = scan_feasible_mates(pattern, paper_graph)
+        refined = refine_search_space(motif, paper_graph, space)
+        assert refined == space
+
+    def test_path_pattern_on_path_graph(self):
+        graph = path_motif(4).to_graph()
+        pattern = GroundPattern(path_motif(4))
+        space = scan_feasible_mates(pattern, graph)
+        refined = refine_search_space(pattern.motif, graph, space, level=5)
+        # end pattern nodes can only map to end graph nodes after
+        # refinement (interior nodes need two distinct neighbors)
+        assert set(refined["v1"]) <= {"v1", "v5"} or len(refined["v1"]) <= 5
+        # all true matches survive
+        for mapping in find_matches(pattern, graph):
+            for pattern_node, data_node in mapping.nodes.items():
+                assert data_node in refined[pattern_node]
+
+    def test_monotone_in_level(self, paper_graph, triangle_pattern):
+        space = scan_feasible_mates(triangle_pattern, paper_graph)
+        sizes = []
+        for level in (1, 2, 3, 4):
+            refined = refine_search_space(
+                triangle_pattern.motif, paper_graph, space, level=level
+            )
+            sizes.append(space_size(refined))
+        assert sizes == sorted(sizes, reverse=True)
+
+
+class TestSpaceMetrics:
+    def test_space_size(self):
+        assert space_size({"a": [1, 2], "b": [1, 2, 3]}) == 6
+        assert space_size({"a": []}) == 0
+
+    def test_reduction_ratio(self):
+        baseline = {"a": ["x", "y"], "b": ["x", "y"]}
+        refined = {"a": ["x"], "b": ["x"]}
+        assert space_reduction_ratio(refined, baseline) == 0.25
+        assert space_reduction_ratio({"a": [], "b": []}, baseline) == 0.0
+        assert space_reduction_ratio(refined, {"a": [], "b": []}) == 0.0

@@ -1,0 +1,54 @@
+"""Index staleness: matchers follow graph mutations automatically."""
+
+from repro.core import Graph, GroundPattern, clique_motif
+from repro.matching import GraphMatcher, optimized_options
+
+
+class TestVersioning:
+    def test_version_bumps_on_mutations(self):
+        g = Graph()
+        v0 = g.version
+        g.add_node("a")
+        assert g.version > v0
+        v1 = g.version
+        g.add_node("b")
+        g.add_edge("a", "b", edge_id="e1")
+        assert g.version > v1
+        v2 = g.version
+        g.remove_edge("e1")
+        assert g.version > v2
+        v3 = g.version
+        g.remove_node("b")
+        assert g.version > v3
+
+
+class TestMatcherRefresh:
+    def test_new_data_visible_after_mutation(self, paper_graph):
+        matcher = GraphMatcher(paper_graph)
+        pattern = GroundPattern(clique_motif(["A", "B", "C"]))
+        assert len(matcher.match(pattern, optimized_options()).mappings) == 1
+        # plant a second labeled triangle
+        paper_graph.add_node("A3", label="A")
+        paper_graph.add_node("B3", label="B")
+        paper_graph.add_node("C3", label="C")
+        paper_graph.add_edge("A3", "B3")
+        paper_graph.add_edge("B3", "C3")
+        paper_graph.add_edge("C3", "A3")
+        report = matcher.match(pattern, optimized_options())
+        assert len(report.mappings) == 2
+
+    def test_removed_data_disappears(self, paper_graph):
+        matcher = GraphMatcher(paper_graph)
+        pattern = GroundPattern(clique_motif(["A", "B", "C"]))
+        assert matcher.match(pattern).mappings
+        paper_graph.remove_edge(
+            paper_graph.edge_between("A1", "C2").id
+        )
+        assert matcher.match(pattern).mappings == []
+
+    def test_refresh_is_noop_without_mutation(self, paper_graph):
+        matcher = GraphMatcher(paper_graph)
+        assert not matcher.refresh()
+        paper_graph.add_node("zzz")
+        assert matcher.refresh()
+        assert not matcher.refresh()

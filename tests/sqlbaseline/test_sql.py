@@ -1,0 +1,193 @@
+"""Unit tests for the SQL parser, engine and graph translator."""
+
+import pytest
+
+from repro.core import GroundPattern
+from repro.core.motif import SimpleMotif, clique_motif
+from repro.matching import find_matches
+from repro.sqlbaseline import (
+    ColumnRef,
+    ExecutionStats,
+    RelationalDatabase,
+    SQLEngine,
+    SQLGraphMatcher,
+    SQLSyntaxError,
+    TranslationError,
+    WorkBudgetExceeded,
+    load_graph,
+    parse_sql,
+    pattern_to_sql,
+)
+
+
+class TestParser:
+    def test_fig_4_2_query_parses(self):
+        query = parse_sql("""
+            SELECT V1.vid, V2.vid, V3.vid
+            FROM V AS V1, V AS V2, V AS V3, E AS E1, E AS E2, E AS E3
+            WHERE V1.label = 'A' AND V2.label = 'B' AND V3.label = 'C'
+              AND V1.vid = E1.vid1 AND V1.vid = E3.vid1
+              AND V2.vid = E1.vid2 AND V2.vid = E2.vid1
+              AND V3.vid = E2.vid2 AND V3.vid = E3.vid2
+              AND V1.vid <> V2.vid AND V1.vid <> V3.vid
+              AND V2.vid <> V3.vid;
+        """)
+        assert len(query.tables) == 6
+        assert len(query.where) == 12
+        assert query.select == [
+            ColumnRef("V1", "vid"), ColumnRef("V2", "vid"), ColumnRef("V3", "vid"),
+        ]
+
+    def test_select_star(self):
+        query = parse_sql("SELECT * FROM T AS t")
+        assert query.select_star
+
+    def test_alias_without_as(self):
+        query = parse_sql("SELECT t.a FROM T t WHERE t.a = 1")
+        assert query.tables == [("T", "t")]
+
+    def test_numeric_and_string_literals(self):
+        query = parse_sql("SELECT t.a FROM T t WHERE t.a > 3.5 AND t.b = 'x'")
+        assert query.where[0].right == 3.5
+        assert query.where[1].right == "x"
+
+    def test_not_equals_normalized(self):
+        query = parse_sql("SELECT t.a FROM T t WHERE t.a != 1")
+        assert query.where[0].op == "<>"
+
+    def test_syntax_errors(self):
+        for bad in (
+            "FROM T", "SELECT FROM T", "SELECT t.a FROM",
+            "SELECT t.a FROM T WHERE", "SELECT bare FROM T t",
+        ):
+            with pytest.raises(SQLSyntaxError):
+                parse_sql(bad)
+
+
+class TestEngine:
+    def make_db(self):
+        db = RelationalDatabase()
+        t = db.create_table("T", ["id", "val"])
+        t.insert_many([(1, "a"), (2, "b"), (3, "a")])
+        u = db.create_table("U", ["ref", "score"])
+        u.insert_many([(1, 10), (1, 20), (3, 30)])
+        for table, col in (("T", "id"), ("T", "val"), ("U", "ref")):
+            db.table(table).create_index(col)
+        return db
+
+    def test_single_table_filter(self):
+        engine = SQLEngine(self.make_db())
+        rows = engine.execute("SELECT t.id FROM T t WHERE t.val = 'a'")
+        assert sorted(rows) == [(1,), (3,)]
+
+    def test_join(self):
+        engine = SQLEngine(self.make_db())
+        rows = engine.execute(
+            "SELECT t.id, u.score FROM T t, U u WHERE t.id = u.ref"
+        )
+        assert sorted(rows) == [(1, 10), (1, 20), (3, 30)]
+
+    def test_join_with_inequality(self):
+        engine = SQLEngine(self.make_db())
+        rows = engine.execute(
+            "SELECT t.id, u.score FROM T t, U u "
+            "WHERE t.id = u.ref AND u.score > 15"
+        )
+        assert sorted(rows) == [(1, 20), (3, 30)]
+
+    def test_select_star_joins(self):
+        engine = SQLEngine(self.make_db())
+        rows = engine.execute(
+            "SELECT * FROM T t, U u WHERE t.id = u.ref AND u.score = 30"
+        )
+        assert rows == [(3, "a", 3, 30)]
+
+    def test_limit(self):
+        engine = SQLEngine(self.make_db())
+        rows = engine.execute("SELECT t.id FROM T t", limit=2)
+        assert len(rows) == 2
+
+    def test_stats_and_index_use(self):
+        engine = SQLEngine(self.make_db())
+        stats = ExecutionStats()
+        engine.execute(
+            "SELECT t.id FROM T t WHERE t.val = 'a'", stats=stats
+        )
+        assert stats.index_lookups >= 1
+        assert stats.results == 2
+
+    def test_work_budget(self):
+        engine = SQLEngine(self.make_db())
+        with pytest.raises(WorkBudgetExceeded):
+            engine.execute(
+                "SELECT t.id, u.score FROM T t, U u",  # cross product
+                max_rows_examined=3,
+            )
+
+    def test_constant_false_predicate(self):
+        engine = SQLEngine(self.make_db())
+        db = self.make_db()
+        rows = engine.execute("SELECT t.id FROM T t WHERE t.id = 99")
+        assert rows == []
+
+    def test_greedy_join_order(self):
+        engine = SQLEngine(self.make_db(), join_order="greedy")
+        rows = engine.execute(
+            "SELECT t.id, u.score FROM U u, T t "
+            "WHERE t.id = u.ref AND t.val = 'a'"
+        )
+        assert sorted(rows) == [(1, 10), (1, 20), (3, 30)]
+
+    def test_unknown_alias_rejected(self):
+        engine = SQLEngine(self.make_db())
+        from repro.sqlbaseline import SchemaError
+
+        with pytest.raises(SchemaError):
+            engine.execute("SELECT z.id FROM T t")
+
+
+class TestTranslator:
+    def test_load_graph_doubles_undirected_edges(self, paper_graph):
+        db = load_graph(paper_graph)
+        assert len(db.table("V")) == 6
+        assert len(db.table("E")) == 12  # 6 edges x 2 orientations
+
+    def test_directed_graph_single_orientation(self):
+        from repro.core import Graph
+
+        g = Graph(directed=True)
+        g.add_node("a", label="A")
+        g.add_node("b", label="B")
+        g.add_edge("a", "b")
+        db = load_graph(g)
+        assert len(db.table("E")) == 1
+
+    def test_sql_text_shape(self, triangle_pattern):
+        sql = pattern_to_sql(triangle_pattern)
+        assert sql.count("V AS") == 3
+        assert sql.count("E AS") == 3
+        assert sql.count("<>") == 3
+
+    def test_matches_equal_native(self, paper_graph, triangle_pattern):
+        sql_matcher = SQLGraphMatcher(paper_graph)
+        native = {frozenset(m.nodes.items())
+                  for m in find_matches(triangle_pattern, paper_graph)}
+        relational = {frozenset(m.nodes.items())
+                      for m in sql_matcher.match(triangle_pattern)}
+        assert native == relational
+
+    def test_untranslatable_pattern_rejected(self):
+        motif = SimpleMotif()
+        motif.add_node("u", attrs={"label": "A", "extra": 1})
+        with pytest.raises(TranslationError):
+            pattern_to_sql(GroundPattern(motif))
+
+    def test_residual_predicate_rejected(self):
+        from repro.core.predicate import AttrRef, BinOp
+
+        motif = SimpleMotif()
+        motif.add_node("u1")
+        motif.add_node("u2")
+        where = BinOp("==", AttrRef(("u1", "label")), AttrRef(("u2", "label")))
+        with pytest.raises(TranslationError):
+            pattern_to_sql(GroundPattern(motif, where))

@@ -1,0 +1,104 @@
+"""Unit tests for the buffer pool (LRU page cache)."""
+
+import pytest
+
+from repro.storage.pager import PAGE_SIZE, PageFile, RecordFile
+from repro.storage.buffer import BufferPool
+
+
+def filled_pagefile(tmp_path, pages=10):
+    pf = PageFile(str(tmp_path / "buf.db"))
+    for i in range(pages):
+        page_no = pf.allocate_page()
+        pf.write_page(page_no, bytes([i % 256]) * PAGE_SIZE)
+    return pf
+
+
+class TestCaching:
+    def test_hit_after_first_read(self, tmp_path):
+        with BufferPool(filled_pagefile(tmp_path), capacity=4) as pool:
+            pool.read_page(1)
+            pool.read_page(1)
+            assert pool.stats.hits == 1
+            assert pool.stats.misses == 1
+            assert pool.stats.hit_rate == 0.5
+
+    def test_lru_eviction(self, tmp_path):
+        with BufferPool(filled_pagefile(tmp_path), capacity=2) as pool:
+            pool.read_page(1)
+            pool.read_page(2)
+            pool.read_page(3)  # evicts page 1
+            assert pool.stats.evictions == 1
+            pool.read_page(2)  # still cached
+            assert pool.stats.hits == 1
+            pool.read_page(1)  # miss again
+            assert pool.stats.misses == 4
+
+    def test_recency_updated_on_hit(self, tmp_path):
+        with BufferPool(filled_pagefile(tmp_path), capacity=2) as pool:
+            pool.read_page(1)
+            pool.read_page(2)
+            pool.read_page(1)  # refresh page 1
+            pool.read_page(3)  # should evict page 2, not 1
+            pool.read_page(1)
+            assert pool.stats.hits == 2
+
+    def test_capacity_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            BufferPool(filled_pagefile(tmp_path), capacity=0)
+
+
+class TestWriteBack:
+    def test_dirty_page_flushed_on_close(self, tmp_path):
+        path = tmp_path / "wb.db"
+        pf = PageFile(str(path))
+        page_no = pf.allocate_page()
+        with BufferPool(pf, capacity=2) as pool:
+            pool.write_page(page_no, b"\x07" * PAGE_SIZE)
+        with PageFile(str(path)) as reopened:
+            assert reopened.read_page(page_no) == b"\x07" * PAGE_SIZE
+
+    def test_dirty_page_flushed_on_eviction(self, tmp_path):
+        pf = filled_pagefile(tmp_path, pages=5)
+        with BufferPool(pf, capacity=1) as pool:
+            pool.write_page(1, b"\xaa" * PAGE_SIZE)
+            pool.read_page(2)  # evicts dirty page 1
+            assert pool.stats.writebacks == 1
+            assert pool.read_page(1) == b"\xaa" * PAGE_SIZE
+
+    def test_read_through_write_cache(self, tmp_path):
+        pf = filled_pagefile(tmp_path)
+        with BufferPool(pf, capacity=4) as pool:
+            pool.write_page(1, b"\x11" * PAGE_SIZE)
+            assert pool.read_page(1) == b"\x11" * PAGE_SIZE
+            assert pool.stats.hits == 1  # served from the dirty frame
+
+
+class TestInterfaceCompatibility:
+    def test_record_file_over_buffer_pool(self, tmp_path):
+        """RecordFile works unchanged on top of the buffer pool."""
+        pf = PageFile(str(tmp_path / "rf.db"))
+        with BufferPool(pf, capacity=4) as pool:
+            rf = RecordFile(pool)
+            ids = [rf.insert(f"rec{i}".encode()) for i in range(100)]
+            for i, rid in enumerate(ids):
+                assert rf.read(rid) == f"rec{i}".encode()
+            assert pool.stats.hits > 0
+
+    def test_clustered_layout_improves_hit_rate(self, tmp_path):
+        """Sequential page access through a small pool beats random."""
+        import random
+
+        pf = filled_pagefile(tmp_path, pages=40)
+        sequential = BufferPool(pf, capacity=4)
+        for page_no in range(1, 41):
+            for _ in range(3):
+                sequential.read_page(page_no)
+        rng = random.Random(0)
+        random_pool = BufferPool(pf, capacity=4)
+        accesses = [page for page in range(1, 41) for _ in range(3)]
+        rng.shuffle(accesses)
+        for page_no in accesses:
+            random_pool.read_page(page_no)
+        assert sequential.stats.hit_rate > random_pool.stats.hit_rate
+        sequential.close()

@@ -1,0 +1,78 @@
+"""Tests for database-level selection with automatic collection indexing."""
+
+from repro.core import select as scan_select
+from repro.datasets import (
+    benzene_ring_pattern,
+    molecule_collection,
+    ring_with_side_chain_pattern,
+    tiny_dblp,
+)
+from repro.storage import GraphDatabase
+
+
+class TestDatabaseSelect:
+    def test_large_collection_gets_index(self):
+        db = GraphDatabase()
+        db.register("mols", molecule_collection(num_molecules=80, seed=2))
+        index = db.collection_index_for("mols")
+        assert index is not None
+        # cached: the same object comes back
+        assert db.collection_index_for("mols") is index
+
+    def test_small_collection_scans(self):
+        db = GraphDatabase()
+        db.register("d", tiny_dblp())
+        assert db.collection_index_for("d") is None
+        result = db.select("d", "graph P { node v <author name=\"A\">; }")
+        assert len(result) == 2  # A appears in both papers
+
+    def test_indexed_select_equals_scan(self):
+        db = GraphDatabase()
+        collection = molecule_collection(num_molecules=80, seed=2)
+        db.register("mols", collection)
+        for pattern in (benzene_ring_pattern(),
+                        ring_with_side_chain_pattern("S")):
+            indexed = db.select("mols", pattern, exhaustive=False)
+            scanned = scan_select(collection, pattern, exhaustive=False)
+            assert len(indexed) == len(scanned)
+
+    def test_reregister_rebuilds_index(self):
+        db = GraphDatabase()
+        db.register("mols", molecule_collection(num_molecules=80, seed=2))
+        first = db.collection_index_for("mols")
+        db.register("mols", molecule_collection(num_molecules=80, seed=3))
+        second = db.collection_index_for("mols")
+        assert first is not second
+
+
+class TestDatabasePersistence:
+    def test_save_all_and_open(self, tmp_path, paper_graph):
+        db = GraphDatabase()
+        db.register("dblp", tiny_dblp())
+        db.register("net", paper_graph)
+        db.save_all(tmp_path / "dbdir")
+        reopened = GraphDatabase.open(tmp_path / "dbdir")
+        assert sorted(reopened.names()) == ["dblp", "net"]
+        assert len(reopened.doc("dblp")) == 2
+        assert reopened.doc("net")[0].equals(paper_graph)
+
+    def test_directedness_preserved(self, tmp_path):
+        from repro.core import Graph
+
+        g = Graph("d", directed=True)
+        g.add_node("a")
+        g.add_node("b")
+        g.add_edge("a", "b")
+        db = GraphDatabase()
+        db.register("dir", g)
+        db.save_all(tmp_path / "dbdir")
+        reopened = GraphDatabase.open(tmp_path / "dbdir")
+        back = reopened.doc("dir")[0]
+        assert back.directed
+        assert back.has_edge("a", "b") and not back.has_edge("b", "a")
+
+    def test_open_missing_manifest(self, tmp_path):
+        import pytest
+
+        with pytest.raises(FileNotFoundError):
+            GraphDatabase.open(tmp_path)
