@@ -31,6 +31,7 @@ from repro.matching import (
     baseline_options,
     optimized_options,
 )
+from repro.runtime import ExecutionContext, Outcome
 from repro.sqlbaseline import ExecutionStats, SQLGraphMatcher, WorkBudgetExceeded
 
 FULL_SCALE = os.environ.get("REPRO_FULL_SCALE") == "1"
@@ -164,14 +165,21 @@ def synthetic_query_workload(
 class QueryResult:
     """One query's measurements across configurations."""
 
-    __slots__ = ("hits", "ratios", "times", "sql_time", "sql_aborted")
+    __slots__ = ("hits", "ratios", "times", "outcomes", "sql_time",
+                 "sql_aborted")
 
     def __init__(self) -> None:
         self.hits = 0
         self.ratios: Dict[str, float] = {}
         self.times: Dict[str, float] = {}
+        self.outcomes: Dict[str, Outcome] = {}
         self.sql_time: Optional[float] = None
         self.sql_aborted = False
+
+    @property
+    def timed_out(self) -> bool:
+        """Whether any configuration hit its per-run deadline."""
+        return any(o is Outcome.TIMED_OUT for o in self.outcomes.values())
 
 
 def measure_query(
@@ -179,49 +187,61 @@ def measure_query(
     query: GroundPattern,
     sql_matcher: Optional[SQLGraphMatcher] = None,
     radius: int = 1,
+    timeout: Optional[float] = None,
 ) -> QueryResult:
-    """Run one query through every configuration the figures need."""
+    """Run one query through every configuration the figures need.
+
+    *timeout* optionally bounds each configuration's run with its own
+    fresh :class:`ExecutionContext` (a per-run wall-clock deadline, so a
+    pathological query cannot stall the whole benchmark sweep); the
+    per-configuration outcomes land in ``result.outcomes``.
+    """
     result = QueryResult()
 
-    profile_report = matcher.match(
-        query, MatchOptions(local="profile", refine=False,
-                            optimize_order=True, limit=HIT_LIMIT,
-                            radius=radius),
+    def run(name: str, options: MatchOptions):
+        context = (ExecutionContext(timeout=timeout)
+                   if timeout is not None else None)
+        report = matcher.match(query, options, context=context)
+        result.outcomes[name] = report.outcome.status
+        return report
+
+    profile_report = run(
+        "profiles", MatchOptions(local="profile", refine=False,
+                                 optimize_order=True, limit=HIT_LIMIT,
+                                 radius=radius),
     )
     result.hits = len(profile_report.mappings)
     result.ratios["profiles"] = profile_report.reduction_ratio("retrieved")
-    result.times["retrieve_profiles"] = profile_report.times["local_pruning"]
+    result.times["retrieve_profiles"] = profile_report.times.get("local_pruning", 0.0)
 
-    subgraph_report = matcher.match(
-        query, MatchOptions(local="subgraph", refine=False,
-                            optimize_order=True, limit=HIT_LIMIT,
-                            radius=radius),
+    subgraph_report = run(
+        "subgraphs", MatchOptions(local="subgraph", refine=False,
+                                  optimize_order=True, limit=HIT_LIMIT,
+                                  radius=radius),
     )
     result.ratios["subgraphs"] = subgraph_report.reduction_ratio("retrieved")
-    result.times["retrieve_subgraphs"] = subgraph_report.times["local_pruning"]
+    result.times["retrieve_subgraphs"] = subgraph_report.times.get("local_pruning", 0.0)
 
-    refined_report = matcher.match(
-        query, MatchOptions(local="profile", refine=True,
-                            optimize_order=True, limit=HIT_LIMIT,
-                            radius=radius),
+    refined_report = run(
+        "refined", MatchOptions(local="profile", refine=True,
+                                optimize_order=True, limit=HIT_LIMIT,
+                                radius=radius),
     )
     result.ratios["refined"] = refined_report.reduction_ratio("refined")
-    result.times["refine"] = refined_report.times["refine"]
+    result.times["refine"] = refined_report.times.get("refine", 0.0)
     result.times["optimized_total"] = refined_report.total_time
     # search over the refined space with the optimized order — compare
     # against search_no_opt below, which uses the same space
-    result.times["search_opt"] = refined_report.times["search"]
+    result.times["search_opt"] = refined_report.times.get("search", 0.0)
 
-    unordered_report = matcher.match(
-        query, MatchOptions(local="profile", refine=True,
-                            optimize_order=False, limit=HIT_LIMIT,
-                            radius=radius),
+    unordered_report = run(
+        "no_opt", MatchOptions(local="profile", refine=True,
+                               optimize_order=False, limit=HIT_LIMIT,
+                               radius=radius),
     )
-    result.times["search_no_opt"] = unordered_report.times["search"]
+    result.times["search_no_opt"] = unordered_report.times.get("search", 0.0)
 
-    baseline_report = matcher.match(
-        query, baseline_options(limit=HIT_LIMIT),
-    )
+    baseline_report = run("baseline", baseline_options(limit=HIT_LIMIT))
     result.times["baseline_total"] = baseline_report.total_time
 
     if sql_matcher is not None:

@@ -41,6 +41,13 @@ from .core import (
 from .interop import from_networkx, to_networkx
 from .lang import compile_pattern_text, compile_program
 from .matching import GraphMatcher, MatchOptions, baseline_options, optimized_options
+from .runtime import (
+    CancellationToken,
+    ExecutionContext,
+    ExecutionInterrupted,
+    Outcome,
+    QueryOutcome,
+)
 from .storage import GraphDatabase, GraphStore
 
 __version__ = "1.0.0"
@@ -64,6 +71,11 @@ __all__ = [
     "optimized_options",
     "GraphDatabase",
     "GraphStore",
+    "CancellationToken",
+    "ExecutionContext",
+    "ExecutionInterrupted",
+    "Outcome",
+    "QueryOutcome",
     "from_networkx",
     "to_networkx",
     "__version__",

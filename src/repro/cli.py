@@ -4,28 +4,57 @@ Usage examples::
 
     repro-gql info data.gql
     repro-gql match data.gql --pattern query.gql [--baseline] [--explain]
+    repro-gql match data.gql --pattern query.gql --timeout 1 --max-steps 100000
     repro-gql run program.gql --doc DBLP=papers.gql --out result.gql
+    repro-gql stress --seed 7 --queries 20 --timeout 5
 
 Files use the GraphQL concrete syntax (see ``repro.storage.serializer``);
 a data file holds one or more ``graph`` declarations.
+
+Exit codes reflect the governance outcome: ``COMPLETE`` and ``TRUNCATED``
+runs exit 0 (partial results under a cap are valid answers, like the
+paper's 1000-answer termination rule), ``TIMED_OUT`` exits 3 and
+``CANCELLED`` exits 4.
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional
 
 from .core import Graph, GraphCollection
 from .lang import compile_pattern_text
-from .matching import baseline_options, optimized_options
+from .matching import GraphMatcher, baseline_options, optimized_options
+from .runtime import ExecutionContext, Outcome
 from .storage import GraphDatabase, graph_to_text, load_collection
+
+#: Outcome -> process exit code (partial-but-valid results still exit 0).
+EXIT_BY_OUTCOME = {
+    Outcome.COMPLETE: 0,
+    Outcome.TRUNCATED: 0,
+    Outcome.TIMED_OUT: 3,
+    Outcome.CANCELLED: 4,
+}
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--directed", action="store_true",
                         help="treat data graphs as directed")
+
+
+def _add_governance(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--timeout", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock deadline; partial results are "
+                             "returned when it expires")
+    parser.add_argument("--max-steps", type=int, default=None, metavar="N",
+                        help="budget on search steps (candidate extensions, "
+                             "derived facts)")
+    parser.add_argument("--max-memory", type=int, default=None, metavar="BYTES",
+                        help="approximate cap on retained result memory")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,11 +76,14 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--baseline", action="store_true",
                        help="disable the optimized access methods")
     match.add_argument("--limit", type=int, default=1000,
-                       help="answer cap (default 1000, as in the paper)")
+                       help="answer cap (default 1000, as in the paper); "
+                            "enforced inside the search, so hitting it "
+                            "terminates early with a TRUNCATED outcome")
     match.add_argument("--show-mappings", type=int, default=5,
                        help="how many mappings to print per graph")
     match.add_argument("--explain", action="store_true",
                        help="print the access plan instead of matching")
+    _add_governance(match)
     _add_common(match)
 
     run = sub.add_parser("run", help="run a GraphQL program")
@@ -60,7 +92,34 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="NAME=PATH",
                      help="bind doc(NAME) to a data file (repeatable)")
     run.add_argument("--out", help="write the result graph/collection here")
+    _add_governance(run)
     _add_common(run)
+
+    stress = sub.add_parser(
+        "stress",
+        help="random queries on a synthetic graph under a global deadline",
+    )
+    stress.add_argument("--seed", type=int, default=0,
+                        help="RNG seed controlling graph and queries")
+    stress.add_argument("--nodes", type=int, default=300,
+                        help="synthetic graph size")
+    stress.add_argument("--edges", type=int, default=None,
+                        help="edge count (default 3x nodes)")
+    stress.add_argument("--labels", type=int, default=20,
+                        help="distinct node labels")
+    stress.add_argument("--queries", type=int, default=20,
+                        help="how many random queries to run")
+    stress.add_argument("--size", type=int, default=6,
+                        help="pattern size (nodes per query)")
+    stress.add_argument("--timeout", type=float, default=5.0,
+                        metavar="SECONDS",
+                        help="global wall-clock deadline for the whole run")
+    stress.add_argument("--max-steps", type=int, default=None, metavar="N",
+                        help="per-query step budget")
+    stress.add_argument("--limit", type=int, default=1000,
+                        help="per-query answer cap")
+    stress.add_argument("--baseline", action="store_true",
+                        help="disable the optimized access methods")
 
     return parser
 
@@ -92,19 +151,32 @@ def cmd_match(args: argparse.Namespace) -> int:
                            if hasattr(pattern, "ground") else [pattern]):
                 print(matcher.explain(ground, options))
         return 0
-    reports = database.match("data", pattern, options)
+    # the answer cap is part of the context so the cap terminates the
+    # search from the inside (TRUNCATED) instead of slicing afterwards
+    context = ExecutionContext(
+        timeout=args.timeout,
+        max_steps=args.max_steps,
+        max_results=args.limit,
+        max_memory=args.max_memory,
+    )
+    reports = database.match("data", pattern, options, context=context)
     total = 0
     for name, report in reports.items():
         count = len(report.mappings)
         total += count
         print(f"{name}: {count} mapping(s) in {report.total_time * 1000:.1f} ms "
               f"(space {report.baseline_space} -> {report.refined_space})")
+        for note in report.degradation:
+            print(f"  degraded: {note}")
+        if report.outcome.interrupted:
+            print(f"  outcome: {report.outcome}")
         for mapping in report.mappings[:args.show_mappings]:
             print(f"  {mapping}")
         if count > args.show_mappings:
             print(f"  ... and {count - args.show_mappings} more")
-    print(f"total: {total} mapping(s)")
-    return 0
+    overall = context.outcome()
+    print(f"total: {total} mapping(s) [{overall}]")
+    return EXIT_BY_OUTCOME[overall.status]
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -118,7 +190,16 @@ def cmd_run(args: argparse.Namespace) -> int:
         name, path = binding.split("=", 1)
         database.load(name, path, directed=args.directed)
     program_text = Path(args.program).read_text(encoding="utf-8")
-    env = database.query(program_text)
+    governed = any(
+        value is not None
+        for value in (args.timeout, args.max_steps, args.max_memory)
+    )
+    context = (
+        ExecutionContext(timeout=args.timeout, max_steps=args.max_steps,
+                         max_memory=args.max_memory)
+        if governed else None
+    )
+    env = database.query(program_text, context=context)
     result = env.get("__result__")
     rendered = _render_result(result)
     if args.out:
@@ -126,6 +207,64 @@ def cmd_run(args: argparse.Namespace) -> int:
         print(f"wrote result to {args.out}")
     else:
         print(rendered)
+    if context is not None:
+        outcome = context.outcome()
+        if outcome.interrupted:
+            print(f"outcome: {outcome}")
+        return EXIT_BY_OUTCOME[outcome.status]
+    return 0
+
+
+def cmd_stress(args: argparse.Namespace) -> int:
+    """``repro-gql stress``: random queries under a global deadline.
+
+    Generates a seeded synthetic graph, then alternates between random
+    clique queries (labels drawn from the graph) and connected-subgraph
+    extractions (guaranteed at least one hit).  Every query runs under
+    the remaining share of the global deadline; the run ends with an
+    outcome histogram.
+    """
+    from .datasets.queries import clique_query, extract_connected_query
+    from .datasets.random_graphs import erdos_renyi_graph
+
+    rng = random.Random(args.seed)
+    edges = args.edges if args.edges is not None else 3 * args.nodes
+    graph = erdos_renyi_graph(args.nodes, edges, num_labels=args.labels,
+                              seed=args.seed, name="stress")
+    label_pool = sorted({node.label for node in graph.nodes() if node.label})
+    print(f"graph: {graph.num_nodes()} nodes, {graph.num_edges()} edges, "
+          f"{len(label_pool)} labels (seed {args.seed})")
+    matcher = GraphMatcher(graph)
+    options = (baseline_options(limit=args.limit) if args.baseline
+               else optimized_options(limit=args.limit))
+    deadline_end = time.monotonic() + args.timeout
+    histogram = {status: 0 for status in Outcome}
+    not_run = 0
+    for index in range(args.queries):
+        remaining = deadline_end - time.monotonic()
+        if remaining <= 0:
+            not_run = args.queries - index
+            break
+        if index % 2 == 0:
+            kind = "clique"
+            query = clique_query(args.size, label_pool, rng)
+        else:
+            kind = "extract"
+            query = extract_connected_query(graph, args.size, rng)
+        context = ExecutionContext(timeout=remaining,
+                                   max_steps=args.max_steps,
+                                   max_results=args.limit)
+        report = matcher.match(query, options, context=context)
+        outcome = report.outcome
+        histogram[outcome.status] += 1
+        print(f"q{index:02d} {kind:7s} size={args.size}: "
+              f"{len(report.mappings)} mapping(s) [{outcome}]")
+    print("histogram: " + "  ".join(
+        f"{status.value}={count}" for status, count in histogram.items()
+        if count or status is not Outcome.CANCELLED
+    ))
+    if not_run:
+        print(f"not run (global deadline expired): {not_run}")
     return 0
 
 
@@ -146,7 +285,8 @@ def _render_result(result) -> str:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
-    handlers = {"info": cmd_info, "match": cmd_match, "run": cmd_run}
+    handlers = {"info": cmd_info, "match": cmd_match, "run": cmd_run,
+                "stress": cmd_stress}
     try:
         return handlers[args.command](args)
     except FileNotFoundError as exc:

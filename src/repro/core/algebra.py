@@ -22,6 +22,7 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..matching.basic import find_matches
+from ..runtime import ExecutionContext
 from .bindings import MatchedGraph, as_graph
 from .collection import GraphCollection
 from .graph import Graph, disjoint_union
@@ -48,6 +49,7 @@ def select(
     matcher_factory: Optional[Callable[[Graph], "object"]] = None,
     grammar=None,
     max_depth: int = 8,
+    context: Optional[ExecutionContext] = None,
 ) -> GraphCollection:
     """The selection operator σ_P(C) (Section 3.3).
 
@@ -59,21 +61,32 @@ def select(
     :class:`~repro.matching.planner.GraphMatcher` per graph); by default
     the basic Algorithm 4.1 with scan retrieval is used, which is the
     right choice for collections of small graphs.
+
+    *context* governs the whole selection: the per-graph searches share
+    its deadline/budgets, and an interrupted selection returns the
+    matches found so far (check ``context.outcome()`` for the status).
     """
     grounds: List[GroundPattern] = _ground_patterns(pattern, grammar, max_depth)
     out = GraphCollection()
     for graph_like in collection:
+        if context is not None and context.is_interrupted:
+            break
         graph = as_graph(graph_like)
         for ground in grounds:
             if matcher_factory is not None:
                 matcher = matcher_factory(graph)
-                report = matcher.match(ground)
+                from ..matching.planner import MatchOptions
+
+                report = matcher.match(
+                    ground,
+                    MatchOptions(exhaustive=exhaustive, limit=limit),
+                    context=context,
+                )
                 mappings = report.mappings
-                if not exhaustive:
-                    mappings = mappings[:1]
             else:
                 mappings = find_matches(
-                    ground, graph, exhaustive=exhaustive, limit=limit
+                    ground, graph, exhaustive=exhaustive, limit=limit,
+                    context=context,
                 )
             for mapping in mappings:
                 out.add(MatchedGraph(mapping, ground, graph))
@@ -87,6 +100,7 @@ def cartesian_product(
     right: GraphCollection,
     left_name: str = "G1",
     right_name: str = "G2",
+    context: Optional[ExecutionContext] = None,
 ) -> GraphCollection:
     """C × D: each output graph contains one member from each input.
 
@@ -96,6 +110,8 @@ def cartesian_product(
     out = GraphCollection()
     for graph_a in left:
         for graph_b in right:
+            if context is not None:
+                context.tick()
             out.add(
                 disjoint_union(
                     {left_name: as_graph(graph_a), right_name: as_graph(graph_b)}
@@ -110,6 +126,7 @@ def join(
     condition: Union[PatternLike, Expr],
     left_name: str = "G1",
     right_name: str = "G2",
+    context: Optional[ExecutionContext] = None,
 ) -> GraphCollection:
     """C ⋈_P D: Cartesian product followed by selection.
 
@@ -117,11 +134,14 @@ def join(
     or a bare predicate expression over the member graphs (a valued join,
     Fig. 4.10), evaluated with ``G1``/``G2`` bound to the members.
     """
-    product = cartesian_product(left, right, left_name, right_name)
+    product = cartesian_product(left, right, left_name, right_name,
+                                context=context)
     if isinstance(condition, (GraphPattern, GroundPattern)):
-        return select(product, condition)
+        return select(product, condition, context=context)
     out = GraphCollection()
     for composite in product:
+        if context is not None:
+            context.tick()
         scope = Scope(
             {alias: member for alias, member in composite.members.items()},
             fallback=composite,

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Protocol, Union
 
+from ..runtime import ExecutionContext, ExecutionInterrupted
 from .algebra import select
 from .bindings import MatchedGraph
 from .collection import GraphCollection
@@ -78,6 +79,7 @@ class ForClause:
         database: DocumentSource,
         env: Dict[str, Any],
         grammar=None,
+        context: Optional[ExecutionContext] = None,
     ) -> List[Union[Graph, MatchedGraph]]:
         """Evaluate the clause to the list of bindings, in document order."""
         collection = database.doc(self.source)
@@ -97,11 +99,14 @@ class ForClause:
                 exhaustive=self.exhaustive,
                 grammar=grammar,
                 matcher_factory=matcher_factory,
+                context=context,
             )
             candidates: List[Union[Graph, MatchedGraph]] = list(matched)
         else:
             candidates = list(collection)
         for binding in candidates:
+            if context is not None:
+                context.tick()
             if self.where is not None:
                 scope = Scope(
                     {self.binding_name: binding, **env}, fallback=binding
@@ -130,6 +135,7 @@ class FLWRQuery:
         database: DocumentSource,
         env: Optional[Dict[str, Any]] = None,
         grammar=None,
+        context: Optional[ExecutionContext] = None,
     ) -> Union[GraphCollection, Graph]:
         """Evaluate against a database; returns the collection or accumulator.
 
@@ -139,10 +145,13 @@ class FLWRQuery:
         """
         env = env if env is not None else {}
         name = self.for_clause.binding_name
-        bindings = self.for_clause.bindings(database, env, grammar)
+        bindings = self.for_clause.bindings(database, env, grammar,
+                                            context=context)
         if self.let_var is None:
             out = GraphCollection()
             for binding in bindings:
+                if context is not None:
+                    context.tick()
                 arguments = self._arguments(env, name, binding)
                 out.add(self.template.instantiate(arguments))
             return out
@@ -150,6 +159,8 @@ class FLWRQuery:
         if accumulator is None:
             accumulator = Graph(self.let_var)
         for binding in bindings:
+            if context is not None:
+                context.tick()
             arguments = self._arguments(env, name, binding)
             arguments[self.let_var] = accumulator
             accumulator = self.template.instantiate(arguments)
@@ -179,7 +190,8 @@ class Assignment:
         self.name = name
         self.graph = graph
 
-    def evaluate(self, database: DocumentSource, env: Dict[str, Any], grammar=None):
+    def evaluate(self, database: DocumentSource, env: Dict[str, Any],
+                 grammar=None, context: Optional[ExecutionContext] = None):
         """Bind a fresh copy so repeated runs do not share state."""
         env[self.name] = self.graph.copy(name=self.name)
         return env[self.name]
@@ -200,14 +212,27 @@ class Program:
         self,
         database: DocumentSource,
         env: Optional[Dict[str, Any]] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> Dict[str, Any]:
         """Run all statements; returns the final environment.
 
         The value of the last statement is stored under ``"__result__"``.
+        A governance interruption (deadline, budget, cancellation) stops
+        the program: the interruption is recorded on the context and the
+        environment built so far is returned — ``"__result__"`` then
+        holds the last *completed* statement's value.
         """
         env = env if env is not None else {}
         result: Any = None
-        for statement in self.statements:
-            result = statement.evaluate(database, env, self.grammar)
+        try:
+            for statement in self.statements:
+                if context is not None:
+                    context.check()
+                result = statement.evaluate(database, env, self.grammar,
+                                            context=context)
+        except ExecutionInterrupted as exc:
+            if context is None:
+                raise
+            context.mark_interrupted(exc)
         env["__result__"] = result
         return env

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..runtime import ExecutionContext
 from .algebra import cartesian_product, compose, select
 from .bindings import as_graph
 from .collection import GraphCollection
@@ -35,8 +36,14 @@ from .template import GraphTemplate
 class Plan:
     """Base class of plan nodes."""
 
-    def evaluate(self, source) -> GraphCollection:
-        """Evaluate against a document source (``doc(name)``)."""
+    def evaluate(self, source, context: Optional[ExecutionContext] = None
+                 ) -> GraphCollection:
+        """Evaluate against a document source (``doc(name)``).
+
+        *context* (optional) governs the evaluation: operators tick it
+        per produced graph and pass it into nested selections, so a
+        deadline or budget bounds the whole plan tree.
+        """
         raise NotImplementedError
 
     def children(self) -> Sequence["Plan"]:
@@ -61,7 +68,8 @@ class Doc(Plan):
     def __init__(self, name: str) -> None:
         self.name = name
 
-    def evaluate(self, source) -> GraphCollection:
+    def evaluate(self, source, context: Optional[ExecutionContext] = None
+                 ) -> GraphCollection:
         return source.doc(self.name)
 
     def _label(self) -> str:
@@ -74,7 +82,8 @@ class Values(Plan):
     def __init__(self, collection: GraphCollection) -> None:
         self.collection = collection
 
-    def evaluate(self, source) -> GraphCollection:
+    def evaluate(self, source, context: Optional[ExecutionContext] = None
+                 ) -> GraphCollection:
         return self.collection
 
     def _label(self) -> str:
@@ -91,8 +100,10 @@ class Select(Plan):
     def children(self):
         return (self.child,)
 
-    def evaluate(self, source) -> GraphCollection:
-        return select(self.child.evaluate(source), self.pattern)
+    def evaluate(self, source, context: Optional[ExecutionContext] = None
+                 ) -> GraphCollection:
+        return select(self.child.evaluate(source, context), self.pattern,
+                      context=context)
 
     def _label(self) -> str:
         return f"Select({self.pattern!r})"
@@ -108,9 +119,12 @@ class Filter(Plan):
     def children(self):
         return (self.child,)
 
-    def evaluate(self, source) -> GraphCollection:
+    def evaluate(self, source, context: Optional[ExecutionContext] = None
+                 ) -> GraphCollection:
         out = GraphCollection()
-        for graph_like in self.child.evaluate(source):
+        for graph_like in self.child.evaluate(source, context):
+            if context is not None:
+                context.tick()
             scope = _graph_scope(graph_like)
             if self.predicate.holds(scope):
                 out.add(graph_like)
@@ -133,10 +147,13 @@ class Product(Plan):
     def children(self):
         return (self.left, self.right)
 
-    def evaluate(self, source) -> GraphCollection:
+    def evaluate(self, source, context: Optional[ExecutionContext] = None
+                 ) -> GraphCollection:
         return cartesian_product(
-            self.left.evaluate(source), self.right.evaluate(source),
+            self.left.evaluate(source, context),
+            self.right.evaluate(source, context),
             self.left_name, self.right_name,
+            context=context,
         )
 
     def _label(self) -> str:
@@ -153,8 +170,11 @@ class Union(Plan):
     def children(self):
         return (self.left, self.right)
 
-    def evaluate(self, source) -> GraphCollection:
-        return self.left.evaluate(source).union(self.right.evaluate(source))
+    def evaluate(self, source, context: Optional[ExecutionContext] = None
+                 ) -> GraphCollection:
+        return self.left.evaluate(source, context).union(
+            self.right.evaluate(source, context)
+        )
 
 
 class Difference(Plan):
@@ -167,9 +187,10 @@ class Difference(Plan):
     def children(self):
         return (self.left, self.right)
 
-    def evaluate(self, source) -> GraphCollection:
-        return self.left.evaluate(source).difference(
-            self.right.evaluate(source)
+    def evaluate(self, source, context: Optional[ExecutionContext] = None
+                 ) -> GraphCollection:
+        return self.left.evaluate(source, context).difference(
+            self.right.evaluate(source, context)
         )
 
 
@@ -185,8 +206,9 @@ class Compose(Plan):
     def children(self):
         return (self.child,)
 
-    def evaluate(self, source) -> GraphCollection:
-        return compose(self.template, self.child.evaluate(source),
+    def evaluate(self, source, context: Optional[ExecutionContext] = None
+                 ) -> GraphCollection:
+        return compose(self.template, self.child.evaluate(source, context),
                        param_names=[self.param])
 
     def _label(self) -> str:

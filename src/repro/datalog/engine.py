@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..runtime import ExecutionContext, ExecutionInterrupted
 from .ast import Atom, BodyLiteral, Builtin, Const, Program, Rule, Var
 
 FactStore = Dict[str, Set[Tuple[Any, ...]]]
@@ -64,15 +65,35 @@ def stratify(program: Program) -> List[List[Rule]]:
     return [buckets[level] for level in sorted(buckets)]
 
 
-def evaluate(program: Program) -> FactStore:
-    """Compute the full model (EDB + derived IDB facts)."""
+def evaluate(
+    program: Program,
+    context: Optional[ExecutionContext] = None,
+) -> FactStore:
+    """Compute the full model (EDB + derived IDB facts).
+
+    With a *context*, the fixpoint loop is governed: it ticks once per
+    derived fact and checks the deadline/budgets/cancellation between
+    rounds.  On interruption the partial model computed so far is
+    returned and the interruption is recorded on the context — partial
+    models are sound (every fact in them is genuinely derivable) but not
+    complete.
+    """
     facts: FactStore = {p: set(rows) for p, rows in program.facts.items()}
-    for rules in stratify(program):
-        _fixpoint(rules, facts)
+    try:
+        for rules in stratify(program):
+            _fixpoint(rules, facts, context)
+    except ExecutionInterrupted as exc:
+        if context is None:
+            raise
+        context.mark_interrupted(exc)
     return facts
 
 
-def _fixpoint(rules: Sequence[Rule], facts: FactStore) -> None:
+def _fixpoint(
+    rules: Sequence[Rule],
+    facts: FactStore,
+    context: Optional[ExecutionContext] = None,
+) -> None:
     """Semi-naive evaluation of one stratum, in place."""
     idb = {rule.head.predicate for rule in rules}
     delta: FactStore = {p: set() for p in idb}
@@ -80,10 +101,14 @@ def _fixpoint(rules: Sequence[Rule], facts: FactStore) -> None:
     # very fact sets we are inserting into)
     for rule in rules:
         for derived in list(_derive(rule, facts, delta=None, idb=idb)):
+            if context is not None:
+                context.tick()
             if derived not in facts.setdefault(rule.head.predicate, set()):
                 facts[rule.head.predicate].add(derived)
                 delta[rule.head.predicate].add(derived)
     while any(delta.values()):
+        if context is not None:
+            context.check()
         new_delta: FactStore = {p: set() for p in idb}
         for rule in rules:
             recursive_positions = [
@@ -96,6 +121,8 @@ def _fixpoint(rules: Sequence[Rule], facts: FactStore) -> None:
             for position in recursive_positions:
                 for derived in list(_derive(rule, facts, delta=delta, idb=idb,
                                             delta_position=position)):
+                    if context is not None:
+                        context.tick()
                     if derived not in facts.setdefault(rule.head.predicate, set()):
                         facts[rule.head.predicate].add(derived)
                         new_delta[rule.head.predicate].add(derived)

@@ -344,9 +344,14 @@ class CompiledProgram:
         self.grammar = GraphGrammar()
         self.program.grammar = self.grammar
 
-    def run(self, database, env: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-        """Run the program against a document source."""
-        return self.program.run(database, env)
+    def run(self, database, env: Optional[Dict[str, Any]] = None,
+            context=None) -> Dict[str, Any]:
+        """Run the program against a document source.
+
+        *context* optionally governs the run (deadline, budgets,
+        cancellation); see :class:`repro.runtime.ExecutionContext`.
+        """
+        return self.program.run(database, env, context=context)
 
 
 def compile_program(source: Any) -> CompiledProgram:

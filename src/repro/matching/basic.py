@@ -16,6 +16,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from ..core.bindings import Mapping
 from ..core.graph import Graph
 from ..core.pattern import GroundPattern
+from ..runtime import ExecutionContext, ExecutionInterrupted, mapping_cost
 
 
 class SearchCounters:
@@ -56,6 +57,7 @@ def find_matches(
     limit: Optional[int] = None,
     initial: Optional[Dict[str, str]] = None,
     counters: Optional[SearchCounters] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> List[Mapping]:
     """Run Algorithm 4.1 and return the feasible mappings.
 
@@ -77,6 +79,14 @@ def find_matches(
         check, which requires ``u`` mapped to ``v``).
     counters:
         Optional :class:`SearchCounters` to fill with search statistics.
+    context:
+        Optional :class:`~repro.runtime.ExecutionContext`.  The search
+        ticks it once per candidate extension; on deadline expiry, step
+        budget exhaustion or cancellation the search unwinds and the
+        mappings found so far are returned (the interruption is recorded
+        on the context, so callers can report a structured outcome).
+        The context's answer/memory caps also terminate the search
+        early, inside the recursion.
     """
     if candidates is None:
         candidates = scan_feasible_mates(pattern, graph)
@@ -127,6 +137,10 @@ def find_matches(
                 results.append(mapping.copy())
                 if counters is not None:
                     counters.results += 1
+                if context is not None and context.note_result(
+                    memory=mapping_cost(mapping)
+                ):
+                    return True
                 if limit is not None and len(results) >= limit:
                     return True
             return False
@@ -134,6 +148,8 @@ def find_matches(
         for v in candidates.get(u, ()):  # free candidates for u
             if v in used:
                 continue
+            if context is not None:
+                context.tick()
             if counters is not None:
                 counters.candidates_tried += 1
             if not _check(pattern, graph, mapping, u, v, directed, counters,
@@ -150,7 +166,14 @@ def find_matches(
             mapping.edges = saved_edges
         return False
 
-    search(0)
+    try:
+        if context is not None:
+            context.check()
+        search(0)
+    except ExecutionInterrupted as exc:
+        if context is None:
+            raise
+        context.mark_interrupted(exc)
     return results
 
 

@@ -16,8 +16,9 @@ Every stage records its timing and the search-space size it produced in a
 
 from __future__ import annotations
 
+import logging
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..core.bindings import Mapping
@@ -25,11 +26,19 @@ from ..core.graph import Graph
 from ..core.pattern import GraphPattern, GroundPattern
 from ..index.attribute_index import AttributeIndexSet
 from ..index.profile_index import ProfileIndex
-from .basic import SearchCounters, find_matches
+from ..runtime import (
+    ExecutionContext,
+    ExecutionInterrupted,
+    QueryOutcome,
+    current_outcome,
+)
+from .basic import SearchCounters, find_matches, scan_feasible_mates
 from .feasible_mates import RetrievalStats, retrieve_feasible_mates
 from .refinement import RefinementStats, refine_search_space, space_size
 from .search_order import CostModel, connected_order, greedy_order
 from .statistics import GraphStatistics
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -60,7 +69,15 @@ class MatchOptions:
 
 @dataclass
 class MatchReport:
-    """Search-space sizes, per-step timings and results of one run."""
+    """Search-space sizes, per-step timings and results of one run.
+
+    ``outcome`` records how the run ended (COMPLETE / TRUNCATED /
+    TIMED_OUT / CANCELLED, with steps and elapsed time); ``mappings``
+    holds whatever was found up to that point, so interrupted runs still
+    carry their partial results.  ``degradation`` lists every fallback
+    the planner took (missing/broken index, failed refinement, …) — an
+    empty list means the full pipeline ran as configured.
+    """
 
     baseline_space: int = 0
     retrieved_space: int = 0
@@ -71,6 +88,8 @@ class MatchReport:
     search: Optional[SearchCounters] = None
     order: List[str] = field(default_factory=list)
     mappings: List[Mapping] = field(default_factory=list)
+    degradation: List[str] = field(default_factory=list)
+    outcome: QueryOutcome = field(default_factory=QueryOutcome)
 
     @property
     def total_time(self) -> float:
@@ -108,16 +127,34 @@ class GraphMatcher:
         self._rebuild()
 
     def _rebuild(self) -> None:
-        self.stats = GraphStatistics(self.graph)
-        self.attribute_index: Optional[AttributeIndexSet] = (
-            AttributeIndexSet(self.graph)
-            if self._build_attribute_index else None
-        )
-        self.profile_index: Optional[ProfileIndex] = (
-            ProfileIndex(self.graph, radius=self._radius)
-            if self._build_profile_index else None
-        )
+        # each auxiliary structure is optional: a build failure degrades
+        # the pipeline (recorded in build_errors and on later reports)
+        # instead of making the graph unqueryable
+        self.build_errors: List[str] = []
+        try:
+            self.stats: Optional[GraphStatistics] = GraphStatistics(self.graph)
+        except Exception as exc:
+            self.stats = None
+            self._note_build_error("graph statistics", exc)
+        self.attribute_index: Optional[AttributeIndexSet] = None
+        if self._build_attribute_index:
+            try:
+                self.attribute_index = AttributeIndexSet(self.graph)
+            except Exception as exc:
+                self._note_build_error("attribute index", exc)
+        self.profile_index: Optional[ProfileIndex] = None
+        if self._build_profile_index:
+            try:
+                self.profile_index = ProfileIndex(self.graph,
+                                                  radius=self._radius)
+            except Exception as exc:
+                self._note_build_error("profile index", exc)
         self._built_version = self.graph.version
+
+    def _note_build_error(self, what: str, exc: Exception) -> None:
+        message = f"{what} build failed ({exc}); continuing without it"
+        self.build_errors.append(message)
+        logger.warning("%r: %s", self.graph, message)
 
     def refresh(self) -> bool:
         """Rebuild indexes/statistics if the graph mutated; returns whether
@@ -134,26 +171,115 @@ class GraphMatcher:
         self,
         pattern: GroundPattern,
         options: Optional[MatchOptions] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> MatchReport:
-        """Run the full access-method pipeline on one ground pattern."""
+        """Run the full access-method pipeline on one ground pattern.
+
+        With a *context*, every stage is governed: deadline expiry, step
+        budget exhaustion or cancellation stop the run, the interruption
+        is recorded on the context, and the report carries a structured
+        :class:`~repro.runtime.QueryOutcome` plus whatever mappings the
+        search had produced.  Failures of auxiliary structures (indexes,
+        statistics, refinement) never abort the query: the planner walks
+        a degradation ladder — indexed retrieval, then on-the-fly local
+        pruning, then the basic scan matcher — and records each step
+        taken in ``report.degradation``.
+        """
         opts = options or MatchOptions()
-        self.refresh()
         report = MatchReport()
+        try:
+            self.refresh()
+        except Exception as exc:
+            self._degrade(report, f"index refresh failed ({exc}); "
+                                  "matching with stale structures")
+        for message in getattr(self, "build_errors", ()):
+            report.degradation.append(message)
+        try:
+            self._match_pipeline(pattern, opts, report, context)
+        except ExecutionInterrupted as exc:
+            if context is None:
+                raise
+            context.mark_interrupted(exc)
+        report.outcome = current_outcome(context)
+        return report
+
+    def _degrade(self, report: MatchReport, message: str) -> None:
+        report.degradation.append(message)
+        logger.warning("%r: %s", self.graph, message)
+
+    def _retrieve(
+        self,
+        pattern: GroundPattern,
+        opts: MatchOptions,
+        report: MatchReport,
+        local: str,
+        stats: Optional[RetrievalStats] = None,
+    ) -> Dict[str, List[str]]:
+        """One retrieval attempt, walking the degradation ladder on error.
+
+        Rung 0: configured indexes.  Rung 1: no indexes — the exact F_u
+        scan with local pruning computed on the fly.  Rung 2: the basic
+        matcher's full scan (no pruning at all).  Interruptions from the
+        governance context always propagate.
+        """
+        try:
+            return retrieve_feasible_mates(
+                pattern,
+                self.graph,
+                attribute_index=(
+                    self.attribute_index if opts.use_attribute_index else None
+                ),
+                profile_index=self.profile_index,
+                local=local,
+                radius=opts.radius,
+                label_attr=opts.label_attr,
+                stats=stats,
+            )
+        except ExecutionInterrupted:
+            raise
+        except Exception as exc:
+            self._degrade(
+                report,
+                f"indexed retrieval (local={local!r}) failed ({exc}); "
+                "retrying without indexes",
+            )
+        try:
+            return retrieve_feasible_mates(
+                pattern,
+                self.graph,
+                attribute_index=None,
+                profile_index=None,
+                local=local,
+                radius=opts.radius,
+                label_attr=opts.label_attr,
+                stats=stats,
+            )
+        except ExecutionInterrupted:
+            raise
+        except Exception as exc:
+            self._degrade(
+                report,
+                f"unindexed retrieval failed ({exc}); "
+                "falling back to the basic scan matcher",
+            )
+        return scan_feasible_mates(pattern, self.graph)
+
+    def _match_pipeline(
+        self,
+        pattern: GroundPattern,
+        opts: MatchOptions,
+        report: MatchReport,
+        context: Optional[ExecutionContext],
+    ) -> None:
         graph = self.graph
+        if context is not None:
+            context.check()
 
         # Step 0: baseline space (retrieval by F_u only) for reduction ratios
         baseline: Optional[Dict[str, List[str]]] = None
         if opts.compute_baseline or opts.local == "none":
             started = time.perf_counter()
-            baseline = retrieve_feasible_mates(
-                pattern,
-                graph,
-                attribute_index=self.attribute_index if opts.use_attribute_index else None,
-                profile_index=self.profile_index,
-                local="none",
-                radius=opts.radius,
-                label_attr=opts.label_attr,
-            )
+            baseline = self._retrieve(pattern, opts, report, local="none")
             report.times["retrieve_baseline"] = time.perf_counter() - started
             report.baseline_space = space_size(baseline)
 
@@ -165,18 +291,8 @@ class GraphMatcher:
         else:
             started = time.perf_counter()
             retrieval_stats = RetrievalStats()
-            space = retrieve_feasible_mates(
-                pattern,
-                graph,
-                attribute_index=(
-                    self.attribute_index if opts.use_attribute_index else None
-                ),
-                profile_index=self.profile_index,
-                local=opts.local,
-                radius=opts.radius,
-                label_attr=opts.label_attr,
-                stats=retrieval_stats,
-            )
+            space = self._retrieve(pattern, opts, report, local=opts.local,
+                                   stats=retrieval_stats)
             report.times["local_pruning"] = time.perf_counter() - started
             report.retrieval = retrieval_stats
         report.retrieved_space = space_size(space)
@@ -185,13 +301,21 @@ class GraphMatcher:
         if opts.refine:
             started = time.perf_counter()
             refinement_stats = RefinementStats()
-            space = refine_search_space(
-                pattern.motif,
-                graph,
-                space,
-                level=opts.refine_level,
-                stats=refinement_stats,
-            )
+            try:
+                space = refine_search_space(
+                    pattern.motif,
+                    graph,
+                    space,
+                    level=opts.refine_level,
+                    stats=refinement_stats,
+                    context=context,
+                )
+            except ExecutionInterrupted:
+                report.times["refine"] = time.perf_counter() - started
+                raise
+            except Exception as exc:
+                self._degrade(report, f"refinement failed ({exc}); "
+                                      "searching the unrefined space")
             report.times["refine"] = time.perf_counter() - started
             report.refinement = refinement_stats
         report.refined_space = space_size(space)
@@ -199,35 +323,42 @@ class GraphMatcher:
         # Step 4: search order
         started = time.perf_counter()
         sizes = {name: len(candidates) for name, candidates in space.items()}
-        if opts.optimize_order:
-            model = CostModel(
-                pattern.motif,
-                stats=self.stats if opts.gamma_mode == "frequency" else None,
-                gamma_const=opts.gamma_const,
-                label_attr=opts.label_attr,
-                directed=graph.directed,
-            )
-            order = greedy_order(pattern.motif, sizes, model)
-        else:
-            order = connected_order(pattern.motif, sizes)
+        try:
+            if opts.optimize_order:
+                model = CostModel(
+                    pattern.motif,
+                    stats=self.stats if opts.gamma_mode == "frequency" else None,
+                    gamma_const=opts.gamma_const,
+                    label_attr=opts.label_attr,
+                    directed=graph.directed,
+                )
+                order = greedy_order(pattern.motif, sizes, model)
+            else:
+                order = connected_order(pattern.motif, sizes)
+        except Exception as exc:
+            self._degrade(report, f"search-order optimization failed ({exc}); "
+                                  "using declaration order")
+            order = pattern.node_names()
         report.times["order"] = time.perf_counter() - started
         report.order = order
 
         # Step 5: the backtracking search (Algorithm 4.1)
         started = time.perf_counter()
         counters = SearchCounters()
-        report.mappings = find_matches(
-            pattern,
-            graph,
-            candidates=space,
-            order=order,
-            exhaustive=opts.exhaustive,
-            limit=opts.limit,
-            counters=counters,
-        )
-        report.times["search"] = time.perf_counter() - started
-        report.search = counters
-        return report
+        try:
+            report.mappings = find_matches(
+                pattern,
+                graph,
+                candidates=space,
+                order=order,
+                exhaustive=opts.exhaustive,
+                limit=opts.limit,
+                counters=counters,
+                context=context,
+            )
+        finally:
+            report.times["search"] = time.perf_counter() - started
+            report.search = counters
 
     def explain(
         self,
@@ -298,11 +429,25 @@ class GraphMatcher:
         options: Optional[MatchOptions] = None,
         grammar=None,
         max_depth: int = 8,
+        context: Optional[ExecutionContext] = None,
     ) -> MatchReport:
-        """Match a (possibly recursive) pattern: union over derivations."""
+        """Match a (possibly recursive) pattern: union over derivations.
+
+        The answer cap (``options.limit``) applies to the union: each
+        derivation's search only runs for the answers still missing, and
+        matching stops entirely once the cap is met — no derivation ever
+        over-produces results that would then be thrown away.
+        """
+        opts = options or MatchOptions()
         merged: Optional[MatchReport] = None
         for ground in pattern.ground(grammar, max_depth):
-            report = self.match(ground, options)
+            remaining_opts = opts
+            if opts.limit is not None and merged is not None:
+                remaining = opts.limit - len(merged.mappings)
+                if remaining <= 0:
+                    break
+                remaining_opts = replace(opts, limit=remaining)
+            report = self.match(ground, remaining_opts, context=context)
             if merged is None:
                 merged = report
             else:
@@ -312,6 +457,10 @@ class GraphMatcher:
                 merged.baseline_space += report.baseline_space
                 merged.retrieved_space += report.retrieved_space
                 merged.refined_space += report.refined_space
+                merged.degradation.extend(report.degradation)
+                merged.outcome = report.outcome
+            if context is not None and context.is_interrupted:
+                break
         return merged if merged is not None else MatchReport()
 
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.graph import Graph
 from ..core.motif import SimpleMotif
+from ..runtime import ExecutionContext
 from .bipartite import has_semi_perfect_matching
 
 
@@ -50,6 +51,7 @@ def refine_search_space(
     space: Dict[str, Sequence[str]],
     level: Optional[int] = None,
     stats: Optional[RefinementStats] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> Dict[str, List[str]]:
     """Run Algorithm 4.2 and return the reduced search space.
 
@@ -66,6 +68,11 @@ def refine_search_space(
         nodes (the paper's experiments set it to the query size).
     stats:
         Optional :class:`RefinementStats` to fill.
+    context:
+        Optional :class:`~repro.runtime.ExecutionContext`; ticked once
+        per pair check.  Interruptions propagate to the caller — a
+        partially refined space is still sound (refinement only ever
+        removes candidates), so the planner may keep what was computed.
 
     Notes
     -----
@@ -107,6 +114,8 @@ def refine_search_space(
             if v not in phi_sets[u]:
                 del marked[(u, v)]
                 continue
+            if context is not None:
+                context.tick()
             if stats is not None:
                 stats.pairs_checked += 1
             neighbors_u = pattern_neighbors[u]

@@ -1,0 +1,29 @@
+"""Resource governance for query execution (deadlines, budgets, cancellation)."""
+
+from .context import (
+    BudgetExhausted,
+    CancellationToken,
+    DeadlineExceeded,
+    ExecutionContext,
+    ExecutionInterrupted,
+    MemoryBudgetExhausted,
+    Outcome,
+    QueryCancelled,
+    QueryOutcome,
+    current_outcome,
+    mapping_cost,
+)
+
+__all__ = [
+    "BudgetExhausted",
+    "CancellationToken",
+    "DeadlineExceeded",
+    "ExecutionContext",
+    "ExecutionInterrupted",
+    "MemoryBudgetExhausted",
+    "Outcome",
+    "QueryCancelled",
+    "QueryOutcome",
+    "current_outcome",
+    "mapping_cost",
+]

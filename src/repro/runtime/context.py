@@ -1,0 +1,339 @@
+"""Query-execution governance: deadlines, budgets, cancellation.
+
+The paper's selection operator (Algorithm 4.1) is a backtracking
+subgraph-isomorphism search whose worst case is exponential — the paper
+caps experiments at 1000 answers because "the graph pattern matching
+problem is NP-hard".  A production engine therefore needs every entry
+point to be *bounded, interruptible and accountable*.  This module is
+the shared vocabulary for that:
+
+* :class:`ExecutionContext` — carried through the matcher, the FLWR
+  evaluator, the algebra operators, the Datalog fixpoint and the SQL
+  baseline.  It holds a wall-clock deadline, a step budget, an
+  answer-set/memory cap and a cooperative :class:`CancellationToken`.
+  Inner loops call :meth:`ExecutionContext.tick` once per unit of work;
+  the expensive checks (clock reads, token polls) only run every
+  ``check_every`` ticks.
+* :class:`Outcome` / :class:`QueryOutcome` — structured result states:
+  ``COMPLETE`` (ran to the end), ``TRUNCATED`` (an answer/step/memory
+  cap stopped it early, partial results are valid), ``TIMED_OUT`` (the
+  deadline expired) and ``CANCELLED`` (the token was cancelled).
+* the :class:`ExecutionInterrupted` exception family — raised by
+  ``tick``/``check``; search loops catch it, record it on the context
+  via :meth:`ExecutionContext.mark_interrupted`, and return the partial
+  results accumulated so far.
+
+The protocol for a governed loop is::
+
+    try:
+        while work:
+            context.tick()
+            ... one unit of work ...
+    except ExecutionInterrupted as exc:
+        context.mark_interrupted(exc)
+    return partial_results       # outcome available on the context
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Dict, Optional
+
+
+class Outcome(str, Enum):
+    """The terminal state of one governed execution."""
+
+    COMPLETE = "COMPLETE"
+    TRUNCATED = "TRUNCATED"
+    TIMED_OUT = "TIMED_OUT"
+    CANCELLED = "CANCELLED"
+
+    def __str__(self) -> str:  # print as the bare word in CLI output
+        return self.value
+
+
+class ExecutionInterrupted(RuntimeError):
+    """Base of all governance interruptions (partial results are valid)."""
+
+    outcome = Outcome.TRUNCATED
+
+
+class DeadlineExceeded(ExecutionInterrupted):
+    """The wall-clock deadline expired."""
+
+    outcome = Outcome.TIMED_OUT
+
+
+class BudgetExhausted(ExecutionInterrupted):
+    """The step budget ran out."""
+
+    outcome = Outcome.TRUNCATED
+
+
+class MemoryBudgetExhausted(BudgetExhausted):
+    """The (approximate) result-memory cap was reached."""
+
+
+class QueryCancelled(ExecutionInterrupted):
+    """The cancellation token was triggered."""
+
+    outcome = Outcome.CANCELLED
+
+
+class CancellationToken:
+    """A cooperative cancellation flag shared between caller and query.
+
+    The caller (another thread, a signal handler, a supervising event
+    loop) calls :meth:`cancel`; governed loops observe it at their next
+    context check and unwind with partial results.
+    """
+
+    def __init__(self) -> None:
+        self._cancelled = False
+        self.reason: Optional[str] = None
+
+    def cancel(self, reason: str = "cancelled by caller") -> None:
+        """Trigger cancellation (idempotent; first reason wins)."""
+        if not self._cancelled:
+            self._cancelled = True
+            self.reason = reason
+
+    def is_cancelled(self) -> bool:
+        """Whether cancellation has been requested (subclassable)."""
+        return self._cancelled
+
+    @property
+    def cancelled(self) -> bool:
+        """Property form of :meth:`is_cancelled`."""
+        return self.is_cancelled()
+
+
+@dataclass
+class QueryOutcome:
+    """A structured execution result: status plus accounting.
+
+    ``phase_times`` maps phase names (``"search"``, ``"refine"``,
+    ``"fixpoint"``…) to seconds spent; ``steps`` is the total number of
+    governed work units (candidate extensions, derived facts, rows
+    examined) the execution performed.
+    """
+
+    status: Outcome = Outcome.COMPLETE
+    reason: str = ""
+    steps: int = 0
+    results: int = 0
+    memory_used: int = 0
+    elapsed: float = 0.0
+    phase_times: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """True iff the execution ran to its natural end."""
+        return self.status is Outcome.COMPLETE
+
+    @property
+    def interrupted(self) -> bool:
+        """True iff a deadline/budget/cancellation stopped the run."""
+        return self.status is not Outcome.COMPLETE
+
+    def __str__(self) -> str:
+        bits = [self.status.value]
+        if self.reason:
+            bits.append(f"({self.reason})")
+        bits.append(f"steps={self.steps}")
+        bits.append(f"elapsed={self.elapsed * 1000:.1f}ms")
+        return " ".join(bits)
+
+
+#: Approximate per-mapping memory cost used by the answer-set cap
+#: (a Mapping holds two small dicts of short strings).
+MAPPING_BASE_COST = 200
+MAPPING_ENTRY_COST = 64
+
+
+def mapping_cost(mapping) -> int:
+    """Approximate bytes one result mapping retains."""
+    try:
+        entries = len(mapping.nodes) + len(mapping.edges)
+    except AttributeError:
+        entries = 4
+    return MAPPING_BASE_COST + MAPPING_ENTRY_COST * entries
+
+
+class ExecutionContext:
+    """Deadline, budgets and cancellation for one query execution.
+
+    Parameters
+    ----------
+    timeout:
+        Wall-clock budget in seconds (``None`` = unlimited).  The
+        deadline starts when the context is created.
+    max_steps:
+        Budget on governed work units — backtracking extensions, derived
+        Datalog facts, SQL rows examined (``None`` = unlimited).
+    max_results:
+        Cap on reported answers; hitting it stops the search early with
+        a ``TRUNCATED`` outcome (the paper's 1000-answer termination).
+    max_memory:
+        Approximate cap in bytes on retained result mappings.
+    token:
+        A :class:`CancellationToken`; a fresh private one is created
+        when omitted, reachable as :attr:`token` so callers can cancel.
+    check_every:
+        How many ticks between expensive checks (clock read + token
+        poll).  Matching the issue's "check the context every N
+        extensions"; lower values give tighter deadline precision.
+    clock:
+        Injectable monotonic clock (tests use a fake).
+
+    A context may be shared across several operators and several graphs:
+    the deadline and budgets are global, and once interrupted every
+    subsequent :meth:`check` raises again, so downstream stages unwind
+    quickly instead of starting fresh work.
+    """
+
+    def __init__(
+        self,
+        timeout: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        max_results: Optional[int] = None,
+        max_memory: Optional[int] = None,
+        token: Optional[CancellationToken] = None,
+        check_every: int = 128,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if check_every < 1:
+            raise ValueError("check_every must be >= 1")
+        self._clock = clock
+        self.started_at = clock()
+        self.timeout = timeout
+        self.deadline = None if timeout is None else self.started_at + timeout
+        self.max_steps = max_steps
+        self.max_results = max_results
+        self.max_memory = max_memory
+        self.token = token if token is not None else CancellationToken()
+        self.check_every = check_every
+        self.steps = 0
+        self.results = 0
+        self.memory_used = 0
+        self.phase_times: Dict[str, float] = {}
+        self.interrupted: Optional[ExecutionInterrupted] = None
+        self._truncated_reason: Optional[str] = None
+        self._since_check = 0
+
+    # -- the hot path ---------------------------------------------------------
+
+    def tick(self, n: int = 1) -> None:
+        """Account *n* units of work; periodically run the full check."""
+        self.steps += n
+        self._since_check += n
+        if self._since_check >= self.check_every:
+            self._since_check = 0
+            self.check()
+
+    def check(self) -> None:
+        """Run every governance check now; raises on violation."""
+        if self.token.is_cancelled():
+            raise QueryCancelled(self.token.reason or "cancelled")
+        if self.deadline is not None and self._clock() > self.deadline:
+            raise DeadlineExceeded(
+                f"deadline of {self.timeout:g}s exceeded"
+            )
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise BudgetExhausted(
+                f"step budget of {self.max_steps} exhausted"
+            )
+        if self.max_memory is not None and self.memory_used > self.max_memory:
+            raise MemoryBudgetExhausted(
+                f"memory budget of {self.max_memory} bytes exhausted"
+            )
+
+    def note_result(self, count: int = 1, memory: int = 0) -> bool:
+        """Account a reported answer; True when the search should stop.
+
+        Returning True (answer or memory cap reached) marks the
+        execution ``TRUNCATED``; the result that triggered the cap is
+        kept — the caps are "at least this many", like the paper's
+        1000-answer termination rule.
+        """
+        self.results += count
+        self.memory_used += memory
+        if self.max_results is not None and self.results >= self.max_results:
+            self.note_truncated(f"answer cap of {self.max_results} reached")
+            return True
+        if self.max_memory is not None and self.memory_used >= self.max_memory:
+            self.note_truncated(
+                f"memory cap of {self.max_memory} bytes reached"
+            )
+            return True
+        return False
+
+    def note_truncated(self, reason: str) -> None:
+        """Record that a cap stopped the execution early (no exception)."""
+        if self._truncated_reason is None:
+            self._truncated_reason = reason
+
+    def mark_interrupted(self, exc: ExecutionInterrupted) -> None:
+        """Record the interruption that unwound a governed loop."""
+        if self.interrupted is None:
+            self.interrupted = exc
+
+    # -- accounting -----------------------------------------------------------
+
+    @contextmanager
+    def phase(self, name: str):
+        """Accumulate wall-clock time spent in a named phase."""
+        started = self._clock()
+        try:
+            yield self
+        finally:
+            self.phase_times[name] = (
+                self.phase_times.get(name, 0.0) + self._clock() - started
+            )
+
+    @property
+    def elapsed(self) -> float:
+        """Seconds since the context was created."""
+        return self._clock() - self.started_at
+
+    def remaining_time(self) -> Optional[float]:
+        """Seconds until the deadline (None = unlimited, min 0)."""
+        if self.deadline is None:
+            return None
+        return max(0.0, self.deadline - self._clock())
+
+    @property
+    def is_interrupted(self) -> bool:
+        """Whether a governed loop has already been unwound."""
+        return self.interrupted is not None
+
+    def outcome(self) -> QueryOutcome:
+        """A structured snapshot of the execution state so far."""
+        if self.interrupted is not None:
+            status = self.interrupted.outcome
+            reason = str(self.interrupted)
+        elif self._truncated_reason is not None:
+            status = Outcome.TRUNCATED
+            reason = self._truncated_reason
+        else:
+            status = Outcome.COMPLETE
+            reason = ""
+        return QueryOutcome(
+            status=status,
+            reason=reason,
+            steps=self.steps,
+            results=self.results,
+            memory_used=self.memory_used,
+            elapsed=self.elapsed,
+            phase_times=dict(self.phase_times),
+        )
+
+
+def current_outcome(context: Optional[ExecutionContext]) -> QueryOutcome:
+    """The outcome snapshot of a context, or a COMPLETE default."""
+    if context is None:
+        return QueryOutcome()
+    return context.outcome()

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..runtime import ExecutionContext, ExecutionInterrupted
 from .relation import Relation, RelationalDatabase, SchemaError
 from .sql_parser import ColumnRef, Comparison, SelectQuery, parse_sql
 
@@ -50,6 +51,7 @@ class SQLEngine:
             raise ValueError(f"unknown join order policy {join_order!r}")
         self.database = database
         self.join_order = join_order
+        self._partial_results: List[Tuple[Any, ...]] = []
 
     # -- public API -------------------------------------------------------------
 
@@ -59,12 +61,16 @@ class SQLEngine:
         limit: Optional[int] = None,
         stats: Optional[ExecutionStats] = None,
         max_rows_examined: Optional[int] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> List[Tuple[Any, ...]]:
         """Run a query (text or parsed) and return the result rows.
 
         *max_rows_examined* bounds the total work; exceeding it raises
         :class:`WorkBudgetExceeded` (with ``stats.aborted`` set when stats
-        are collected).
+        are collected).  A *context* governs the join pipeline cooperatively
+        instead: on deadline/budget/cancellation the partial result rows
+        are returned, the interruption is recorded on the context, and
+        ``stats.aborted`` is set.
         """
         if isinstance(query, str):
             query = parse_sql(query)
@@ -72,7 +78,16 @@ class SQLEngine:
         order = self._plan_order(query)
         if stats is not None:
             stats.tables_in_plan = len(order)
-        return self._run(query, order, limit, stats, max_rows_examined)
+        try:
+            return self._run(query, order, limit, stats, max_rows_examined,
+                             context)
+        except ExecutionInterrupted as exc:
+            if context is None:
+                raise
+            context.mark_interrupted(exc)
+            if stats is not None:
+                stats.aborted = True
+            return list(self._partial_results)
 
     # -- planning ----------------------------------------------------------------
 
@@ -136,6 +151,7 @@ class SQLEngine:
         limit: Optional[int],
         stats: Optional[ExecutionStats],
         max_rows_examined: Optional[int] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> List[Tuple[Any, ...]]:
         tables: Dict[str, Relation] = {
             alias: self.database.table(name) for name, alias in order
@@ -155,6 +171,8 @@ class SQLEngine:
             checks_at[level].append(comparison)
 
         results: List[Tuple[Any, ...]] = []
+        # exposed so execute() can hand back partial rows on interruption
+        self._partial_results = results
         binding: Dict[str, Tuple[Any, ...]] = {}
         examined = [0]
 
@@ -186,6 +204,8 @@ class SQLEngine:
             for row_id in candidates:
                 row = table.rows[row_id]
                 examined[0] += 1
+                if context is not None:
+                    context.tick()
                 if stats is not None:
                     stats.rows_examined += 1
                 if max_rows_examined is not None and examined[0] > max_rows_examined:

@@ -136,6 +136,7 @@ class SQLGraphMatcher:
         limit: Optional[int] = None,
         stats: Optional[ExecutionStats] = None,
         max_rows_examined: Optional[int] = None,
+        context=None,
     ) -> List[Mapping]:
         """All mappings of the pattern, computed relationally.
 
@@ -146,7 +147,8 @@ class SQLGraphMatcher:
         """
         sql = pattern_to_sql(pattern, self.label_attr)
         rows = self.engine.execute(
-            sql, limit=limit, stats=stats, max_rows_examined=max_rows_examined
+            sql, limit=limit, stats=stats, max_rows_examined=max_rows_examined,
+            context=context,
         )
         names = pattern.motif.node_names()
         return [Mapping(dict(zip(names, row))) for row in rows]

@@ -2,8 +2,17 @@
 
 from .buffer import BufferPool, BufferStats
 from .database import GraphDatabase
+from .faults import FaultStats, FaultyPageFile
 from .graphstore import GraphStore
-from .pager import PAGE_SIZE, PageFile, RecordFile, SlottedPage, StorageError
+from .pager import (
+    PAGE_SIZE,
+    ChecksumError,
+    PageFile,
+    RecordFile,
+    SlottedPage,
+    StorageError,
+    TransientIOError,
+)
 from .serializer import (
     collection_from_text,
     collection_to_text,
@@ -18,6 +27,9 @@ from .serializer import (
 __all__ = [
     "BufferPool",
     "BufferStats",
+    "ChecksumError",
+    "FaultStats",
+    "FaultyPageFile",
     "GraphDatabase",
     "GraphStore",
     "PAGE_SIZE",
@@ -25,6 +37,7 @@ __all__ = [
     "RecordFile",
     "SlottedPage",
     "StorageError",
+    "TransientIOError",
     "collection_from_text",
     "collection_to_text",
     "graph_from_text",

@@ -17,6 +17,7 @@ from ..core.graph import Graph
 from ..core.pattern import GraphPattern, GroundPattern
 from ..lang.compiler import compile_pattern_text, compile_program
 from ..matching.planner import GraphMatcher, MatchOptions, MatchReport
+from ..runtime import ExecutionContext
 from .serializer import load_collection, save_collection
 
 
@@ -109,22 +110,28 @@ class GraphDatabase:
         document: str,
         pattern: Union[GraphPattern, GroundPattern, str],
         options: Optional[MatchOptions] = None,
+        context: Optional[ExecutionContext] = None,
     ) -> Dict[str, MatchReport]:
         """Match a pattern against every graph of a document.
 
         Returns one :class:`MatchReport` per graph, keyed by graph name
         (or positional index when unnamed).  Pattern text is compiled on
-        the fly.
+        the fly.  A *context* is shared by the per-graph searches: once
+        it trips, remaining graphs are skipped and each produced report
+        carries the outcome snapshot at the time it finished.
         """
         if isinstance(pattern, str):
             pattern = compile_pattern_text(pattern)
         reports: Dict[str, MatchReport] = {}
         for position, graph in enumerate(self.doc(document)):
+            if context is not None and context.is_interrupted:
+                break
             matcher = self.matcher_for(graph)
             if isinstance(pattern, GroundPattern):
-                report = matcher.match(pattern, options)
+                report = matcher.match(pattern, options, context=context)
             else:
-                report = matcher.match_pattern(pattern, options)
+                report = matcher.match_pattern(pattern, options,
+                                               context=context)
             reports[graph.name or f"#{position}"] = report
         return reports
 
@@ -150,11 +157,14 @@ class GraphDatabase:
         document: str,
         pattern: Union[GraphPattern, GroundPattern, str],
         exhaustive: bool = True,
+        context: Optional[ExecutionContext] = None,
     ) -> GraphCollection:
         """σ_P over a document, using filter+verify for big collections.
 
         Small collections (and patterns without label constraints) fall
-        back to a plain scan; results are identical either way.
+        back to a plain scan; results are identical either way.  When the
+        collection path index cannot be built (e.g. a storage fault), the
+        selection degrades to the plain scan instead of failing.
         """
         from ..core.algebra import select as scan_select
 
@@ -164,24 +174,37 @@ class GraphDatabase:
             grounds = pattern.ground()
         else:
             grounds = [pattern]
-        index = self.collection_index_for(document)
+        try:
+            index = self.collection_index_for(document)
+        except Exception:
+            index = None
         if index is None:
             out = GraphCollection()
             for ground in grounds:
                 out.extend(scan_select(self.doc(document), ground,
-                                       exhaustive=exhaustive))
+                                       exhaustive=exhaustive,
+                                       context=context))
             return out
         out = GraphCollection()
         for ground in grounds:
+            if context is not None and context.is_interrupted:
+                break
             out.extend(index.select(ground, exhaustive=exhaustive))
         return out
 
     # -- full query execution ------------------------------------------------------------
 
-    def query(self, source: str, env: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    def query(
+        self,
+        source: str,
+        env: Optional[Dict[str, Any]] = None,
+        context: Optional[ExecutionContext] = None,
+    ) -> Dict[str, Any]:
         """Compile and run a GraphQL program; returns the environment.
 
         The last statement's value is available under ``"__result__"``.
+        With a *context*, an interrupted run returns the environment as
+        built so far (``context.outcome()`` tells why it stopped).
         """
         compiled = compile_program(source)
-        return compiled.run(self, env)
+        return compiled.run(self, env, context=context)

@@ -1,0 +1,143 @@
+"""Storage fault injection: exercising the corruption/recovery paths.
+
+A disk-resident system's corruption handling is only trustworthy if the
+error paths actually run.  :class:`FaultyPageFile` wraps the page file
+with deterministic, seeded fault injection:
+
+* **transient read faults** (*read_error_rate*) — raise
+  :class:`~repro.storage.pager.TransientIOError`; each call re-rolls, so
+  a retrying reader (:class:`~repro.storage.pager.RecordFile`) recovers;
+* **persistent write faults** (*write_error_rate*) — raise
+  :class:`~repro.storage.pager.StorageError` before touching the file;
+* **torn pages** (*torn_write_rate*) — silently persist only a prefix of
+  the page, the classic partial-write failure; the per-page CRC32 in
+  :class:`~repro.storage.pager.SlottedPage` detects it on the next read;
+* **bit flips** (*corrupt_read_rate*) — flip one random bit in the data
+  returned from a read (the file itself stays intact), modelling bus or
+  media bit rot; again caught by the page CRC.
+
+The header page (page 0) is exempt from torn/bit-flip corruption by
+default so a harnessed file stays openable; set ``corrupt_header=True``
+to remove even that mercy.
+
+Usage::
+
+    pf = FaultyPageFile(path, read_error_rate=0.05, seed=7)
+    rf = RecordFile(pf)          # retries ride over the 5% faults
+    ...
+    pf.stats.read_faults         # how many faults were injected
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from contextlib import contextmanager
+
+from .pager import PAGE_SIZE, PageFile, StorageError, TransientIOError
+
+
+@dataclass
+class FaultStats:
+    """Counters of injected faults (for assertions in tests)."""
+
+    read_faults: int = 0
+    write_faults: int = 0
+    torn_pages: int = 0
+    bit_flips: int = 0
+    torn_page_numbers: list = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        """All injected faults."""
+        return (self.read_faults + self.write_faults
+                + self.torn_pages + self.bit_flips)
+
+
+class FaultyPageFile(PageFile):
+    """A :class:`PageFile` with seeded, configurable fault injection."""
+
+    def __init__(
+        self,
+        path: str,
+        read_error_rate: float = 0.0,
+        write_error_rate: float = 0.0,
+        torn_write_rate: float = 0.0,
+        corrupt_read_rate: float = 0.0,
+        corrupt_header: bool = False,
+        seed: int = 0,
+    ) -> None:
+        for name, rate in (("read_error_rate", read_error_rate),
+                           ("write_error_rate", write_error_rate),
+                           ("torn_write_rate", torn_write_rate),
+                           ("corrupt_read_rate", corrupt_read_rate)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.read_error_rate = read_error_rate
+        self.write_error_rate = write_error_rate
+        self.torn_write_rate = torn_write_rate
+        self.corrupt_read_rate = corrupt_read_rate
+        self.corrupt_header = corrupt_header
+        self.stats = FaultStats()
+        self._rng = random.Random(seed)
+        self._armed = False  # keep construction (header I/O) fault-free
+        super().__init__(path)
+        self._armed = True
+
+    @contextmanager
+    def suspended(self):
+        """Temporarily disable injection (test setup/verification)."""
+        was_armed = self._armed
+        self._armed = False
+        try:
+            yield self
+        finally:
+            self._armed = was_armed
+
+    # -- injected I/O ---------------------------------------------------------
+
+    def read_page(self, page_no: int) -> bytes:
+        if self._armed and self._rng.random() < self.read_error_rate:
+            self.stats.read_faults += 1
+            raise TransientIOError(
+                f"injected transient read fault on page {page_no}"
+            )
+        data = super().read_page(page_no)
+        if (self._armed
+                and (page_no != 0 or self.corrupt_header)
+                and self._rng.random() < self.corrupt_read_rate):
+            self.stats.bit_flips += 1
+            position = self._rng.randrange(len(data))
+            flipped = bytearray(data)
+            flipped[position] ^= 1 << self._rng.randrange(8)
+            return bytes(flipped)
+        return data
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        if self._armed and self._rng.random() < self.write_error_rate:
+            self.stats.write_faults += 1
+            raise StorageError(
+                f"injected write failure on page {page_no}"
+            )
+        if (self._armed
+                and (page_no != 0 or self.corrupt_header)
+                and self._rng.random() < self.torn_write_rate):
+            # a torn write: only a prefix of the page reaches the disk,
+            # and the caller is not told — exactly how a power cut
+            # mid-write looks.  The page CRC catches it on read.
+            self.stats.torn_pages += 1
+            self.stats.torn_page_numbers.append(page_no)
+            prefix_len = self._rng.randrange(1, PAGE_SIZE)
+            torn = data[:prefix_len] + self._stale_suffix(page_no, prefix_len)
+            super().write_page(page_no, torn)
+            return
+        super().write_page(page_no, data)
+
+    def _stale_suffix(self, page_no: int, prefix_len: int) -> bytes:
+        """What the un-written tail of a torn page still holds on disk."""
+        with self.suspended():
+            try:
+                old = super().read_page(page_no)
+            except StorageError:
+                old = b"\x00" * PAGE_SIZE
+        return old[prefix_len:]

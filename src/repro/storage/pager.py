@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import os
 import struct
+import time
+import zlib
 from typing import Iterator, List, Optional, Tuple
 
 PAGE_SIZE = 4096
@@ -30,6 +32,18 @@ _NO_PAGE = 0xFFFFFFFF
 
 class StorageError(RuntimeError):
     """Raised on corrupt files or invalid record ids."""
+
+
+class TransientIOError(StorageError):
+    """A read fault that may succeed on retry (injected or environmental).
+
+    :class:`RecordFile` retries these with bounded exponential backoff;
+    anything still failing after the retry budget surfaces as-is.
+    """
+
+
+class ChecksumError(StorageError):
+    """A page image failed its CRC32 verification (torn write, bit rot)."""
 
 
 class PageFile:
@@ -61,11 +75,33 @@ class PageFile:
         self._file.flush()
 
     def _read_header(self) -> None:
+        header_size = struct.calcsize(_HEADER_FMT)
         self._file.seek(0)
-        raw = self._file.read(struct.calcsize(_HEADER_FMT))
+        raw = self._file.read(header_size)
+        if len(raw) < header_size:
+            raise StorageError(
+                f"{self.path}: truncated header ({len(raw)} bytes, "
+                f"need {header_size}); not a page file or badly damaged"
+            )
         magic, page_count, free_head = struct.unpack(_HEADER_FMT, raw)
         if magic != _MAGIC:
-            raise StorageError(f"{self.path}: not a page file")
+            raise StorageError(
+                f"{self.path}: bad magic {magic!r} (expected {_MAGIC!r}); "
+                "not a page file"
+            )
+        if page_count < 1:
+            raise StorageError(
+                f"{self.path}: header declares {page_count} pages; "
+                "a page file has at least the header page"
+            )
+        actual = os.path.getsize(self.path)
+        expected = page_count * PAGE_SIZE
+        if actual < expected:
+            raise StorageError(
+                f"{self.path}: header declares {page_count} pages "
+                f"({expected} bytes) but the file holds only {actual} bytes; "
+                "the file is truncated"
+            )
         self._page_count = page_count
         self._free_head = free_head
 
@@ -132,19 +168,24 @@ class PageFile:
 
 
 # slotted page layout:
-#   [u16 slot_count][u16 free_offset] ...records...   ...slots...
+#   [u16 slot_count][u16 free_offset][u32 crc32] ...records...   ...slots...
 # each slot: [u16 offset][u16 length]; offset 0xFFFF marks a deleted slot
 # (offset 0 cannot be used as a tombstone — it would clash with legal
 # zero-length records, and real offsets start past the page header).
-_PAGE_HEADER = struct.Struct("<HH")
+# The CRC32 covers the whole page image with the crc field zeroed; it is
+# stamped by to_bytes() (i.e. on every write-out) and verified when a
+# page image is parsed, so torn writes and bit flips are detected at
+# read time instead of surfacing as garbled records later.
+_PAGE_HEADER = struct.Struct("<HHI")
 _SLOT = struct.Struct("<HH")
 _DELETED = 0xFFFF
+_CRC_OFFSET = 4  # byte offset of the u32 crc within the page header
 
 
 class SlottedPage:
     """Variable-length records within one page via a slot directory."""
 
-    def __init__(self, data: Optional[bytes] = None) -> None:
+    def __init__(self, data: Optional[bytes] = None, verify: bool = True) -> None:
         if data is None:
             self._buf = bytearray(PAGE_SIZE)
             self.slot_count = 0
@@ -152,12 +193,31 @@ class SlottedPage:
             self._store_header()
         else:
             self._buf = bytearray(data)
-            self.slot_count, self.free_offset = _PAGE_HEADER.unpack_from(
-                self._buf, 0
+            if not any(self._buf):
+                # a freshly allocated, never-written page: treat as empty
+                self.slot_count = 0
+                self.free_offset = _PAGE_HEADER.size
+                self._store_header()
+                return
+            self.slot_count, self.free_offset, stored_crc = (
+                _PAGE_HEADER.unpack_from(self._buf, 0)
             )
+            if verify and stored_crc != self._compute_crc():
+                raise ChecksumError(
+                    f"page checksum mismatch (stored {stored_crc:#010x}, "
+                    f"computed {self._compute_crc():#010x}); the page was "
+                    "torn or corrupted"
+                )
 
-    def _store_header(self) -> None:
-        _PAGE_HEADER.pack_into(self._buf, 0, self.slot_count, self.free_offset)
+    def _compute_crc(self) -> int:
+        """CRC32 of the page image with the crc field zeroed."""
+        crc = zlib.crc32(self._buf[:_CRC_OFFSET])
+        crc = zlib.crc32(b"\x00\x00\x00\x00", crc)
+        return zlib.crc32(self._buf[_CRC_OFFSET + 4:], crc) & 0xFFFFFFFF
+
+    def _store_header(self, crc: int = 0) -> None:
+        _PAGE_HEADER.pack_into(self._buf, 0, self.slot_count,
+                               self.free_offset, crc)
 
     def _slot_position(self, slot: int) -> int:
         return PAGE_SIZE - (slot + 1) * _SLOT.size
@@ -206,7 +266,8 @@ class SlottedPage:
                 yield (slot, bytes(self._buf[offset:offset + length]))
 
     def to_bytes(self) -> bytes:
-        """The raw page image."""
+        """The raw page image, with a freshly stamped CRC32."""
+        self._store_header(crc=self._compute_crc())
         return bytes(self._buf)
 
 
@@ -217,16 +278,45 @@ MAX_RECORD = PAGE_SIZE - _PAGE_HEADER.size - _SLOT.size
 
 
 class RecordFile:
-    """Record-id addressed storage over a :class:`PageFile`."""
+    """Record-id addressed storage over a :class:`PageFile`.
 
-    def __init__(self, pagefile: PageFile) -> None:
+    Reads retry on :class:`TransientIOError` with bounded exponential
+    backoff (*max_retries* attempts beyond the first, starting at
+    *retry_backoff* seconds and doubling), so a storage layer with
+    sporadic read faults — see :class:`repro.storage.faults.FaultyPageFile`
+    — still serves records; persistent faults surface after the budget.
+    """
+
+    def __init__(
+        self,
+        pagefile: PageFile,
+        max_retries: int = 5,
+        retry_backoff: float = 0.001,
+    ) -> None:
         self.pagefile = pagefile
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.retries_performed = 0
         self._data_pages: List[int] = [
             p for p in range(1, pagefile.num_pages)
         ]
         self._last_page: Optional[int] = (
             self._data_pages[-1] if self._data_pages else None
         )
+
+    def _read_page(self, page_no: int) -> bytes:
+        """Read one page, retrying transient faults with backoff."""
+        attempt = 0
+        while True:
+            try:
+                return self.pagefile.read_page(page_no)
+            except TransientIOError:
+                if attempt >= self.max_retries:
+                    raise
+                if self.retry_backoff > 0:
+                    time.sleep(self.retry_backoff * (2 ** attempt))
+                attempt += 1
+                self.retries_performed += 1
 
     def insert(self, record: bytes) -> RecordId:
         """Append a record, allocating pages as needed."""
@@ -235,7 +325,7 @@ class RecordFile:
                 f"record of {len(record)} bytes exceeds page capacity"
             )
         if self._last_page is not None:
-            page = SlottedPage(self.pagefile.read_page(self._last_page))
+            page = SlottedPage(self._read_page(self._last_page))
             slot = page.insert(record)
             if slot is not None:
                 self.pagefile.write_page(self._last_page, page.to_bytes())
@@ -252,19 +342,19 @@ class RecordFile:
     def read(self, record_id: RecordId) -> bytes:
         """Read a record by id."""
         page_no, slot = record_id
-        page = SlottedPage(self.pagefile.read_page(page_no))
+        page = SlottedPage(self._read_page(page_no))
         return page.read(slot)
 
     def delete(self, record_id: RecordId) -> None:
         """Delete a record by id."""
         page_no, slot = record_id
-        page = SlottedPage(self.pagefile.read_page(page_no))
+        page = SlottedPage(self._read_page(page_no))
         page.delete(slot)
         self.pagefile.write_page(page_no, page.to_bytes())
 
     def scan(self) -> Iterator[Tuple[RecordId, bytes]]:
         """Iterate all live records in page order."""
         for page_no in self._data_pages:
-            page = SlottedPage(self.pagefile.read_page(page_no))
+            page = SlottedPage(self._read_page(page_no))
             for slot, record in page.records():
                 yield ((page_no, slot), record)

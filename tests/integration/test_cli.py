@@ -118,3 +118,106 @@ class TestExplainFlag:
         assert "search order" in out
         assert "Algorithm 4.2" in out
         assert "Mapping(" not in out  # no search was run
+
+
+@pytest.fixture
+def dense_file(tmp_path):
+    """A one-label dense graph: clique search on it is expensive."""
+    from repro.core import GraphCollection
+    from repro.datasets.random_graphs import erdos_renyi_graph
+    from repro.storage import save_collection as save
+
+    graph = erdos_renyi_graph(80, 1500, num_labels=1, seed=2, name="dense")
+    path = tmp_path / "dense.gql"
+    save(GraphCollection([graph]), path)
+    return str(path)
+
+
+@pytest.fixture
+def clique8_file(tmp_path):
+    names = [f"u{i}" for i in range(8)]
+    lines = ["graph clique8 {"]
+    for name in names:
+        lines.append(f'  node {name} <label="L000">;')
+    count = 0
+    for i in range(8):
+        for j in range(i + 1, 8):
+            count += 1
+            lines.append(f"  edge e{count} ({names[i]}, {names[j]});")
+    lines.append("};")
+    path = tmp_path / "clique8.gql"
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestGovernance:
+    def test_timeout_exits_3_with_outcome(self, dense_file, clique8_file,
+                                          capsys):
+        code = main(["match", dense_file, "--pattern", clique8_file,
+                     "--baseline", "--timeout", "0.1"])
+        assert code == 3
+        out = capsys.readouterr().out
+        assert "TIMED_OUT" in out
+        assert "deadline" in out
+
+    def test_max_steps_truncates_exit_0(self, dense_file, clique8_file,
+                                        capsys):
+        code = main(["match", dense_file, "--pattern", clique8_file,
+                     "--baseline", "--max-steps", "5000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "TRUNCATED" in out
+        assert "step budget" in out
+
+    def test_limit_enforced_inside_search(self, dense_file, tmp_path,
+                                          capsys):
+        pattern = tmp_path / "one.gql"
+        pattern.write_text('graph P { node u <label="L000">; }')
+        code = main(["match", dense_file, "--pattern", str(pattern),
+                     "--limit", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total: 3 mapping(s)" in out
+        assert "TRUNCATED" in out  # the cap stopped the search early
+
+    def test_uncapped_match_reports_complete(self, triangle_file, tmp_path,
+                                             capsys):
+        pattern = tmp_path / "q.gql"
+        pattern.write_text("""
+            graph P {
+                node u1 <label="A">; node u2 <label="B">; node u3 <label="C">;
+                edge e1 (u1, u2); edge e2 (u2, u3); edge e3 (u3, u1);
+            }
+        """)
+        assert main(["match", triangle_file, "--pattern", str(pattern)]) == 0
+        assert "COMPLETE" in capsys.readouterr().out
+
+    def test_run_with_timeout_flag(self, dblp_file, tmp_path, capsys):
+        program = tmp_path / "prog.gql"
+        program.write_text("""
+            graph P { node v1 <author>; };
+            for P exhaustive in doc("DBLP")
+            return graph { node n <who=P.v1.name>; };
+        """)
+        assert main(["run", str(program), "--doc", f"DBLP={dblp_file}",
+                     "--timeout", "30"]) == 0
+
+
+class TestStress:
+    def test_histogram_printed(self, capsys):
+        code = main(["stress", "--seed", "1", "--nodes", "60",
+                     "--queries", "4", "--size", "3", "--timeout", "30"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "histogram:" in out
+        assert "COMPLETE=" in out
+        assert out.count("q0") == 4  # one line per query
+
+    def test_seed_controls_generation(self, capsys):
+        main(["stress", "--seed", "5", "--nodes", "50", "--queries", "2",
+              "--size", "3", "--timeout", "30"])
+        first = capsys.readouterr().out.splitlines()[0]
+        main(["stress", "--seed", "5", "--nodes", "50", "--queries", "2",
+              "--size", "3", "--timeout", "30"])
+        second = capsys.readouterr().out.splitlines()[0]
+        assert first == second  # the graph line is seed-deterministic
