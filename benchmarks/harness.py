@@ -165,7 +165,7 @@ def synthetic_query_workload(
 class QueryResult:
     """One query's measurements across configurations."""
 
-    __slots__ = ("hits", "ratios", "times", "outcomes", "sql_time",
+    __slots__ = ("hits", "ratios", "times", "outcomes", "cache", "sql_time",
                  "sql_aborted")
 
     def __init__(self) -> None:
@@ -173,6 +173,8 @@ class QueryResult:
         self.ratios: Dict[str, float] = {}
         self.times: Dict[str, float] = {}
         self.outcomes: Dict[str, Outcome] = {}
+        #: serving-path cache verdicts ("hit"/"miss"/"bypass") per run
+        self.cache: Dict[str, str] = {}
         self.sql_time: Optional[float] = None
         self.sql_aborted = False
 
@@ -181,6 +183,23 @@ class QueryResult:
         """Whether any configuration hit its per-run deadline."""
         return any(o is Outcome.TIMED_OUT for o in self.outcomes.values())
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form for BENCH result files.
+
+        Outcome statuses are recorded by name so serving-path effects
+        (timeouts, truncation, cache hits) are trackable over time.
+        """
+        return {
+            "hits": self.hits,
+            "ratios": dict(self.ratios),
+            "times": dict(self.times),
+            "outcomes": {name: status.value
+                         for name, status in self.outcomes.items()},
+            "cache": dict(self.cache),
+            "sql_time": self.sql_time,
+            "sql_aborted": self.sql_aborted,
+        }
+
 
 def measure_query(
     matcher: GraphMatcher,
@@ -188,6 +207,8 @@ def measure_query(
     sql_matcher: Optional[SQLGraphMatcher] = None,
     radius: int = 1,
     timeout: Optional[float] = None,
+    service=None,
+    query_text: Optional[str] = None,
 ) -> QueryResult:
     """Run one query through every configuration the figures need.
 
@@ -195,8 +216,23 @@ def measure_query(
     fresh :class:`ExecutionContext` (a per-run wall-clock deadline, so a
     pathological query cannot stall the whole benchmark sweep); the
     per-configuration outcomes land in ``result.outcomes``.
+
+    *service* (a :class:`repro.service.QueryService`) additionally sends
+    the query through the serving path twice — cold then warm — so BENCH
+    JSONs track cache hit/miss verdicts and serving outcomes over time.
+    Pass *query_text* for the cacheable text form of *query*; without it
+    the compiled pattern is sent and the caches report ``"bypass"``.
     """
     result = QueryResult()
+
+    if service is not None:
+        serving_query = query_text if query_text is not None else query
+        for run_name in ("service_cold", "service_warm"):
+            response = service.execute(serving_query, limit=HIT_LIMIT,
+                                       timeout=timeout)
+            result.outcomes[run_name] = response.outcome.status
+            result.cache[run_name] = response.cache
+            result.times[run_name] = response.elapsed
 
     def run(name: str, options: MatchOptions):
         context = (ExecutionContext(timeout=timeout)

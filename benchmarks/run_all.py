@@ -27,6 +27,7 @@ import test_fig_4_20_clique_search_space
 import test_fig_4_21_clique_time
 import test_fig_4_22_synthetic_steps
 import test_fig_4_23_synthetic_total
+import test_service_throughput
 import test_table_4_1_language_comparison
 
 
@@ -65,6 +66,8 @@ def drivers():
                 test_ablation_storage_clustering.run_experiment(tmp))
 
     yield ("Storage clustering", storage_clustering)
+    yield ("Service throughput", lambda: test_service_throughput.report(
+        *test_service_throughput.run_experiment()))
 
 
 def main() -> int:

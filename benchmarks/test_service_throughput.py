@@ -1,0 +1,150 @@
+"""Serving-path throughput: QueryService under concurrent clients.
+
+Not a paper figure — this tracks the service layer added on top of the
+paper's matcher: admission control, the result cache, and per-request
+governance.  The experiment drives concurrent clients over a mixed
+workload (repeated cacheable queries plus unique ones) and reports
+throughput, latency quantiles and cache effectiveness, so regressions
+in the serving path show up next to the matcher benchmarks.
+"""
+
+import json
+import threading
+from typing import List
+
+from harness import (
+    HIT_LIMIT,
+    fmt_ms,
+    get_ppi,
+    measure_query,
+    print_table,
+)
+
+from repro.datasets.queries import seeded_clique_query
+from repro.runtime import Outcome
+from repro.service import QueryService, ServiceConfig
+
+import random
+
+CLIENTS = 6
+REQUESTS_PER_CLIENT = 12
+WORKERS = 3
+
+#: text form keeps the requests cacheable end to end
+EDGE_TEMPLATE = ('graph P {{ node a <label="{a}">; node b <label="{b}">; '
+                 'edge e1 (a, b); }}')
+
+
+def label_pool(graph, k: int = 8) -> List[str]:
+    from collections import Counter
+
+    counts = Counter(node.label for node in graph.nodes())
+    return [label for label, _count in counts.most_common(k)]
+
+
+def make_service() -> QueryService:
+    service = QueryService(ServiceConfig(
+        workers=WORKERS, queue_depth=CLIENTS * REQUESTS_PER_CLIENT,
+        per_client=REQUESTS_PER_CLIENT, default_timeout=10.0,
+        default_max_results=HIT_LIMIT))
+    service.register("data", get_ppi())
+    return service
+
+
+def run_experiment():
+    service = make_service()
+    graph = get_ppi()
+    labels = label_pool(graph)
+    rng = random.Random(17)
+    # one hot query (every client repeats it => cache hits) plus a
+    # per-client tail of mostly-unique label pairs (cache misses)
+    hot = EDGE_TEMPLATE.format(a=labels[0], b=labels[1])
+    responses = []
+    lock = threading.Lock()
+
+    def client(index):
+        mine = []
+        for j in range(REQUESTS_PER_CLIENT):
+            if j % 2 == 0:
+                text = hot
+            else:
+                a, b = rng.sample(labels, 2)
+                text = EDGE_TEMPLATE.format(a=a, b=b)
+            mine.append(service.execute(text, client=f"bench{index}"))
+        with lock:
+            responses.extend(mine)
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stats = service.shutdown()
+    return responses, stats
+
+
+def report(responses, stats):
+    hits = [r for r in responses if r.cache == "hit"]
+    executed = [r for r in responses if not r.rejected]
+    latency = stats["latency"]
+    print_table(
+        "Service throughput — "
+        f"{CLIENTS} clients x {REQUESTS_PER_CLIENT} requests, "
+        f"{WORKERS} workers (PPI)",
+        ["requests", "rejected", "cache hits", "hit rate",
+         "p50 ms", "p95 ms", "max ms"],
+        [(
+            len(responses), stats["rejected"], len(hits),
+            f"{len(hits) / max(1, len(executed)):.0%}",
+            fmt_ms(latency.get("p50")), fmt_ms(latency.get("p95")),
+            fmt_ms(latency.get("max")),
+        )],
+    )
+
+
+def test_service_throughput(capsys):
+    responses, stats = run_experiment()
+
+    total = CLIENTS * REQUESTS_PER_CLIENT
+    assert len(responses) == total
+    assert stats["admitted"] + stats["rejected"] == stats["submitted"]
+    executed = [r for r in responses if not r.rejected]
+    assert executed
+    for response in executed:
+        assert response.outcome.status in (Outcome.COMPLETE,
+                                           Outcome.TRUNCATED)
+    hits = [r for r in responses if r.cache == "hit"]
+    assert hits, "the repeated hot query produced no cache hits"
+
+    with capsys.disabled():
+        report(responses, stats)
+
+
+def test_measure_query_records_serving_path():
+    """measure_query result dicts carry cache verdicts + outcomes."""
+    service = make_service()
+    try:
+        from harness import get_ppi_matcher
+
+        graph = get_ppi()
+        labels = label_pool(graph)
+        text = EDGE_TEMPLATE.format(a=labels[0], b=labels[1])
+        rng = random.Random(5)
+        query = seeded_clique_query(graph, 2, rng)
+        result = measure_query(get_ppi_matcher(), query,
+                               service=service, query_text=text)
+
+        assert result.cache["service_cold"] == "miss"
+        assert result.cache["service_warm"] == "hit"
+        assert result.outcomes["service_warm"] in (Outcome.COMPLETE,
+                                                   Outcome.TRUNCATED)
+        payload = result.as_dict()
+        # BENCH JSONs must be directly serializable
+        round_tripped = json.loads(json.dumps(payload))
+        assert round_tripped["cache"]["service_warm"] == "hit"
+        assert round_tripped["outcomes"]["service_cold"] in (
+            "COMPLETE", "TRUNCATED")
+        assert round_tripped["times"]["service_warm"] >= 0.0
+    finally:
+        service.shutdown()

@@ -5,8 +5,11 @@ Usage examples::
     repro-gql info data.gql
     repro-gql match data.gql --pattern query.gql [--baseline] [--explain]
     repro-gql match data.gql --pattern query.gql --timeout 1 --max-steps 100000
+    repro-gql match data.gql --pattern query.gql --json
     repro-gql run program.gql --doc DBLP=papers.gql --out result.gql
-    repro-gql stress --seed 7 --queries 20 --timeout 5
+    repro-gql stress --seed 7 --queries 20 --timeout 5 --workers 4
+    repro-gql serve data.gql --port 7687 --workers 4
+    repro-gql serve --synthetic 1000 --port 0
 
 Files use the GraphQL concrete syntax (see ``repro.storage.serializer``);
 a data file holds one or more ``graph`` declarations.
@@ -20,15 +23,17 @@ paper's 1000-answer termination rule), ``TIMED_OUT`` exits 3 and
 from __future__ import annotations
 
 import argparse
+import json
 import random
+import signal
 import sys
-import time
+import threading
 from pathlib import Path
 from typing import List, Optional
 
 from .core import Graph, GraphCollection
 from .lang import compile_pattern_text
-from .matching import GraphMatcher, baseline_options, optimized_options
+from .matching import baseline_options, optimized_options
 from .runtime import ExecutionContext, Outcome
 from .storage import GraphDatabase, graph_to_text, load_collection
 
@@ -38,6 +43,7 @@ EXIT_BY_OUTCOME = {
     Outcome.TRUNCATED: 0,
     Outcome.TIMED_OUT: 3,
     Outcome.CANCELLED: 4,
+    Outcome.REJECTED: 5,
 }
 
 
@@ -83,6 +89,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="how many mappings to print per graph")
     match.add_argument("--explain", action="store_true",
                        help="print the access plan instead of matching")
+    match.add_argument("--json", action="store_true",
+                       help="emit one JSON document (mappings + outcome, "
+                            "the wire-protocol serialization)")
     _add_governance(match)
     _add_common(match)
 
@@ -92,6 +101,8 @@ def build_parser() -> argparse.ArgumentParser:
                      metavar="NAME=PATH",
                      help="bind doc(NAME) to a data file (repeatable)")
     run.add_argument("--out", help="write the result graph/collection here")
+    run.add_argument("--json", action="store_true",
+                     help="emit one JSON document (result text + outcome)")
     _add_governance(run)
     _add_common(run)
 
@@ -119,7 +130,68 @@ def build_parser() -> argparse.ArgumentParser:
     stress.add_argument("--limit", type=int, default=1000,
                         help="per-query answer cap")
     stress.add_argument("--baseline", action="store_true",
-                        help="disable the optimized access methods")
+                        help="disable the optimized access methods "
+                             "(runs under the same per-query timeout as "
+                             "the optimized path)")
+    stress.add_argument("--workers", type=int, default=4,
+                        help="query-service worker threads")
+    stress.add_argument("--queue-depth", type=int, default=None,
+                        help="admission queue depth (default: accept the "
+                             "whole batch; lower it to exercise load "
+                             "shedding)")
+    stress.add_argument("--per-query-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-query deadline (default: the global "
+                             "deadline; both the optimized and --baseline "
+                             "paths honor it)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve queries over TCP (newline-delimited JSON protocol)",
+    )
+    serve.add_argument("data", nargs="?", default=None,
+                       help="GraphQL data file to serve as document 'data'")
+    serve.add_argument("--synthetic", type=int, default=None, metavar="N",
+                       help="serve a seeded synthetic graph of N nodes "
+                            "instead of a data file")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="RNG seed for --synthetic")
+    serve.add_argument("--labels", type=int, default=20,
+                       help="distinct labels for --synthetic")
+    serve.add_argument("--edges", type=int, default=None,
+                       help="edge count for --synthetic (default 3x nodes)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7687,
+                       help="TCP port (0 picks a free one; the bound "
+                            "address is printed on startup)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="worker pool size")
+    serve.add_argument("--processes", action="store_true",
+                       help="use a process pool (CPU parallelism; "
+                            "per-request cancel cannot reach workers)")
+    serve.add_argument("--queue-depth", type=int, default=16,
+                       help="admitted requests that may wait beyond the "
+                            "running ones; more are REJECTED")
+    serve.add_argument("--per-client", type=int, default=8,
+                       help="per-client in-flight quota")
+    serve.add_argument("--timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="default per-query deadline (requests may "
+                            "tighten, never exceed it)")
+    serve.add_argument("--max-steps", type=int, default=None, metavar="N",
+                       help="default per-query step budget")
+    serve.add_argument("--limit", type=int, default=1000,
+                       help="default per-query answer cap")
+    serve.add_argument("--plan-cache", type=int, default=256,
+                       help="plan cache entries (0 disables)")
+    serve.add_argument("--result-cache", type=int, default=256,
+                       help="result cache entries (0 disables)")
+    serve.add_argument("--drain-timeout", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="how long shutdown waits for in-flight "
+                            "queries before cancelling them")
+    _add_common(serve)
 
     return parser
 
@@ -160,6 +232,25 @@ def cmd_match(args: argparse.Namespace) -> int:
         max_memory=args.max_memory,
     )
     reports = database.match("data", pattern, options, context=context)
+    if args.json:
+        overall = context.outcome()
+        document = {
+            "graphs": {
+                name: {
+                    "mappings": [
+                        {"nodes": dict(m.nodes), "edges": dict(m.edges)}
+                        for m in report.mappings
+                    ],
+                    "outcome": report.outcome.to_dict(),
+                    "degradation": list(report.degradation),
+                }
+                for name, report in reports.items()
+            },
+            "total": sum(len(r.mappings) for r in reports.values()),
+            "outcome": overall.to_dict(),
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return EXIT_BY_OUTCOME[overall.status]
     total = 0
     for name, report in reports.items():
         count = len(report.mappings)
@@ -202,13 +293,23 @@ def cmd_run(args: argparse.Namespace) -> int:
     env = database.query(program_text, context=context)
     result = env.get("__result__")
     rendered = _render_result(result)
+    outcome = context.outcome() if context is not None else None
+    if args.json:
+        document = {
+            "result": rendered,
+            "outcome": outcome.to_dict() if outcome is not None else None,
+        }
+        if args.out:
+            Path(args.out).write_text(rendered + "\n", encoding="utf-8")
+            document["out"] = args.out
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return EXIT_BY_OUTCOME[outcome.status] if outcome is not None else 0
     if args.out:
         Path(args.out).write_text(rendered + "\n", encoding="utf-8")
         print(f"wrote result to {args.out}")
     else:
         print(rendered)
-    if context is not None:
-        outcome = context.outcome()
+    if outcome is not None:
         if outcome.interrupted:
             print(f"outcome: {outcome}")
         return EXIT_BY_OUTCOME[outcome.status]
@@ -216,16 +317,20 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 
 def cmd_stress(args: argparse.Namespace) -> int:
-    """``repro-gql stress``: random queries under a global deadline.
+    """``repro-gql stress``: a service soak test under a global deadline.
 
     Generates a seeded synthetic graph, then alternates between random
     clique queries (labels drawn from the graph) and connected-subgraph
-    extractions (guaranteed at least one hit).  Every query runs under
-    the remaining share of the global deadline; the run ends with an
-    outcome histogram.
+    extractions (guaranteed at least one hit).  The whole batch is
+    submitted through a :class:`~repro.service.QueryService` — the same
+    admission-control/worker-pool path ``repro-gql serve`` uses — so
+    ``stress`` doubles as a server soak test.  Every query (``--baseline``
+    included) runs under the same per-query timeout; a watchdog cancels
+    whatever is still in flight when the global deadline expires.
     """
     from .datasets.queries import clique_query, extract_connected_query
     from .datasets.random_graphs import erdos_renyi_graph
+    from .service import QueryRequest, QueryService, ServiceConfig
 
     rng = random.Random(args.seed)
     edges = args.edges if args.edges is not None else 3 * args.nodes
@@ -234,37 +339,112 @@ def cmd_stress(args: argparse.Namespace) -> int:
     label_pool = sorted({node.label for node in graph.nodes() if node.label})
     print(f"graph: {graph.num_nodes()} nodes, {graph.num_edges()} edges, "
           f"{len(label_pool)} labels (seed {args.seed})")
-    matcher = GraphMatcher(graph)
-    options = (baseline_options(limit=args.limit) if args.baseline
-               else optimized_options(limit=args.limit))
-    deadline_end = time.monotonic() + args.timeout
-    histogram = {status: 0 for status in Outcome}
-    not_run = 0
+    per_query_timeout = (args.per_query_timeout
+                         if args.per_query_timeout is not None
+                         else args.timeout)
+    queue_depth = (args.queue_depth if args.queue_depth is not None
+                   else max(0, args.queries - args.workers))
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_depth=queue_depth,
+        per_client=max(1, args.queries),
+        default_timeout=per_query_timeout,
+        default_max_steps=args.max_steps,
+        default_max_results=args.limit,
+    )
+    service = QueryService(config)
+    service.register("stress", graph)
+    submissions = []
     for index in range(args.queries):
-        remaining = deadline_end - time.monotonic()
-        if remaining <= 0:
-            not_run = args.queries - index
-            break
         if index % 2 == 0:
             kind = "clique"
             query = clique_query(args.size, label_pool, rng)
         else:
             kind = "extract"
             query = extract_connected_query(graph, args.size, rng)
-        context = ExecutionContext(timeout=remaining,
-                                   max_steps=args.max_steps,
-                                   max_results=args.limit)
-        report = matcher.match(query, options, context=context)
-        outcome = report.outcome
-        histogram[outcome.status] += 1
-        print(f"q{index:02d} {kind:7s} size={args.size}: "
-              f"{len(report.mappings)} mapping(s) [{outcome}]")
+        request = QueryRequest(query=query, document="stress",
+                               client="stress", baseline=args.baseline)
+        submissions.append((index, kind, service.submit(request)))
+    watchdog = threading.Timer(
+        args.timeout,
+        lambda: service.cancel_all("global stress deadline expired"))
+    watchdog.daemon = True
+    watchdog.start()
+    histogram = {status: 0 for status in Outcome}
+    try:
+        for index, kind, future in submissions:
+            response = future.result()
+            histogram[response.outcome.status] += 1
+            print(f"q{index:02d} {kind:7s} size={args.size}: "
+                  f"{len(response.results)} mapping(s) [{response.outcome}]")
+    finally:
+        watchdog.cancel()
+        service.shutdown(timeout=0)
     print("histogram: " + "  ".join(
         f"{status.value}={count}" for status, count in histogram.items()
         if count or status is not Outcome.CANCELLED
     ))
-    if not_run:
-        print(f"not run (global deadline expired): {not_run}")
+    snapshot = service.metrics.snapshot()
+    print(f"service: admitted={snapshot['admitted']} "
+          f"rejected={snapshot['rejected']} "
+          f"p95={snapshot['latency']['p95'] * 1000:.1f}ms")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro-gql serve``: the TCP query service.
+
+    Serves the given data file (or a seeded synthetic graph) as document
+    ``data`` over the newline-delimited JSON protocol (see
+    ``docs/service.md``).  SIGTERM/SIGINT trigger a graceful drain: the
+    listening socket closes immediately, in-flight queries finish or are
+    cancelled at the drain deadline, and final metrics are printed.
+    """
+    from .service import QueryServer, QueryService, ServiceConfig
+
+    if (args.data is None) == (args.synthetic is None):
+        print("error: serve needs a data file or --synthetic N (not both)",
+              file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        per_client=args.per_client,
+        use_processes=args.processes,
+        default_timeout=args.timeout,
+        default_max_steps=args.max_steps,
+        default_max_results=args.limit,
+        plan_cache_size=args.plan_cache,
+        result_cache_size=args.result_cache,
+        drain_timeout=args.drain_timeout,
+    )
+    service = QueryService(config)
+    if args.data is not None:
+        service.load("data", args.data, directed=args.directed)
+    else:
+        from .datasets.random_graphs import erdos_renyi_graph
+
+        edges = args.edges if args.edges is not None else 3 * args.synthetic
+        service.register("data", erdos_renyi_graph(
+            args.synthetic, edges, num_labels=args.labels,
+            seed=args.seed, name="data"))
+    graphs = service.database.doc("data")
+    server = QueryServer(service, (args.host, args.port))
+    host, port = server.address
+    print(f"serving {len(graphs)} graph(s) on {host}:{port} "
+          f"({config.workers} {'process' if args.processes else 'thread'} "
+          f"worker(s), queue {config.queue_depth}, "
+          f"timeout {config.default_timeout:g}s)", flush=True)
+
+    def on_signal(signum, frame):
+        print(f"signal {signum}: draining ...", flush=True)
+        threading.Thread(target=server.shutdown_gracefully,
+                         daemon=True).start()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    server.serve_until_shutdown()
+    print(f"shutdown: {service.metrics.summary()}", flush=True)
     return 0
 
 
@@ -286,7 +466,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"info": cmd_info, "match": cmd_match, "run": cmd_run,
-                "stress": cmd_stress}
+                "stress": cmd_stress, "serve": cmd_serve}
     try:
         return handlers[args.command](args)
     except FileNotFoundError as exc:

@@ -55,6 +55,10 @@ class MatchOptions:
     refine: bool = True               # run Algorithm 4.2
     refine_level: Optional[int] = None  # None => pattern size
     optimize_order: bool = True       # greedy cost-based order vs connected order
+    # a search order computed by an earlier run of the same query (the
+    # service's plan cache replays it here); used only when it covers
+    # exactly the pattern's nodes, otherwise recomputed
+    plan_order: Optional[Sequence[str]] = None
     gamma_mode: str = "frequency"     # "frequency" | "constant"
     gamma_const: float = 0.1
     radius: int = 1
@@ -323,6 +327,12 @@ class GraphMatcher:
         # Step 4: search order
         started = time.perf_counter()
         sizes = {name: len(candidates) for name, candidates in space.items()}
+        if (opts.plan_order is not None
+                and set(opts.plan_order) == set(space.keys())):
+            report.times["order"] = time.perf_counter() - started
+            report.order = list(opts.plan_order)
+            self._search(pattern, opts, report, space, report.order, context)
+            return
         try:
             if opts.optimize_order:
                 model = CostModel(
@@ -341,14 +351,24 @@ class GraphMatcher:
             order = pattern.node_names()
         report.times["order"] = time.perf_counter() - started
         report.order = order
+        self._search(pattern, opts, report, space, order, context)
 
+    def _search(
+        self,
+        pattern: GroundPattern,
+        opts: MatchOptions,
+        report: MatchReport,
+        space: Dict[str, List[str]],
+        order: Sequence[str],
+        context: Optional[ExecutionContext],
+    ) -> None:
         # Step 5: the backtracking search (Algorithm 4.1)
         started = time.perf_counter()
         counters = SearchCounters()
         try:
             report.mappings = find_matches(
                 pattern,
-                graph,
+                self.graph,
                 candidates=space,
                 order=order,
                 exhaustive=opts.exhaustive,

@@ -12,6 +12,7 @@ from .context import (
     QueryOutcome,
     current_outcome,
     mapping_cost,
+    rejected_outcome,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "QueryOutcome",
     "current_outcome",
     "mapping_cost",
+    "rejected_outcome",
 ]

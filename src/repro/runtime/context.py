@@ -36,11 +36,12 @@ The protocol for a governed loop is::
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 
 class Outcome(str, Enum):
@@ -50,6 +51,9 @@ class Outcome(str, Enum):
     TRUNCATED = "TRUNCATED"
     TIMED_OUT = "TIMED_OUT"
     CANCELLED = "CANCELLED"
+    #: Load shedding turned the request away before any work ran
+    #: (admission control in :mod:`repro.service`); no partial results.
+    REJECTED = "REJECTED"
 
     def __str__(self) -> str:  # print as the bare word in CLI output
         return self.value
@@ -93,13 +97,19 @@ class CancellationToken:
 
     def __init__(self) -> None:
         self._cancelled = False
+        self._lock = threading.Lock()
         self.reason: Optional[str] = None
 
     def cancel(self, reason: str = "cancelled by caller") -> None:
-        """Trigger cancellation (idempotent; first reason wins)."""
-        if not self._cancelled:
-            self._cancelled = True
-            self.reason = reason
+        """Trigger cancellation (idempotent; first reason wins).
+
+        Safe to call from any thread; governed loops in other threads
+        observe the flag at their next context check.
+        """
+        with self._lock:
+            if not self._cancelled:
+                self.reason = reason
+                self._cancelled = True
 
     def is_cancelled(self) -> bool:
         """Whether cancellation has been requested (subclassable)."""
@@ -146,6 +156,48 @@ class QueryOutcome:
         bits.append(f"steps={self.steps}")
         bits.append(f"elapsed={self.elapsed * 1000:.1f}ms")
         return " ".join(bits)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready dict; the one serialization the CLI's ``--json``
+        output and the service wire protocol both use."""
+        return {
+            "status": self.status.value,
+            "reason": self.reason,
+            "steps": self.steps,
+            "results": self.results,
+            "memory_used": self.memory_used,
+            "elapsed": self.elapsed,
+            "phase_times": dict(self.phase_times),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QueryOutcome":
+        """Rebuild an outcome from :meth:`to_dict` output (wire decode).
+
+        Unknown keys are ignored and missing keys take the dataclass
+        defaults, so the two ends of a connection may run different
+        versions of the protocol.
+        """
+        return cls(
+            status=Outcome(data.get("status", Outcome.COMPLETE.value)),
+            reason=str(data.get("reason", "")),
+            steps=int(data.get("steps", 0)),
+            results=int(data.get("results", 0)),
+            memory_used=int(data.get("memory_used", 0)),
+            elapsed=float(data.get("elapsed", 0.0)),
+            phase_times={
+                str(k): float(v)
+                for k, v in dict(data.get("phase_times", {})).items()
+            },
+        )
+
+
+def rejected_outcome(reason: str) -> QueryOutcome:
+    """The outcome of a request turned away by admission control.
+
+    ``steps == 0`` by construction: a rejected request never executed.
+    """
+    return QueryOutcome(status=Outcome.REJECTED, reason=reason)
 
 
 #: Approximate per-mapping memory cost used by the answer-set cap

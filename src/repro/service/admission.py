@@ -1,0 +1,80 @@
+"""Admission control: bounded in-flight work with per-client quotas.
+
+The controller never blocks and never queues unboundedly: a request is
+either *admitted* (it may run now or wait in the executor's bounded
+backlog) or *rejected* with a machine-readable reason.  Rejection is
+load shedding — the caller gets a structured ``REJECTED`` outcome in
+microseconds instead of a timeout after seconds in a hopeless queue.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from .config import ServiceConfig
+
+#: Reason strings returned to rejected clients (stable, greppable).
+REASON_QUEUE_FULL = "queue full"
+REASON_CLIENT_QUOTA = "client quota exceeded"
+REASON_DRAINING = "service draining"
+
+
+class AdmissionController:
+    """Tracks in-flight requests against the configured bounds."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self._config = config
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._per_client: Dict[str, int] = {}
+        self._draining = False
+
+    def try_admit(self, client: str) -> Optional[str]:
+        """Admit a request or return a rejection reason.
+
+        On admission the request counts against the global and per-client
+        bounds until :meth:`release` is called (exactly once).
+        """
+        with self._lock:
+            if self._draining:
+                return REASON_DRAINING
+            if self._in_flight >= self._config.max_in_flight:
+                return REASON_QUEUE_FULL
+            if self._per_client.get(client, 0) >= self._config.per_client:
+                return REASON_CLIENT_QUOTA
+            self._in_flight += 1
+            self._per_client[client] = self._per_client.get(client, 0) + 1
+            return None
+
+    def release(self, client: str) -> None:
+        """Return an admitted request's slots (call exactly once)."""
+        with self._lock:
+            self._in_flight = max(0, self._in_flight - 1)
+            remaining = self._per_client.get(client, 0) - 1
+            if remaining > 0:
+                self._per_client[client] = remaining
+            else:
+                self._per_client.pop(client, None)
+
+    def start_draining(self) -> None:
+        """Stop admitting; already admitted requests keep their slots."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        """Whether the controller has stopped admitting."""
+        with self._lock:
+            return self._draining
+
+    @property
+    def in_flight(self) -> int:
+        """Currently admitted, not yet released requests."""
+        with self._lock:
+            return self._in_flight
+
+    def client_load(self, client: str) -> int:
+        """One client's current in-flight count."""
+        with self._lock:
+            return self._per_client.get(client, 0)

@@ -1,0 +1,135 @@
+"""Prepared-query (plan) and result caches for the query service.
+
+Both caches key on ``(document, query text, options signature, document
+version)``.  The version component is the sum of the registered graphs'
+mutation counters (:attr:`repro.core.graph.Graph.version` increments on
+every node/edge change), so *any* mutation makes every older entry
+unreachable — stale answers are impossible by construction and the dead
+entries age out of the LRU instead of needing an invalidation sweep.
+
+The plan cache stores compile artifacts (the compiled pattern and, for
+single-graph documents, the search order the planner chose), saving the
+parse/compile/order work on repeated queries.  The result cache stores
+the final rows plus the outcome, but only for runs whose outcome is
+deterministic given the key (``COMPLETE``, or ``TRUNCATED`` by the
+answer cap that is itself part of the key) — a ``TIMED_OUT`` run under
+one caller's deadline must never be replayed to another caller.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from ..runtime import Outcome, QueryOutcome
+
+
+class LRUCache:
+    """A thread-safe LRU mapping with hit/miss counters.
+
+    ``capacity == 0`` disables the cache (every get misses, puts are
+    dropped), which lets callers keep one unconditional code path.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, or None; refreshes LRU order on hit."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/update an entry, evicting the least recently used."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def invalidate(self, predicate=None) -> int:
+        """Drop entries (all, or those whose key satisfies *predicate*)."""
+        with self._lock:
+            if predicate is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+                return dropped
+            doomed = [k for k in self._entries if predicate(k)]
+            for key in doomed:
+                del self._entries[key]
+            return len(doomed)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for the metrics snapshot."""
+        with self._lock:
+            return {
+                "size": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+
+@dataclass
+class CachedPlan:
+    """Compile artifacts of one prepared query.
+
+    ``orders`` maps graph names to the search order the planner chose on
+    the first execution; later executions replay it through
+    :attr:`repro.matching.MatchOptions.plan_order` and skip the
+    cost-model work.
+    """
+
+    pattern: Any
+    orders: Dict[str, List[str]] = field(default_factory=dict)
+
+
+CacheKey = Tuple[str, str, Hashable, int]
+
+
+def make_key(document: str, query_text: str, options_key: Hashable,
+             version: int) -> CacheKey:
+    """The canonical cache key shared by both caches."""
+    return (document, query_text, options_key, version)
+
+
+class PlanCache(LRUCache):
+    """LRU of :class:`CachedPlan` keyed by (doc, text, options, version)."""
+
+
+class ResultCache(LRUCache):
+    """LRU of ``(rows, QueryOutcome)`` keyed like the plan cache."""
+
+    #: Outcomes that are a pure function of the cache key and therefore
+    #: safe to replay to other callers.
+    CACHEABLE = (Outcome.COMPLETE, Outcome.TRUNCATED)
+
+    def admit(self, key: CacheKey, rows: List[Dict[str, Any]],
+              outcome: QueryOutcome) -> bool:
+        """Store a finished query iff its outcome is deterministic."""
+        if outcome.status not in self.CACHEABLE:
+            return False
+        self.put(key, (rows, outcome))
+        return True

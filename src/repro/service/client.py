@@ -1,0 +1,162 @@
+"""A small synchronous client for the ndjson wire protocol.
+
+One :class:`ServiceClient` wraps one TCP connection (a sequential
+session); use several clients — they are cheap — for concurrent load.
+
+    with ServiceClient("127.0.0.1", 7687) as client:
+        reply = client.query('graph P { node u <label="A">; }',
+                             timeout=1.0)
+        print(reply.outcome, len(reply.results))
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..runtime import QueryOutcome
+from .protocol import MAX_LINE_BYTES, ProtocolError, decode, encode
+
+
+@dataclass
+class ClientReply:
+    """A decoded query response (wire dict plus typed outcome)."""
+
+    ok: bool
+    request_id: Optional[str]
+    results: List[Dict[str, Any]] = field(default_factory=list)
+    outcome: QueryOutcome = field(default_factory=QueryOutcome)
+    cache: str = "bypass"
+    error: Optional[str] = None
+    raw: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def rejected(self) -> bool:
+        """Whether the service shed this request at admission."""
+        return self.outcome.status.value == "REJECTED"
+
+
+class ServiceClient:
+    """Blocking client for one server connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7687,
+                 timeout: Optional[float] = 30.0,
+                 client_name: str = "anon") -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.client_name = client_name
+        self._sock: Optional[socket.socket] = None
+        self._reader = None
+        self._ids = itertools.count(1)
+
+    # -- connection -----------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        """Open the TCP connection (idempotent)."""
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+            self._reader = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        if self._reader is not None:
+            try:
+                self._reader.close()
+            except OSError:
+                pass
+            self._reader = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the protocol ---------------------------------------------------------
+
+    def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request dict, block for its response dict."""
+        self.connect()
+        message.setdefault("id", f"{self.client_name}-{next(self._ids)}")
+        assert self._sock is not None and self._reader is not None
+        self._sock.sendall(encode(message))
+        line = self._reader.readline(MAX_LINE_BYTES + 1)
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return decode(line)
+
+    def query(
+        self,
+        query_text: str,
+        document: str = "data",
+        request_id: Optional[str] = None,
+        limit: Optional[int] = None,
+        timeout: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        max_memory: Optional[int] = None,
+        baseline: bool = False,
+        no_cache: bool = False,
+    ) -> ClientReply:
+        """Run one pattern query; returns a typed :class:`ClientReply`."""
+        message: Dict[str, Any] = {
+            "op": "query", "query": query_text, "document": document,
+            "client": self.client_name,
+        }
+        if request_id is not None:
+            message["id"] = request_id
+        for key, value in (("limit", limit), ("timeout", timeout),
+                           ("max_steps", max_steps),
+                           ("max_memory", max_memory)):
+            if value is not None:
+                message[key] = value
+        if baseline:
+            message["baseline"] = True
+        if no_cache:
+            message["no_cache"] = True
+        reply = self.call(message)
+        outcome = (QueryOutcome.from_dict(reply["outcome"])
+                   if isinstance(reply.get("outcome"), dict)
+                   else QueryOutcome())
+        return ClientReply(
+            ok=bool(reply.get("ok")),
+            request_id=reply.get("id"),
+            results=list(reply.get("results", [])),
+            outcome=outcome,
+            cache=str(reply.get("cache", "bypass")),
+            error=reply.get("error"),
+            raw=reply,
+        )
+
+    def cancel(self, target: str,
+               reason: str = "cancelled by client") -> bool:
+        """Cancel an in-flight request by id; True when it was found."""
+        reply = self.call({"op": "cancel", "target": target,
+                           "reason": reason})
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "cancel failed"))
+        return bool(reply.get("cancelled"))
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's metrics snapshot."""
+        reply = self.call({"op": "stats"})
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "stats failed"))
+        return reply["stats"]
+
+    def ping(self) -> Dict[str, Any]:
+        """Round-trip liveness check; returns the server's ping reply."""
+        reply = self.call({"op": "ping"})
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "ping failed"))
+        return reply

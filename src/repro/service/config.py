@@ -1,0 +1,96 @@
+"""Service tuning knobs, gathered in one place.
+
+Every knob has a conservative default that works for the test-scale
+graphs in this repository; ``docs/service.md`` discusses how to size
+them for real deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..runtime import CancellationToken, ExecutionContext
+
+
+@dataclass
+class ServiceConfig:
+    """Configuration of one :class:`~repro.service.QueryService`.
+
+    Sizing rules of thumb:
+
+    * ``workers`` bounds CPU use.  The matcher is pure Python, so thread
+      workers only overlap during the interpreter's frequent GIL yields;
+      ``use_processes=True`` trades per-request cancellation and shared
+      graph mutation for true CPU parallelism.
+    * ``queue_depth`` is how many admitted requests may *wait* beyond the
+      ones actively running.  Admission rejects (it never blocks) once
+      ``workers + queue_depth`` requests are in flight — load shedding
+      with a structured ``REJECTED`` outcome instead of unbounded queues.
+    * ``per_client`` caps one client's in-flight share so a single noisy
+      client cannot monopolise the pool.
+    * the ``default_*`` budgets seed each admitted request's
+      :class:`~repro.runtime.ExecutionContext`; a request may *tighten*
+      them but never exceed ``default_timeout`` (the service-level SLO).
+    """
+
+    workers: int = 4
+    queue_depth: int = 16
+    per_client: int = 8
+    use_processes: bool = False
+
+    # per-request governance defaults (None = unlimited)
+    default_timeout: Optional[float] = 30.0
+    default_max_steps: Optional[int] = None
+    default_max_results: Optional[int] = 1000
+    default_max_memory: Optional[int] = None
+
+    # cache capacities (entries); 0 disables the cache
+    plan_cache_size: int = 256
+    result_cache_size: int = 256
+
+    # seconds shutdown waits for in-flight queries before cancelling them
+    drain_timeout: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if self.per_client < 1:
+            raise ValueError("per_client must be >= 1")
+
+    @property
+    def max_in_flight(self) -> int:
+        """Running plus queued requests the service will hold at once."""
+        return self.workers + self.queue_depth
+
+    def derive_context(
+        self,
+        timeout: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        max_results: Optional[int] = None,
+        max_memory: Optional[int] = None,
+        token: Optional[CancellationToken] = None,
+    ) -> ExecutionContext:
+        """A per-request context from the service defaults.
+
+        Request overrides may only tighten the service budgets: the
+        effective limit is the smaller of the request's ask and the
+        configured default (an unlimited default accepts any ask).
+        """
+
+        def tighten(asked, configured):
+            if asked is None:
+                return configured
+            if configured is None:
+                return asked
+            return min(asked, configured)
+
+        return ExecutionContext(
+            timeout=tighten(timeout, self.default_timeout),
+            max_steps=tighten(max_steps, self.default_max_steps),
+            max_results=tighten(max_results, self.default_max_results),
+            max_memory=tighten(max_memory, self.default_max_memory),
+            token=token,
+        )

@@ -1,0 +1,154 @@
+"""Service observability: counters and a latency histogram.
+
+Everything here is cheap (one lock, integer bumps) because it sits on
+the per-request hot path.  The ``stats`` wire request and the shutdown
+log both render :meth:`ServiceMetrics.snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from ..runtime import Outcome
+
+#: Default histogram bucket upper bounds, in seconds (the last bucket is
+#: unbounded).  Chosen to straddle the paper's millisecond-scale queries
+#: and pathological multi-second stragglers.
+DEFAULT_BUCKETS = (
+    0.001, 0.002, 0.005,
+    0.01, 0.02, 0.05,
+    0.1, 0.2, 0.5,
+    1.0, 2.0, 5.0, 10.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram (seconds), thread-safe."""
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self.bounds: List[float] = sorted(buckets)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.max = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        """Account one observation."""
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                index = i
+                break
+        with self._lock:
+            self.counts[index] += 1
+            self.total += 1
+            self.sum += seconds
+            if seconds > self.max:
+                self.max = seconds
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile (upper bound of the covering bucket)."""
+        with self._lock:
+            if self.total == 0:
+                return 0.0
+            target = q * self.total
+            seen = 0
+            for i, count in enumerate(self.counts):
+                seen += count
+                if seen >= target:
+                    return (self.bounds[i] if i < len(self.bounds)
+                            else self.max)
+            return self.max
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready view: bucket counts plus summary statistics."""
+        with self._lock:
+            buckets = {
+                (f"<={bound:g}s" if i < len(self.bounds) else
+                 f">{self.bounds[-1]:g}s"): count
+                for i, (bound, count) in enumerate(
+                    zip(list(self.bounds) + [float("inf")], self.counts))
+                if count
+            }
+            mean = self.sum / self.total if self.total else 0.0
+            total, maximum = self.total, self.max
+        return {
+            "count": total,
+            "mean": mean,
+            "max": maximum,
+            "p50": self.quantile(0.5),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "buckets": buckets,
+        }
+
+
+class ServiceMetrics:
+    """Admission, cache and outcome counters plus the latency histogram."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.submitted = 0
+        self.admitted = 0
+        self.rejected = 0
+        self.executed = 0
+        self.cancelled_requests = 0
+        self.result_cache_hits = 0
+        self.result_cache_misses = 0
+        self.plan_cache_hits = 0
+        self.plan_cache_misses = 0
+        self.outcomes: Dict[str, int] = {status.value: 0 for status in Outcome}
+        self.latency = LatencyHistogram()
+
+    def count(self, name: str, n: int = 1) -> None:
+        """Bump one of the integer counters by name."""
+        with self._lock:
+            setattr(self, name, getattr(self, name) + n)
+
+    def record_outcome(self, status: Outcome,
+                       latency: Optional[float] = None) -> None:
+        """Account one finished request: outcome plus optional latency."""
+        with self._lock:
+            self.outcomes[status.value] = self.outcomes.get(status.value, 0) + 1
+        if latency is not None:
+            self.latency.record(latency)
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready view of every counter (the ``stats`` response)."""
+        with self._lock:
+            return {
+                "submitted": self.submitted,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "executed": self.executed,
+                "cancelled_requests": self.cancelled_requests,
+                "result_cache": {
+                    "hits": self.result_cache_hits,
+                    "misses": self.result_cache_misses,
+                },
+                "plan_cache": {
+                    "hits": self.plan_cache_hits,
+                    "misses": self.plan_cache_misses,
+                },
+                "outcomes": dict(self.outcomes),
+                "latency": self.latency.snapshot(),
+            }
+
+    def summary(self) -> str:
+        """One shutdown-log line."""
+        snap = self.snapshot()
+        latency = snap["latency"]
+        outcomes = " ".join(
+            f"{k}={v}" for k, v in snap["outcomes"].items() if v
+        )
+        return (
+            f"served {snap['submitted']} request(s): "
+            f"admitted={snap['admitted']} rejected={snap['rejected']} "
+            f"cache_hits={snap['result_cache']['hits']} "
+            f"plan_hits={snap['plan_cache']['hits']} "
+            f"[{outcomes or 'no outcomes'}] "
+            f"p50={latency['p50'] * 1000:.1f}ms "
+            f"p95={latency['p95'] * 1000:.1f}ms"
+        )

@@ -1,0 +1,87 @@
+"""Process-pool execution helpers (opt-in CPU-bound fan-out).
+
+The matcher is pure Python, so thread workers interleave on the GIL;
+``ServiceConfig(use_processes=True)`` runs queries in worker *processes*
+instead.  Each worker receives the registered documents once, as GraphQL
+text via the pool initializer, and rebuilds graphs + matchers lazily on
+first use — after that, queries ship only their pattern text and budget
+numbers across the process boundary.
+
+Trade-offs (documented in docs/service.md): per-request cancellation
+cannot reach a worker process (the token lives in the parent), and the
+workers match against the snapshot taken at pool start — mutations in
+the parent require re-registering the document to be visible.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Per-process state installed by :func:`pool_init`.
+_STATE: Dict[str, Any] = {}
+
+
+def pool_init(docs_payload: Dict[str, Tuple[str, bool]]) -> None:
+    """Pool initializer: stash document text, build matchers lazily."""
+    _STATE["payload"] = docs_payload
+    _STATE["matchers"] = {}
+
+
+def _matchers_for(document: str):
+    """The (lazily built) matchers of one document in this worker."""
+    from ..matching.planner import GraphMatcher
+    from ..storage.serializer import collection_from_text
+
+    matchers = _STATE.setdefault("matchers", {})
+    if document not in matchers:
+        payload = _STATE.get("payload", {})
+        if document not in payload:
+            raise KeyError(f"unknown document {document!r}")
+        text, directed = payload[document]
+        collection = collection_from_text(text, directed=directed)
+        matchers[document] = [
+            (graph.name or f"#{position}", GraphMatcher(graph))
+            for position, graph in enumerate(collection)
+        ]
+    return matchers[document]
+
+
+def pool_execute(
+    document: str,
+    pattern_text: str,
+    options_kwargs: Dict[str, Any],
+    governance: Dict[str, Optional[float]],
+) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+    """Run one query in a worker process.
+
+    Returns ``(rows, outcome_dict)`` — plain JSON-ready values, so the
+    result pickles cheaply back to the parent.
+    """
+    from ..core.pattern import GroundPattern
+    from ..lang.compiler import compile_pattern_text
+    from ..matching.planner import MatchOptions
+    from ..runtime import ExecutionContext
+
+    pattern = compile_pattern_text(pattern_text)
+    options = MatchOptions(**options_kwargs)
+    context = ExecutionContext(
+        timeout=governance.get("timeout"),
+        max_steps=governance.get("max_steps"),
+        max_results=governance.get("max_results"),
+        max_memory=governance.get("max_memory"),
+    )
+    rows: List[Dict[str, Any]] = []
+    for name, matcher in _matchers_for(document):
+        if context.is_interrupted:
+            break
+        if isinstance(pattern, GroundPattern):
+            report = matcher.match(pattern, options, context=context)
+        else:
+            report = matcher.match_pattern(pattern, options, context=context)
+        for mapping in report.mappings:
+            rows.append({
+                "graph": name,
+                "nodes": dict(mapping.nodes),
+                "edges": dict(mapping.edges),
+            })
+    return rows, context.outcome().to_dict()

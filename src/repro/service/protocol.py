@@ -1,0 +1,91 @@
+"""The wire protocol: newline-delimited JSON over TCP.
+
+One request per line, one response line per request, in order.  A
+connection is a sequential session; clients that want concurrent queries
+open several connections (the server multiplexes them onto the shared
+:class:`~repro.service.QueryService` pool, where admission control
+applies globally).
+
+Requests (``op`` selects the operation)::
+
+    {"op": "query", "id": "q1", "query": "graph P {...}",
+     "document": "data", "client": "alice", "limit": 100,
+     "timeout": 1.5, "max_steps": 100000, "max_memory": 1000000,
+     "baseline": false, "no_cache": false}
+    {"op": "cancel", "id": "c1", "target": "q1"}
+    {"op": "stats", "id": "s1"}
+    {"op": "ping", "id": "p1"}
+
+Responses always echo ``id`` and carry ``ok``::
+
+    {"id": "q1", "ok": true, "op": "query", "results": [...],
+     "outcome": {"status": "COMPLETE", ...}, "cache": "miss", ...}
+    {"id": "c1", "ok": true, "op": "cancel", "cancelled": true}
+    {"id": "x", "ok": false, "error": "..."}
+
+``outcome`` is exactly :meth:`repro.runtime.QueryOutcome.to_dict` — the
+same serialization ``repro-gql match --json`` prints, so tooling can
+consume both uniformly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: Protocol revision, echoed by ``ping``.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one request/response line (guards server memory
+#: against a hostile or broken peer).
+MAX_LINE_BYTES = 16 * 1024 * 1024
+
+VALID_OPS = ("query", "cancel", "stats", "ping")
+
+
+class ProtocolError(ValueError):
+    """A malformed request or response line."""
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One message as a newline-terminated JSON line."""
+    line = json.dumps(message, separators=(",", ":"),
+                      ensure_ascii=False).encode("utf-8") + b"\n"
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"message of {len(line)} bytes exceeds the "
+            f"{MAX_LINE_BYTES}-byte line limit"
+        )
+    return line
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one line into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError("line exceeds the protocol size limit")
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"bad JSON line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError("a message must be a JSON object")
+    return message
+
+
+def validate_request(message: Dict[str, Any]) -> str:
+    """Check a request's shape; returns the operation name."""
+    op = message.get("op")
+    if op not in VALID_OPS:
+        raise ProtocolError(
+            f"unknown op {op!r} (expected one of {', '.join(VALID_OPS)})"
+        )
+    if op == "query" and not isinstance(message.get("query"), str):
+        raise ProtocolError('"query" op requires a "query" text field')
+    if op == "cancel" and not isinstance(message.get("target"), str):
+        raise ProtocolError('"cancel" op requires a "target" request id')
+    return op
+
+
+def error_response(request_id: Optional[str], error: str) -> Dict[str, Any]:
+    """The failure envelope (``ok: false``)."""
+    return {"id": request_id, "ok": False, "error": error}

@@ -1,0 +1,201 @@
+"""The TCP front end: ``repro-gql serve``.
+
+A :class:`socketserver.ThreadingTCPServer` speaking the newline-delimited
+JSON protocol of :mod:`repro.service.protocol`.  Each connection gets a
+handler thread that reads requests sequentially; query execution itself
+happens on the :class:`~repro.service.QueryService` worker pool, so the
+handler thread only blocks waiting for its own responses and admission
+control stays global across connections.
+
+Graceful drain: :meth:`QueryServer.shutdown_gracefully` (wired to
+SIGTERM/SIGINT by the CLI) closes the listening socket first — new
+connections are refused immediately — then drains the service: in-flight
+queries finish or are cancelled at the drain deadline, and final metrics
+are logged.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import socketserver
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from .protocol import (
+    ProtocolError,
+    decode,
+    encode,
+    error_response,
+    validate_request,
+    MAX_LINE_BYTES,
+    PROTOCOL_VERSION,
+)
+from .service import QueryRequest, QueryService
+
+logger = logging.getLogger(__name__)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: a sequential request/response session."""
+
+    #: bound readline so one hostile line cannot exhaust memory
+    rbufsize = -1
+
+    def handle(self) -> None:
+        server: "QueryServer" = self.server  # type: ignore[assignment]
+        while not server.draining:
+            try:
+                line = self.rfile.readline(MAX_LINE_BYTES + 1)
+            except (ConnectionError, OSError):
+                break
+            if not line:
+                break  # client closed
+            stripped = line.strip()
+            if not stripped:
+                continue
+            response = server.handle_message(stripped)
+            try:
+                payload = encode(response)
+            except ProtocolError as exc:
+                # the result set outgrew the line limit (e.g. a cancelled
+                # query carrying a huge partial answer): deliver the
+                # outcome without the rows rather than dropping the
+                # connection
+                payload = encode(_without_results(response, str(exc)))
+            try:
+                self.wfile.write(payload)
+                self.wfile.flush()
+            except (ConnectionError, OSError):
+                break
+
+
+def _without_results(response: Dict[str, Any], error: str) -> Dict[str, Any]:
+    """A query response stripped to its envelope + outcome."""
+    slim = {key: response[key] for key in
+            ("id", "op", "request_id", "client", "outcome", "cache",
+             "elapsed") if key in response}
+    slim["ok"] = False
+    slim["results"] = []
+    slim["error"] = f"results dropped: {error}"
+    return slim
+
+
+class QueryServer(socketserver.ThreadingTCPServer):
+    """The serving socket around one :class:`QueryService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, service: QueryService,
+                 address: Tuple[str, int] = ("127.0.0.1", 0)) -> None:
+        self.service = service
+        self._draining = threading.Event()
+        self._drained = threading.Event()
+        super().__init__(address, _Handler)
+
+    # -- request dispatch -----------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        """Whether graceful shutdown has begun."""
+        return self._draining.is_set()
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound (host, port) — port resolved when bound with 0."""
+        return self.server_address[:2]
+
+    def handle_message(self, line: bytes) -> Dict[str, Any]:
+        """Decode, dispatch and answer one request line."""
+        try:
+            message = decode(line)
+        except ProtocolError as exc:
+            return error_response(None, str(exc))
+        request_id = message.get("id")
+        try:
+            op = validate_request(message)
+        except ProtocolError as exc:
+            return error_response(request_id, str(exc))
+        try:
+            if op == "ping":
+                return {"id": request_id, "ok": True, "op": "ping",
+                        "version": PROTOCOL_VERSION,
+                        "draining": self.draining}
+            if op == "stats":
+                return {"id": request_id, "ok": True, "op": "stats",
+                        "stats": self.service.stats()}
+            if op == "cancel":
+                cancelled = self.service.cancel(
+                    message["target"],
+                    reason=message.get("reason", "cancelled by client"),
+                )
+                return {"id": request_id, "ok": True, "op": "cancel",
+                        "target": message["target"], "cancelled": cancelled}
+            return self._handle_query(message, request_id)
+        except Exception as exc:  # never kill the connection on a bug
+            logger.exception("request %r failed", request_id)
+            return error_response(request_id, f"internal error: {exc}")
+
+    def _handle_query(self, message: Dict[str, Any],
+                      request_id: Optional[str]) -> Dict[str, Any]:
+        request = QueryRequest(
+            query=message["query"],
+            document=message.get("document", "data"),
+            client=str(message.get("client", "anon")),
+            limit=message.get("limit"),
+            timeout=message.get("timeout"),
+            max_steps=message.get("max_steps"),
+            max_memory=message.get("max_memory"),
+            baseline=bool(message.get("baseline", False)),
+            use_cache=not message.get("no_cache", False),
+        )
+        if isinstance(request_id, str) and request_id:
+            request.request_id = request_id
+        response = self.service.submit(request).result()
+        payload = response.to_dict()
+        payload["id"] = request.request_id
+        payload["ok"] = response.error is None
+        payload["op"] = "query"
+        return payload
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def serve_until_shutdown(self, poll_interval: float = 0.2) -> None:
+        """``serve_forever`` plus the drain handshake on the way out."""
+        try:
+            self.serve_forever(poll_interval=poll_interval)
+        finally:
+            self._drained.wait(timeout=self.service.config.drain_timeout + 1)
+
+    def shutdown_gracefully(self,
+                            drain_timeout: Optional[float] = None) -> bool:
+        """Refuse new work, drain in-flight queries, stop the pool.
+
+        Safe to call from a signal handler thread.  Returns True when
+        every in-flight query finished inside the drain deadline.
+        """
+        if self._draining.is_set():
+            self._drained.wait()
+            return True
+        self._draining.set()
+        # stop accepting and close the listening socket *first*: clients
+        # see connection refused for the entire drain window
+        self.shutdown()
+        self.server_close()
+        clean = self.service.drain(drain_timeout)
+        self.service.shutdown(timeout=0)
+        logger.info("drained %s: %s",
+                    "cleanly" if clean else "with cancellations",
+                    self.service.metrics.summary())
+        self._drained.set()
+        return clean
+
+
+def probe(host: str, port: int, timeout: float = 0.5) -> bool:
+    """Whether something is accepting TCP connections at host:port."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout):
+            return True
+    except OSError:
+        return False

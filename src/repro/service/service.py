@@ -1,0 +1,525 @@
+"""The :class:`QueryService` facade: concurrent queries over registered graphs.
+
+One service wraps one :class:`~repro.storage.database.GraphDatabase` and
+adds everything the library-level matcher lacks for serving traffic:
+
+* a bounded worker pool (threads by default, processes opt-in),
+* admission control (global + per-client bounds, structured rejection),
+* a prepared-query/plan cache and a version-invalidated result cache,
+* per-request :class:`~repro.runtime.ExecutionContext` governance with
+  cancellation by request id,
+* metrics for every decision the service takes.
+
+The synchronous entry point is :meth:`QueryService.execute`; concurrent
+callers use :meth:`QueryService.submit`, which never blocks — it returns
+a future that resolves to a :class:`QueryResponse` (possibly an
+already-resolved ``REJECTED`` one).
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
+
+from ..core.collection import GraphCollection
+from ..core.graph import Graph
+from ..core.pattern import GraphPattern, GroundPattern
+from ..lang.compiler import compile_pattern_text
+from ..matching.planner import baseline_options, optimized_options
+from ..runtime import (
+    CancellationToken,
+    Outcome,
+    QueryOutcome,
+    rejected_outcome,
+)
+from ..storage.database import GraphDatabase
+from ..storage.serializer import collection_to_text
+from .admission import REASON_DRAINING, AdmissionController
+from .cache import CachedPlan, PlanCache, ResultCache, make_key
+from .config import ServiceConfig
+from .metrics import ServiceMetrics
+from .pool import pool_execute, pool_init
+
+logger = logging.getLogger(__name__)
+
+_request_ids = itertools.count(1)
+
+
+def _next_request_id() -> str:
+    return f"q{next(_request_ids)}"
+
+
+PatternLike = Union[str, GraphPattern, GroundPattern]
+
+
+@dataclass
+class QueryRequest:
+    """One query submission.
+
+    ``query`` is GraphQL pattern text or an already compiled pattern;
+    only text queries are cacheable (a compiled object has no stable
+    cache identity).  The governance fields may tighten, never exceed,
+    the service defaults.
+    """
+
+    query: PatternLike
+    document: str = "data"
+    client: str = "anon"
+    request_id: str = field(default_factory=_next_request_id)
+    limit: Optional[int] = None
+    timeout: Optional[float] = None
+    max_steps: Optional[int] = None
+    max_memory: Optional[int] = None
+    baseline: bool = False
+    use_cache: bool = True
+
+
+@dataclass
+class QueryResponse:
+    """One query's answer: rows plus the structured outcome.
+
+    ``results`` rows are JSON-ready dicts
+    (``{"graph": name, "nodes": {...}, "edges": {...}}``), ``cache`` is
+    ``"hit"`` / ``"miss"`` / ``"bypass"``, and ``error`` carries a
+    compile/internal failure message (rows empty, outcome still present).
+    """
+
+    request_id: str
+    client: str = "anon"
+    results: List[Dict[str, Any]] = field(default_factory=list)
+    outcome: QueryOutcome = field(default_factory=QueryOutcome)
+    cache: str = "bypass"
+    elapsed: float = 0.0
+    error: Optional[str] = None
+
+    @property
+    def rejected(self) -> bool:
+        """Whether admission control turned this request away."""
+        return self.outcome.status is Outcome.REJECTED
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The wire form of this response (protocol payload)."""
+        return {
+            "request_id": self.request_id,
+            "client": self.client,
+            "results": self.results,
+            "outcome": self.outcome.to_dict(),
+            "cache": self.cache,
+            "elapsed": self.elapsed,
+            "error": self.error,
+        }
+
+
+class QueryService:
+    """Concurrent query execution with admission control and caching."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        database: Optional[GraphDatabase] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.database = database or GraphDatabase()
+        self.metrics = ServiceMetrics()
+        self.admission = AdmissionController(self.config)
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        self.result_cache = ResultCache(self.config.result_cache_size)
+        self._executor: Optional[Union[ThreadPoolExecutor,
+                                       ProcessPoolExecutor]] = None
+        self._in_flight: Dict[str, Tuple[CancellationToken,
+                                         "Future[QueryResponse]"]] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- graph registration ---------------------------------------------------
+
+    def register(self, name: str,
+                 collection: Union[GraphCollection, Graph]) -> None:
+        """Register a graph/collection; restarts a live process pool so
+        the workers see the new snapshot."""
+        self.database.register(name, collection)
+        if self.config.use_processes:
+            self._restart_pool()
+
+    def load(self, name: str, path, directed: bool = False) -> None:
+        """Load and register a collection from a GraphQL file."""
+        self.database.load(name, path, directed=directed)
+        if self.config.use_processes:
+            self._restart_pool()
+
+    def document_version(self, document: str) -> int:
+        """The cache-invalidation counter of one document.
+
+        The sum of the member graphs' mutation counters: bumped by any
+        node/edge change, so every cache key derived from it goes stale
+        the moment the data does.
+        """
+        return sum(graph.version for graph in self.database.doc(document))
+
+    # -- the executor ---------------------------------------------------------
+
+    def _docs_payload(self) -> Dict[str, Tuple[str, bool]]:
+        payload = {}
+        for name in self.database.names():
+            collection = self.database.doc(name)
+            directed = any(g.directed for g in collection)
+            payload[name] = (collection_to_text(collection), directed)
+        return payload
+
+    def _ensure_executor(self):
+        with self._lock:
+            if self._executor is None:
+                if self.config.use_processes:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.config.workers,
+                        initializer=pool_init,
+                        initargs=(self._docs_payload(),),
+                    )
+                else:
+                    self._executor = ThreadPoolExecutor(
+                        max_workers=self.config.workers,
+                        thread_name_prefix="repro-query",
+                    )
+            return self._executor
+
+    def _restart_pool(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, request: QueryRequest) -> "Future[QueryResponse]":
+        """Admit and schedule one request; never blocks.
+
+        The returned future resolves to a :class:`QueryResponse` in every
+        case — rejection and internal errors included — so callers can
+        account ``admitted + rejected == submitted`` without exception
+        handling.
+        """
+        self.metrics.count("submitted")
+        reason = self.admission.try_admit(request.client)
+        if reason is not None:
+            return self._reject(request, reason)
+        self.metrics.count("admitted")
+        submitted_at = time.perf_counter()
+
+        # serve result-cache hits synchronously: no worker, microseconds
+        cached = self._cache_lookup(request)
+        if cached is not None:
+            rows, outcome = cached
+            self.metrics.count("result_cache_hits")
+            response = QueryResponse(
+                request_id=request.request_id, client=request.client,
+                results=rows, outcome=outcome, cache="hit",
+                elapsed=time.perf_counter() - submitted_at,
+            )
+            self._finish(request, response, submitted_at, outer=None)
+            done: "Future[QueryResponse]" = Future()
+            done.set_result(response)
+            return done
+
+        token = CancellationToken()
+        outer: "Future[QueryResponse]" = Future()
+        with self._lock:
+            self._in_flight[request.request_id] = (token, outer)
+        try:
+            executor = self._ensure_executor()
+            if self.config.use_processes:
+                inner = executor.submit(
+                    pool_execute, request.document,
+                    self._pattern_text(request),
+                    self._options_kwargs(request),
+                    self._governance_kwargs(request),
+                )
+                inner.add_done_callback(
+                    lambda f: self._finish_process(request, f, submitted_at,
+                                                   outer))
+            else:
+                executor.submit(self._run_local, request, token,
+                                submitted_at, outer)
+        except Exception as exc:  # pool shut down under us => shed load
+            logger.warning("submit failed for %s: %s", request.request_id, exc)
+            self._release(request)
+            self.metrics.count("admitted", -1)
+            return self._reject(request, REASON_DRAINING)
+        return outer
+
+    def execute(self, query: PatternLike, **kwargs) -> QueryResponse:
+        """Synchronous convenience wrapper around :meth:`submit`."""
+        return self.submit(QueryRequest(query=query, **kwargs)).result()
+
+    def _reject(self, request: QueryRequest,
+                reason: str) -> "Future[QueryResponse]":
+        self.metrics.count("rejected")
+        self.metrics.record_outcome(Outcome.REJECTED)
+        response = QueryResponse(
+            request_id=request.request_id, client=request.client,
+            outcome=rejected_outcome(reason), cache="bypass",
+        )
+        done: "Future[QueryResponse]" = Future()
+        done.set_result(response)
+        return done
+
+    # -- execution ------------------------------------------------------------
+
+    def _options_for(self, request: QueryRequest):
+        limit = request.limit
+        if self.config.default_max_results is not None:
+            limit = (self.config.default_max_results if limit is None
+                     else min(limit, self.config.default_max_results))
+        build = baseline_options if request.baseline else optimized_options
+        # serving path: skip the benchmark-only baseline-space measurement
+        return build(limit=limit, compute_baseline=False)
+
+    def _options_key(self, request: QueryRequest) -> Hashable:
+        opts = self._options_for(request)
+        return ("baseline" if request.baseline else "optimized", opts.limit)
+
+    def _options_kwargs(self, request: QueryRequest) -> Dict[str, Any]:
+        opts = self._options_for(request)
+        return {f: getattr(opts, f) for f in (
+            "local", "refine", "optimize_order", "limit", "compute_baseline")}
+
+    def _governance_kwargs(self, request: QueryRequest) -> Dict[str, Any]:
+        context = self.config.derive_context(
+            timeout=request.timeout, max_steps=request.max_steps,
+            max_memory=request.max_memory,
+        )
+        return {
+            "timeout": context.timeout,
+            "max_steps": context.max_steps,
+            "max_results": context.max_results,
+            "max_memory": context.max_memory,
+        }
+
+    def _pattern_text(self, request: QueryRequest) -> str:
+        if not isinstance(request.query, str):
+            raise TypeError(
+                "process-pool execution requires query text, not a "
+                "compiled pattern (it must cross the process boundary)"
+            )
+        return request.query
+
+    def _cache_key(self, request: QueryRequest):
+        """The cache key of a request, or None when uncacheable."""
+        if not request.use_cache or not isinstance(request.query, str):
+            return None
+        try:
+            version = self.document_version(request.document)
+        except KeyError:
+            return None
+        return make_key(request.document, request.query,
+                        self._options_key(request), version)
+
+    def _cache_lookup(self, request: QueryRequest):
+        key = self._cache_key(request)
+        if key is None:
+            return None
+        return self.result_cache.get(key)
+
+    def _compile(self, request: QueryRequest):
+        """The compiled pattern, via the plan cache for text queries."""
+        if not isinstance(request.query, str):
+            return request.query, None
+        key = self._cache_key(request)
+        if key is None:
+            return compile_pattern_text(request.query), None
+        plan = self.plan_cache.get(key)
+        if plan is not None:
+            self.metrics.count("plan_cache_hits")
+            return plan.pattern, plan
+        self.metrics.count("plan_cache_misses")
+        plan = CachedPlan(pattern=compile_pattern_text(request.query))
+        self.plan_cache.put(key, plan)
+        return plan.pattern, plan
+
+    def _run_local(self, request: QueryRequest, token: CancellationToken,
+                   submitted_at: float,
+                   outer: "Future[QueryResponse]") -> None:
+        """Worker-thread body: compile, match, serialize, cache."""
+        context = self.config.derive_context(
+            timeout=request.timeout, max_steps=request.max_steps,
+            max_memory=request.max_memory, token=token,
+        )
+        # key the caches on the document version *before* execution, so a
+        # mutation racing with this query can never publish its results
+        # under the post-mutation version
+        key = self._cache_key(request)
+        rows: List[Dict[str, Any]] = []
+        error: Optional[str] = None
+        try:
+            pattern, plan = self._compile(request)
+            options = self._options_for(request)
+            if plan is not None and len(plan.orders) == 1:
+                options = replace(options,
+                                  plan_order=next(iter(plan.orders.values())))
+            reports = self.database.match(request.document, pattern, options,
+                                          context=context)
+            for name, report in reports.items():
+                for mapping in report.mappings:
+                    rows.append({
+                        "graph": name,
+                        "nodes": dict(mapping.nodes),
+                        "edges": dict(mapping.edges),
+                    })
+            if (plan is not None and not plan.orders
+                    and isinstance(pattern, GroundPattern)
+                    and len(reports) == 1):
+                name, report = next(iter(reports.items()))
+                if report.order:
+                    plan.orders[name] = list(report.order)
+            self.metrics.count("executed")
+        except Exception as exc:
+            logger.exception("query %s failed", request.request_id)
+            error = str(exc)
+        outcome = context.outcome()
+        if error is None and key is not None:
+            self.result_cache.admit(key, rows, outcome)
+            self.metrics.count("result_cache_misses")
+        response = QueryResponse(
+            request_id=request.request_id, client=request.client,
+            results=rows, outcome=outcome,
+            cache="miss" if key is not None else "bypass",
+            elapsed=time.perf_counter() - submitted_at, error=error,
+        )
+        self._finish(request, response, submitted_at, outer)
+
+    def _finish_process(self, request: QueryRequest, inner: Future,
+                        submitted_at: float,
+                        outer: "Future[QueryResponse]") -> None:
+        """Done-callback converting a pool result into a QueryResponse."""
+        rows: List[Dict[str, Any]] = []
+        error: Optional[str] = None
+        outcome = QueryOutcome()
+        try:
+            rows, outcome_dict = inner.result()
+            outcome = QueryOutcome.from_dict(outcome_dict)
+            self.metrics.count("executed")
+        except Exception as exc:
+            error = str(exc)
+        key = self._cache_key(request)
+        if error is None and key is not None:
+            self.result_cache.admit(key, rows, outcome)
+            self.metrics.count("result_cache_misses")
+        response = QueryResponse(
+            request_id=request.request_id, client=request.client,
+            results=rows, outcome=outcome,
+            cache="miss" if key is not None else "bypass",
+            elapsed=time.perf_counter() - submitted_at, error=error,
+        )
+        self._finish(request, response, submitted_at, outer)
+
+    def _release(self, request: QueryRequest) -> None:
+        self.admission.release(request.client)
+        with self._lock:
+            self._in_flight.pop(request.request_id, None)
+
+    def _finish(self, request: QueryRequest, response: QueryResponse,
+                submitted_at: float,
+                outer: Optional["Future[QueryResponse]"]) -> None:
+        self._release(request)
+        self.metrics.record_outcome(
+            response.outcome.status,
+            latency=time.perf_counter() - submitted_at,
+        )
+        if outer is not None and not outer.done():
+            outer.set_result(response)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def cancel(self, request_id: str,
+               reason: str = "cancelled by client") -> bool:
+        """Cancel one in-flight request by id (cooperative).
+
+        Returns False when the id is unknown — already finished, never
+        admitted, or mistyped.  With a process pool the flag cannot reach
+        the worker, so the query runs to completion but the response is
+        still produced normally.
+        """
+        with self._lock:
+            entry = self._in_flight.get(request_id)
+        if entry is None:
+            return False
+        token, _future = entry
+        token.cancel(reason)
+        self.metrics.count("cancelled_requests")
+        return True
+
+    def cancel_all(self, reason: str = "service shutdown") -> int:
+        """Cancel every in-flight request; returns how many were signalled."""
+        with self._lock:
+            entries = list(self._in_flight.values())
+        for token, _future in entries:
+            token.cancel(reason)
+        return len(entries)
+
+    def stats(self) -> Dict[str, Any]:
+        """The ``stats`` response: metrics + cache + admission state."""
+        snapshot = self.metrics.snapshot()
+        snapshot["in_flight"] = self.admission.in_flight
+        snapshot["draining"] = self.admission.draining
+        snapshot["documents"] = self.database.names()
+        snapshot["result_cache"].update(self.result_cache.stats())
+        snapshot["plan_cache"].update(self.plan_cache.stats())
+        snapshot["config"] = {
+            "workers": self.config.workers,
+            "queue_depth": self.config.queue_depth,
+            "per_client": self.config.per_client,
+            "use_processes": self.config.use_processes,
+            "default_timeout": self.config.default_timeout,
+        }
+        return snapshot
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop admitting, wait for in-flight work, cancel stragglers.
+
+        Returns True when everything finished inside the deadline, False
+        when stragglers had to be cancelled.
+        """
+        self.admission.start_draining()
+        deadline = time.monotonic() + (
+            timeout if timeout is not None else self.config.drain_timeout)
+        clean = True
+        while True:
+            with self._lock:
+                pending = [future for _token, future
+                           in self._in_flight.values()]
+            if not pending:
+                break
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                clean = False
+                self.cancel_all("drain deadline expired")
+                break
+            try:
+                pending[0].result(timeout=min(remaining, 0.1))
+            except Exception:
+                pass  # response futures never raise; timeout just loops
+        return clean
+
+    def shutdown(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Drain, stop the pool, and return the final stats snapshot."""
+        with self._lock:
+            if self._closed:
+                return self.stats()
+            self._closed = True
+        self.drain(timeout)
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+        logger.info("service shutdown: %s", self.metrics.summary())
+        return self.stats()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

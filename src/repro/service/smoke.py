@@ -1,0 +1,205 @@
+"""End-to-end service smoke test: ``python -m repro.service.smoke``.
+
+Used by the CI ``service-smoke`` job (and runnable locally).  It:
+
+1. writes a seeded synthetic graph (with a dense single-label core so
+   heavy queries exist) to a temp file,
+2. starts ``repro-gql serve`` as a real subprocess on an ephemeral port,
+3. drives N concurrent clients: fast queries, repeated cached queries,
+   queries with deadlines they cannot meet (``TIMED_OUT``), and one
+   heavy in-flight query cancelled from a second connection
+   (``CANCELLED``),
+4. sends SIGTERM and asserts the graceful-drain contract: the socket
+   refuses new connections, the process exits 0, and the final stats
+   satisfy ``admitted + rejected == submitted``.
+
+Exits 0 on success, 1 with a FAIL line on the first broken invariant.
+"""
+
+from __future__ import annotations
+
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+CLIENTS = 6
+QUERIES_PER_CLIENT = 8
+
+FAST_QUERY = 'graph P { node u1 <label="L001">; node u2 <label="L002">; edge e1 (u1, u2); }'
+CACHED_QUERY = 'graph P { node u1 <label="L001">; node u2 <label="L001">; edge e1 (u1, u2); }'
+#: a long path over the dense single-label core: combinatorially huge
+HEAVY_QUERY = ("graph P { "
+               + " ".join(f'node u{i} <label="CORE">;' for i in range(7))
+               + " ".join(f' edge e{i} (u{i}, u{i + 1});' for i in range(6))
+               + " }")
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", flush=True)
+    sys.exit(1)
+
+
+def build_graph(path: Path) -> None:
+    """A synthetic graph plus a 24-node dense single-label core."""
+    from ..datasets.random_graphs import erdos_renyi_graph
+    from ..storage.serializer import save_graph
+
+    graph = erdos_renyi_graph(300, 900, num_labels=8, seed=11, name="smoke")
+    core = [f"core{i}" for i in range(24)]
+    for node_id in core:
+        graph.add_node(node_id, label="CORE")
+    for i, a in enumerate(core):
+        for b in core[i + 1:]:
+            graph.add_edge(a, b)
+    save_graph(graph, path)
+
+
+def start_server(data: Path):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", str(data),
+         "--port", "0", "--workers", "3", "--queue-depth", "32",
+         "--per-client", "16", "--timeout", "10", "--limit", "3000000",
+         "--drain-timeout", "8"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+    )
+    assert process.stdout is not None
+    line = process.stdout.readline()
+    if "serving" not in line:
+        fail(f"unexpected server banner: {line!r}")
+    # "serving 1 graph(s) on 127.0.0.1:PORT (...)"
+    address = line.split(" on ", 1)[1].split(" ", 1)[0]
+    host, port = address.rsplit(":", 1)
+    print(f"server up at {host}:{port}", flush=True)
+    return process, host, int(port)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        data = Path(tmp) / "smoke.gql"
+        build_graph(data)
+        process, host, port = start_server(data)
+        try:
+            return drive(process, host, port)
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+
+def drive(process, host: str, port: int) -> int:
+    from ..runtime import Outcome
+    from .client import ServiceClient
+
+    outcomes: list = []
+    errors: list = []
+
+    def client_worker(index: int) -> None:
+        try:
+            with ServiceClient(host, port, timeout=30,
+                               client_name=f"c{index}") as client:
+                for q in range(QUERIES_PER_CLIENT):
+                    if q % 3 == 2:
+                        # a deadline this query cannot meet
+                        reply = client.query(HEAVY_QUERY, timeout=0.05,
+                                             no_cache=True)
+                    elif q % 3 == 1:
+                        reply = client.query(CACHED_QUERY, limit=100)
+                    else:
+                        reply = client.query(FAST_QUERY, limit=100)
+                    if not reply.ok:
+                        errors.append(f"c{index}/q{q}: {reply.error}")
+                    if not reply.outcome.status:
+                        errors.append(f"c{index}/q{q}: missing outcome")
+                    outcomes.append(reply.outcome.status)
+        except Exception as exc:
+            errors.append(f"c{index}: {exc!r}")
+
+    threads = [threading.Thread(target=client_worker, args=(i,))
+               for i in range(CLIENTS)]
+    for t in threads:
+        t.start()
+
+    # meanwhile: cancel one heavy in-flight query from another connection
+    canceller = ServiceClient(host, port, timeout=30, client_name="boss")
+    cancel_id = "boss-heavy-1"
+    cancel_result: dict = {}
+
+    def run_heavy() -> None:
+        with ServiceClient(host, port, timeout=60,
+                           client_name="boss-runner") as runner:
+            cancel_result["reply"] = runner.query(
+                HEAVY_QUERY, request_id=cancel_id, no_cache=True)
+
+    heavy_thread = threading.Thread(target=run_heavy)
+    heavy_thread.start()
+    # retry until the query is in flight: under load the server's handler
+    # threads contend with the matcher for the GIL, so admission of the
+    # heavy query may lag the first cancel attempt
+    cancelled = False
+    cancel_deadline = time.time() + 8
+    while (time.time() < cancel_deadline and not cancelled
+           and "reply" not in cancel_result):
+        time.sleep(0.2)
+        cancelled = canceller.cancel(cancel_id, reason="smoke cancel")
+    heavy_thread.join(timeout=60)
+    for t in threads:
+        t.join(timeout=120)
+
+    if errors:
+        fail("; ".join(errors[:5]))
+    reply = cancel_result.get("reply")
+    if reply is None:
+        fail("heavy query never returned")
+    if not cancelled:
+        fail("cancel() did not find the in-flight heavy query")
+    if reply.outcome.status is not Outcome.CANCELLED:
+        fail(f"cancelled query ended {reply.outcome.status}, "
+             f"expected CANCELLED")
+    if Outcome.TIMED_OUT not in outcomes:
+        fail("no query timed out despite 50ms deadlines on heavy queries")
+    if Outcome.COMPLETE not in outcomes:
+        fail("no query completed")
+
+    stats = canceller.stats()
+    submitted = stats["submitted"]
+    admitted, rejected = stats["admitted"], stats["rejected"]
+    if submitted != admitted + rejected:
+        fail(f"accounting broken: submitted={submitted} "
+             f"admitted={admitted} rejected={rejected}")
+    if stats["result_cache"]["hits"] == 0:
+        fail("repeated identical query was never served from the cache")
+    print(f"stats ok: submitted={submitted} admitted={admitted} "
+          f"rejected={rejected} cache_hits={stats['result_cache']['hits']} "
+          f"outcomes={ {k: v for k, v in stats['outcomes'].items() if v} }",
+          flush=True)
+    canceller.close()
+
+    # graceful drain: SIGTERM, socket must refuse, process must exit 0
+    process.send_signal(signal.SIGTERM)
+    deadline = time.time() + 20
+    refused = False
+    while time.time() < deadline:
+        try:
+            with socket.create_connection((host, port), timeout=0.3):
+                time.sleep(0.05)
+        except OSError:
+            refused = True
+            break
+    if not refused:
+        fail("socket still accepting connections after SIGTERM")
+    code = process.wait(timeout=30)
+    tail = process.stdout.read() if process.stdout else ""
+    if "shutdown:" not in tail:
+        fail(f"no shutdown summary in server output: {tail!r}")
+    if code != 0:
+        fail(f"server exited {code} after SIGTERM")
+    print("smoke: PASS", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

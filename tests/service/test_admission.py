@@ -1,0 +1,66 @@
+"""Admission control: bounds, quotas, draining."""
+
+from repro.service import AdmissionController, ServiceConfig
+from repro.service.admission import (
+    REASON_CLIENT_QUOTA,
+    REASON_DRAINING,
+    REASON_QUEUE_FULL,
+)
+
+
+def controller(**overrides) -> AdmissionController:
+    defaults = dict(workers=2, queue_depth=2, per_client=2)
+    defaults.update(overrides)
+    return AdmissionController(ServiceConfig(**defaults))
+
+
+class TestBounds:
+    def test_admits_up_to_workers_plus_queue(self):
+        control = controller()
+        for i in range(4):
+            assert control.try_admit(f"c{i}") is None
+        assert control.try_admit("late") == REASON_QUEUE_FULL
+        assert control.in_flight == 4
+
+    def test_release_frees_a_slot(self):
+        control = controller()
+        for i in range(4):
+            control.try_admit(f"c{i}")
+        control.release("c0")
+        assert control.try_admit("next") is None
+
+    def test_per_client_quota(self):
+        control = controller(queue_depth=10)
+        assert control.try_admit("greedy") is None
+        assert control.try_admit("greedy") is None
+        assert control.try_admit("greedy") == REASON_CLIENT_QUOTA
+        # other clients are unaffected
+        assert control.try_admit("polite") is None
+        assert control.client_load("greedy") == 2
+
+    def test_quota_recovers_after_release(self):
+        control = controller(queue_depth=10)
+        control.try_admit("c")
+        control.try_admit("c")
+        control.release("c")
+        assert control.try_admit("c") is None
+
+    def test_release_cleans_up_client_entry(self):
+        control = controller()
+        control.try_admit("c")
+        control.release("c")
+        assert control.client_load("c") == 0
+        assert control.in_flight == 0
+
+
+class TestDraining:
+    def test_draining_rejects_everything(self):
+        control = controller()
+        control.try_admit("before")
+        control.start_draining()
+        assert control.draining
+        assert control.try_admit("after") == REASON_DRAINING
+        # admitted work keeps its slot until released
+        assert control.in_flight == 1
+        control.release("before")
+        assert control.in_flight == 0
