@@ -18,6 +18,7 @@ from .config import ServiceConfig
 REASON_QUEUE_FULL = "queue full"
 REASON_CLIENT_QUOTA = "client quota exceeded"
 REASON_DRAINING = "service draining"
+REASON_DUPLICATE_ID = "duplicate request id"
 
 
 class AdmissionController:

@@ -11,9 +11,13 @@ The plan cache stores compile artifacts (the compiled pattern and, for
 single-graph documents, the search order the planner chose), saving the
 parse/compile/order work on repeated queries.  The result cache stores
 the final rows plus the outcome, but only for runs whose outcome is
-deterministic given the key (``COMPLETE``, or ``TRUNCATED`` by the
-answer cap that is itself part of the key) — a ``TIMED_OUT`` run under
-one caller's deadline must never be replayed to another caller.
+deterministic given the key: ``COMPLETE``, or ``TRUNCATED`` by a cap
+that is itself part of the key — the options signature covers the
+answer cap *and* the effective step/memory budgets
+(:meth:`QueryService._options_key`), so a budget-truncated partial
+answer is only replayed to requests with identical budgets.  A
+``TIMED_OUT`` run under one caller's deadline must never be replayed to
+another caller.
 """
 
 from __future__ import annotations

@@ -65,6 +65,16 @@ class ServiceConfig:
         """Running plus queued requests the service will hold at once."""
         return self.workers + self.queue_depth
 
+    @staticmethod
+    def tighten(asked, configured):
+        """The effective budget: the smaller of the request's ask and
+        the configured default (an unlimited default accepts any ask)."""
+        if asked is None:
+            return configured
+        if configured is None:
+            return asked
+        return min(asked, configured)
+
     def derive_context(
         self,
         timeout: Optional[float] = None,
@@ -79,18 +89,10 @@ class ServiceConfig:
         effective limit is the smaller of the request's ask and the
         configured default (an unlimited default accepts any ask).
         """
-
-        def tighten(asked, configured):
-            if asked is None:
-                return configured
-            if configured is None:
-                return asked
-            return min(asked, configured)
-
         return ExecutionContext(
-            timeout=tighten(timeout, self.default_timeout),
-            max_steps=tighten(max_steps, self.default_max_steps),
-            max_results=tighten(max_results, self.default_max_results),
-            max_memory=tighten(max_memory, self.default_max_memory),
+            timeout=self.tighten(timeout, self.default_timeout),
+            max_steps=self.tighten(max_steps, self.default_max_steps),
+            max_results=self.tighten(max_results, self.default_max_results),
+            max_memory=self.tighten(max_memory, self.default_max_memory),
             token=token,
         )

@@ -39,7 +39,8 @@ logger = logging.getLogger(__name__)
 class _Handler(socketserver.StreamRequestHandler):
     """One connection: a sequential request/response session."""
 
-    #: bound readline so one hostile line cannot exhaust memory
+    #: fully buffered reads; the per-line memory bound comes from the
+    #: size argument passed to ``readline`` in :meth:`handle`
     rbufsize = -1
 
     def handle(self) -> None:
@@ -51,23 +52,36 @@ class _Handler(socketserver.StreamRequestHandler):
                 break
             if not line:
                 break  # client closed
+            if len(line) > MAX_LINE_BYTES:
+                # readline stopped mid-line: the tail of this oversized
+                # line is still unread and would otherwise be parsed as
+                # spurious new requests. Reject and close the connection
+                # — there is no way to stay in sync with the stream.
+                self._send(error_response(
+                    None, "request line exceeds the protocol size limit"))
+                break
             stripped = line.strip()
             if not stripped:
                 continue
-            response = server.handle_message(stripped)
-            try:
-                payload = encode(response)
-            except ProtocolError as exc:
-                # the result set outgrew the line limit (e.g. a cancelled
-                # query carrying a huge partial answer): deliver the
-                # outcome without the rows rather than dropping the
-                # connection
-                payload = encode(_without_results(response, str(exc)))
-            try:
-                self.wfile.write(payload)
-                self.wfile.flush()
-            except (ConnectionError, OSError):
+            if not self._send(server.handle_message(stripped)):
                 break
+
+    def _send(self, response: Dict[str, Any]) -> bool:
+        """Write one response line; False when the connection is gone."""
+        try:
+            payload = encode(response)
+        except ProtocolError as exc:
+            # the result set outgrew the line limit (e.g. a cancelled
+            # query carrying a huge partial answer): deliver the
+            # outcome without the rows rather than dropping the
+            # connection
+            payload = encode(_without_results(response, str(exc)))
+        try:
+            self.wfile.write(payload)
+            self.wfile.flush()
+            return True
+        except (ConnectionError, OSError):
+            return False
 
 
 def _without_results(response: Dict[str, Any], error: str) -> Dict[str, Any]:

@@ -39,7 +39,11 @@ from ..runtime import (
 )
 from ..storage.database import GraphDatabase
 from ..storage.serializer import collection_to_text
-from .admission import REASON_DRAINING, AdmissionController
+from .admission import (
+    REASON_DRAINING,
+    REASON_DUPLICATE_ID,
+    AdmissionController,
+)
 from .cache import CachedPlan, PlanCache, ResultCache, make_key
 from .config import ServiceConfig
 from .metrics import ServiceMetrics
@@ -133,6 +137,9 @@ class QueryService:
                                        ProcessPoolExecutor]] = None
         self._in_flight: Dict[str, Tuple[CancellationToken,
                                          "Future[QueryResponse]"]] = {}
+        #: per-document versions at process-pool start; process results
+        #: are only cacheable while the live documents still match them
+        self._pool_versions: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._closed = False
 
@@ -175,6 +182,10 @@ class QueryService:
         with self._lock:
             if self._executor is None:
                 if self.config.use_processes:
+                    self._pool_versions = {
+                        name: self.document_version(name)
+                        for name in self.database.names()
+                    }
                     self._executor = ProcessPoolExecutor(
                         max_workers=self.config.workers,
                         initializer=pool_init,
@@ -190,6 +201,7 @@ class QueryService:
     def _restart_pool(self) -> None:
         with self._lock:
             executor, self._executor = self._executor, None
+            self._pool_versions = {}
         if executor is not None:
             executor.shutdown(wait=True)
 
@@ -228,10 +240,22 @@ class QueryService:
         token = CancellationToken()
         outer: "Future[QueryResponse]" = Future()
         with self._lock:
-            self._in_flight[request.request_id] = (token, outer)
+            # the id is the cancellation handle, so it must be unique
+            # among in-flight requests — a second insert would orphan the
+            # first request's token and make its cancel() unreachable
+            if request.request_id in self._in_flight:
+                self.admission.release(request.client)
+                self.metrics.count("admitted", -1)
+                duplicate = True
+            else:
+                self._in_flight[request.request_id] = (token, outer)
+                duplicate = False
+        if duplicate:
+            return self._reject(request, REASON_DUPLICATE_ID)
         try:
             executor = self._ensure_executor()
             if self.config.use_processes:
+                key = self._process_cache_key(request)
                 inner = executor.submit(
                     pool_execute, request.document,
                     self._pattern_text(request),
@@ -240,7 +264,7 @@ class QueryService:
                 )
                 inner.add_done_callback(
                     lambda f: self._finish_process(request, f, submitted_at,
-                                                   outer))
+                                                   outer, key))
             else:
                 executor.submit(self._run_local, request, token,
                                 submitted_at, outer)
@@ -280,7 +304,19 @@ class QueryService:
 
     def _options_key(self, request: QueryRequest) -> Hashable:
         opts = self._options_for(request)
-        return ("baseline" if request.baseline else "optimized", opts.limit)
+        # every knob that can change the rows a run produces must be part
+        # of the key: the planner mode and answer cap, but also the
+        # effective step/memory budgets — either can TRUNCATE a run, and
+        # a budget-truncated partial answer must never be replayed to a
+        # request with looser budgets
+        return (
+            "baseline" if request.baseline else "optimized",
+            opts.limit,
+            self.config.tighten(request.max_steps,
+                                self.config.default_max_steps),
+            self.config.tighten(request.max_memory,
+                                self.config.default_max_memory),
+        )
 
     def _options_kwargs(self, request: QueryRequest) -> Dict[str, Any]:
         opts = self._options_for(request)
@@ -317,6 +353,24 @@ class QueryService:
             return None
         return make_key(request.document, request.query,
                         self._options_key(request), version)
+
+    def _process_cache_key(self, request: QueryRequest):
+        """The cache key for a process-pool run, or None.
+
+        Captured *before* dispatch — like :meth:`_run_local` — so a
+        mutation racing with the query can never publish its rows under
+        the post-mutation version.  Additionally the pool workers match
+        the snapshot taken at pool start, so the result is only
+        cacheable while the live document still has that snapshot's
+        version; otherwise the rows are stale and must not be cached at
+        all.
+        """
+        key = self._cache_key(request)
+        if key is None:
+            return None
+        if self._pool_versions.get(request.document) != key[3]:
+            return None
+        return key
 
     def _cache_lookup(self, request: QueryRequest):
         key = self._cache_key(request)
@@ -380,8 +434,8 @@ class QueryService:
             logger.exception("query %s failed", request.request_id)
             error = str(exc)
         outcome = context.outcome()
-        if error is None and key is not None:
-            self.result_cache.admit(key, rows, outcome)
+        if (error is None and key is not None
+                and self.result_cache.admit(key, rows, outcome)):
             self.metrics.count("result_cache_misses")
         response = QueryResponse(
             request_id=request.request_id, client=request.client,
@@ -393,8 +447,14 @@ class QueryService:
 
     def _finish_process(self, request: QueryRequest, inner: Future,
                         submitted_at: float,
-                        outer: "Future[QueryResponse]") -> None:
-        """Done-callback converting a pool result into a QueryResponse."""
+                        outer: "Future[QueryResponse]", key) -> None:
+        """Done-callback converting a pool result into a QueryResponse.
+
+        ``key`` is the :meth:`_process_cache_key` captured at submit
+        time — recomputing it here would pick up the *post*-execution
+        document version and could publish a stale snapshot's rows as a
+        fresh entry.
+        """
         rows: List[Dict[str, Any]] = []
         error: Optional[str] = None
         outcome = QueryOutcome()
@@ -404,9 +464,8 @@ class QueryService:
             self.metrics.count("executed")
         except Exception as exc:
             error = str(exc)
-        key = self._cache_key(request)
-        if error is None and key is not None:
-            self.result_cache.admit(key, rows, outcome)
+        if (error is None and key is not None
+                and self.result_cache.admit(key, rows, outcome)):
             self.metrics.count("result_cache_misses")
         response = QueryResponse(
             request_id=request.request_id, client=request.client,
@@ -466,8 +525,17 @@ class QueryService:
         snapshot["in_flight"] = self.admission.in_flight
         snapshot["draining"] = self.admission.draining
         snapshot["documents"] = self.database.names()
-        snapshot["result_cache"].update(self.result_cache.stats())
-        snapshot["plan_cache"].update(self.plan_cache.stats())
+        # merge the LRU-internal counters without letting their
+        # "hits"/"misses" (bumped by every key probe, including the
+        # pre-execution lookups) clobber the request-level ones
+        for section, cache in (("result_cache", self.result_cache),
+                               ("plan_cache", self.plan_cache)):
+            lru = cache.stats()
+            snapshot[section]["size"] = lru["size"]
+            snapshot[section]["capacity"] = lru["capacity"]
+            snapshot[section]["evictions"] = lru["evictions"]
+            snapshot[section]["lru"] = {"hits": lru["hits"],
+                                        "misses": lru["misses"]}
         snapshot["config"] = {
             "workers": self.config.workers,
             "queue_depth": self.config.queue_depth,

@@ -103,6 +103,24 @@ class TestWireProtocol:
             assert not reply.ok
             assert reply.error is not None
 
+    def test_oversized_line_errors_and_closes_the_connection(self, server):
+        """A line past the cap cannot be resynced: the tail must not be
+        parsed as spurious requests, so the server replies and hangs up."""
+        from repro.service.protocol import MAX_LINE_BYTES
+
+        with connect(server) as client:
+            client.connect()
+            client._sock.sendall(b"x" * (MAX_LINE_BYTES + 10) + b"\n")
+            reply_line = client._reader.readline()
+            assert (b'"ok": false' in reply_line
+                    or b'"ok":false' in reply_line)
+            assert b"size limit" in reply_line
+            # no second (spurious) response: the server closed the session
+            assert client._reader.readline() == b""
+        # the server itself survives for other connections
+        with connect(server) as fresh:
+            assert fresh.ping()["ok"]
+
     def test_stats_expose_service_counters(self, server):
         with connect(server) as client:
             client.query(FAST_QUERY, limit=5)

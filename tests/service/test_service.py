@@ -110,6 +110,20 @@ class TestResultCache:
             assert len(a.results) == 1
             assert len(b.results) == 2
 
+    def test_budget_truncated_results_not_replayed_without_budget(self):
+        """A tiny max_steps run must not poison the unbudgeted entry."""
+        with make_service() as service:
+            tight = service.execute(EDGE_QUERY, max_steps=10)
+            assert tight.outcome.status is Outcome.TRUNCATED
+            full = service.execute(EDGE_QUERY)
+            assert full.cache == "miss"  # different budgets, different key
+            assert full.outcome.status is Outcome.COMPLETE
+            assert len(full.results) >= len(tight.results)
+            # the truncated entry is still a valid hit for an identical ask
+            again = service.execute(EDGE_QUERY, max_steps=10)
+            assert again.cache == "hit"
+            assert again.results == tight.results
+
     def test_timed_out_runs_are_not_cached(self):
         with dense_service() as service:
             first = service.execute(HEAVY_QUERY, timeout=0.1)
@@ -161,6 +175,24 @@ class TestGovernance:
         with make_service() as service:
             assert not service.cancel("never-submitted")
 
+    def test_duplicate_in_flight_id_is_rejected(self):
+        """Reusing a running query's id must not orphan its cancel token."""
+        with dense_service() as service:
+            first = QueryRequest(query=HEAVY_QUERY, request_id="dup",
+                                 use_cache=False)
+            second = QueryRequest(query=HEAVY_QUERY, request_id="dup",
+                                  use_cache=False)
+            future = service.submit(first)
+            response = service.submit(second).result(timeout=5)
+            assert response.rejected
+            assert "duplicate" in response.outcome.reason
+            # the original request is still tracked and cancellable
+            assert service.cancel("dup", "test cancel")
+            assert future.result(timeout=30).outcome.status is (
+                Outcome.CANCELLED)
+            snap = service.stats()
+            assert snap["submitted"] == snap["admitted"] + snap["rejected"]
+
 
 class TestAdmission:
     def test_load_shedding_rejects_with_structured_outcome(self):
@@ -187,6 +219,28 @@ class TestAdmission:
             assert snap["result_cache"]["capacity"] > 0
             assert snap["latency"]["count"] >= 1
             assert snap["outcomes"]["COMPLETE"] >= 1
+
+    def test_stats_request_counters_not_clobbered_by_lru_probes(self):
+        """Per-probe LRU counters live under "lru"; the request-level
+        hit/miss counters must survive the merge."""
+        with make_service() as service:
+            service.execute(EDGE_QUERY)  # miss (stored)
+            service.execute(EDGE_QUERY)  # hit
+            snap = service.stats()
+            assert snap["result_cache"]["hits"] == (
+                service.metrics.result_cache_hits) == 1
+            assert snap["result_cache"]["misses"] == (
+                service.metrics.result_cache_misses) == 1
+            # the raw LRU probe counters are namespaced, not merged over
+            assert set(snap["result_cache"]["lru"]) == {"hits", "misses"}
+            assert set(snap["plan_cache"]["lru"]) == {"hits", "misses"}
+
+    def test_unadmitted_results_do_not_count_as_cache_misses(self):
+        with dense_service() as service:
+            response = service.execute(HEAVY_QUERY, timeout=0.1)
+            assert response.outcome.status is Outcome.TIMED_OUT
+            # TIMED_OUT is never admitted, so no miss is recorded
+            assert service.metrics.result_cache_misses == 0
 
 
 class TestLifecycle:
@@ -220,3 +274,18 @@ class TestProcessPool:
             with make_service() as threaded:
                 assert (threaded.execute(EDGE_QUERY).results
                         == responses[0].results)
+
+    def test_stale_pool_snapshot_is_never_cached(self):
+        """Workers match the snapshot from pool start; once the parent's
+        graphs drift from it, their rows must not enter the cache."""
+        with make_service(use_processes=True) as service:
+            first = service.execute(EDGE_QUERY)
+            assert first.cache == "miss"
+            graph = service.database.doc("data")[0]
+            # in-place mutation, no re-register: the pool keeps serving
+            # the old snapshot while the live version moves on
+            graph.add_node("fresh", label="L001")
+            for response in (service.execute(EDGE_QUERY),
+                             service.execute(EDGE_QUERY)):
+                assert response.cache == "bypass"
+                assert response.error is None
