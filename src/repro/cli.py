@@ -10,6 +10,10 @@ Usage examples::
     repro-gql stress --seed 7 --queries 20 --timeout 5 --workers 4
     repro-gql serve data.gql --port 7687 --workers 4
     repro-gql serve --synthetic 1000 --port 0
+    repro-gql serve data.gql --store state.db --fsync commit
+    repro-gql serve --store state.db --port 0      # resume from the store
+    repro-gql recover state.db --json
+    repro-gql checkpoint state.db
 
 Files use the GraphQL concrete syntax (see ``repro.storage.serializer``);
 a data file holds one or more ``graph`` declarations.
@@ -191,7 +195,33 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="how long shutdown waits for in-flight "
                             "queries before cancelling them")
+    serve.add_argument("--store", default=None, metavar="PATH",
+                       help="WAL-backed store file: recovery runs on "
+                            "startup, registrations are write-through "
+                            "durable, shutdown checkpoints; with no data "
+                            "file the stored documents are served as-is")
+    serve.add_argument("--fsync", default="commit",
+                       choices=("always", "commit", "never"),
+                       help="WAL fsync policy for --store "
+                            "(default: commit)")
     _add_common(serve)
+
+    recover_cmd = sub.add_parser(
+        "recover",
+        help="run WAL recovery on a store file (idempotent) and report",
+    )
+    recover_cmd.add_argument("store", help="store file (its WAL is "
+                                           "PATH + '.wal')")
+    recover_cmd.add_argument("--json", action="store_true",
+                             help="emit the recovery report as JSON")
+
+    checkpoint_cmd = sub.add_parser(
+        "checkpoint",
+        help="recover a store, sync its pages, and truncate the WAL",
+    )
+    checkpoint_cmd.add_argument("store", help="store file")
+    checkpoint_cmd.add_argument("--json", action="store_true",
+                                help="emit the checkpoint report as JSON")
 
     return parser
 
@@ -402,8 +432,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     """
     from .service import QueryServer, QueryService, ServiceConfig
 
-    if (args.data is None) == (args.synthetic is None):
-        print("error: serve needs a data file or --synthetic N (not both)",
+    if args.data is not None and args.synthetic is not None:
+        print("error: serve takes a data file or --synthetic N, not both",
+              file=sys.stderr)
+        return 2
+    if args.data is None and args.synthetic is None and args.store is None:
+        print("error: serve needs a data file, --synthetic N, or --store",
               file=sys.stderr)
         return 2
     config = ServiceConfig(
@@ -417,18 +451,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
         plan_cache_size=args.plan_cache,
         result_cache_size=args.result_cache,
         drain_timeout=args.drain_timeout,
+        store_path=args.store,
+        fsync=args.fsync,
     )
     service = QueryService(config)
+    if service.recovery is not None:
+        r = service.recovery
+        print(f"store {args.store}: "
+              f"{'clean open' if r.clean else 'recovered'} "
+              f"({r.replayed_transactions} txn(s) replayed, "
+              f"{r.discarded_records} record(s) discarded"
+              f"{', torn tail cut' if r.torn_tail else ''}); "
+              f"{len(service.database.names())} document(s) loaded",
+              flush=True)
     if args.data is not None:
         service.load("data", args.data, directed=args.directed)
-    else:
+    elif args.synthetic is not None:
         from .datasets.random_graphs import erdos_renyi_graph
 
         edges = args.edges if args.edges is not None else 3 * args.synthetic
         service.register("data", erdos_renyi_graph(
             args.synthetic, edges, num_labels=args.labels,
             seed=args.seed, name="data"))
-    graphs = service.database.doc("data")
+    if not service.database.names():
+        print("error: --store holds no documents yet; give a data file "
+              "or --synthetic for the first run", file=sys.stderr)
+        service.shutdown(timeout=0)
+        return 2
+    primary = (service.database.names()[0]
+               if "data" not in service.database.names() else "data")
+    graphs = service.database.doc(primary)
     server = QueryServer(service, (args.host, args.port))
     host, port = server.address
     print(f"serving {len(graphs)} graph(s) on {host}:{port} "
@@ -445,6 +497,50 @@ def cmd_serve(args: argparse.Namespace) -> int:
     signal.signal(signal.SIGINT, on_signal)
     server.serve_until_shutdown()
     print(f"shutdown: {service.metrics.summary()}", flush=True)
+    return 0
+
+
+def cmd_recover(args: argparse.Namespace) -> int:
+    """``repro-gql recover``: offline WAL recovery of a store file.
+
+    Replays committed transactions into the page file, discards
+    uncommitted records and any torn tail, then truncates the log.
+    Running it on a clean store is a no-op (recovery is idempotent); the
+    service performs the same repair automatically on startup.
+    """
+    from .storage.wal import recover
+
+    result = recover(args.store)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
+    if result.clean:
+        print(f"{args.store}: clean (no WAL records to replay)")
+    else:
+        print(f"{args.store}: replayed {result.replayed_transactions} "
+              f"transaction(s) ({result.replayed_pages} page(s)), "
+              f"discarded {result.discarded_records} record(s)"
+              f"{', cut a torn tail' if result.torn_tail else ''}; "
+              f"WAL truncated from {result.wal_bytes} bytes")
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    """``repro-gql checkpoint``: recover, sync pages, truncate the WAL."""
+    from .storage import GraphStore
+
+    store = GraphStore(args.store, durable=True)
+    recovery = store.recovery.to_dict()
+    freed = store.checkpoint()
+    wal_bytes = store.wal.size
+    store.close(checkpoint=False)
+    if args.json:
+        print(json.dumps({"store": args.store, "recovery": recovery,
+                          "freed_bytes": freed, "wal_bytes": wal_bytes},
+                         indent=2, sort_keys=True))
+        return 0
+    print(f"{args.store}: checkpointed ({freed} WAL byte(s) freed, "
+          f"{wal_bytes} remaining)")
     return 0
 
 
@@ -466,7 +562,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"info": cmd_info, "match": cmd_match, "run": cmd_run,
-                "stress": cmd_stress, "serve": cmd_serve}
+                "stress": cmd_stress, "serve": cmd_serve,
+                "recover": cmd_recover, "checkpoint": cmd_checkpoint}
     try:
         return handlers[args.command](args)
     except FileNotFoundError as exc:

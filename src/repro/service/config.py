@@ -52,6 +52,12 @@ class ServiceConfig:
     # seconds shutdown waits for in-flight queries before cancelling them
     drain_timeout: float = 5.0
 
+    # durable storage: when set, the service opens this WAL-backed
+    # GraphStore on startup (running crash recovery), registers every
+    # document it holds, and writes register/load mutations through it
+    store_path: Optional[str] = None
+    fsync: str = "commit"
+
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
@@ -59,6 +65,9 @@ class ServiceConfig:
             raise ValueError("queue_depth must be >= 0")
         if self.per_client < 1:
             raise ValueError("per_client must be >= 1")
+        from ..storage.wal import check_fsync_policy
+
+        check_fsync_policy(self.fsync)
 
     @property
     def max_in_flight(self) -> int:

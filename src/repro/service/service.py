@@ -142,20 +142,41 @@ class QueryService:
         self._pool_versions: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._closed = False
+        #: what opening the durable store found/repaired (None without one)
+        self.recovery = None
+        if self.config.store_path:
+            self.recovery = self.database.attach_durable(
+                self.config.store_path, fsync=self.config.fsync)
+            if not self.recovery.clean:
+                logger.warning("store recovery ran: %s",
+                               self.recovery.to_dict())
 
     # -- graph registration ---------------------------------------------------
 
     def register(self, name: str,
                  collection: Union[GraphCollection, Graph]) -> None:
         """Register a graph/collection; restarts a live process pool so
-        the workers see the new snapshot."""
-        self.database.register(name, collection)
+        the workers see the new snapshot.
+
+        With a durable store attached, the document is WAL-committed
+        *before* it becomes visible to queries: a registration that
+        returned survives a crash."""
+        if self.database.durable_store is not None:
+            self.database.register_durable(name, collection)
+        else:
+            self.database.register(name, collection)
         if self.config.use_processes:
             self._restart_pool()
 
     def load(self, name: str, path, directed: bool = False) -> None:
         """Load and register a collection from a GraphQL file."""
-        self.database.load(name, path, directed=directed)
+        if self.database.durable_store is not None:
+            from ..storage.serializer import load_collection
+
+            self.database.register_durable(
+                name, load_collection(path, directed=directed))
+        else:
+            self.database.load(name, path, directed=directed)
         if self.config.use_processes:
             self._restart_pool()
 
@@ -543,6 +564,17 @@ class QueryService:
             "use_processes": self.config.use_processes,
             "default_timeout": self.config.default_timeout,
         }
+        store = self.database.durable_store
+        if store is not None:
+            snapshot["durability"] = {
+                "store_path": self.config.store_path,
+                "fsync": self.config.fsync,
+                "store_version": store.store_version,
+                "wal_bytes": store.wal.size if store.wal else 0,
+                "checkpoints": store.checkpoints,
+                "recovery": (self.recovery.to_dict()
+                             if self.recovery is not None else None),
+            }
         return snapshot
 
     def drain(self, timeout: Optional[float] = None) -> bool:
@@ -583,8 +615,13 @@ class QueryService:
             executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=True)
+        stats = self.stats()  # snapshot durability before the store closes
+        try:
+            self.database.close_store()
+        except Exception:
+            logger.exception("durable store close failed")
         logger.info("service shutdown: %s", self.metrics.summary())
-        return self.stats()
+        return stats
 
     def __enter__(self) -> "QueryService":
         return self

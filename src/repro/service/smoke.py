@@ -11,13 +11,19 @@ Used by the CI ``service-smoke`` job (and runnable locally).  It:
    (``CANCELLED``),
 4. sends SIGTERM and asserts the graceful-drain contract: the socket
    refuses new connections, the process exits 0, and the final stats
-   satisfy ``admitted + rejected == submitted``.
+   satisfy ``admitted + rejected == submitted``,
+5. runs a durability cycle: serves with ``--store``, queries, SIGKILLs
+   the server (no drain, no checkpoint — the WAL still holds records),
+   restarts it from the store alone, and asserts the recovery counters
+   appear in ``stats`` and a repeated query answers identically (and is
+   served from the result cache keyed on the recovered graph versions).
 
 Exits 0 on success, 1 with a FAIL line on the first broken invariant.
 """
 
 from __future__ import annotations
 
+import json
 import signal
 import socket
 import subprocess
@@ -59,6 +65,21 @@ def build_graph(path: Path) -> None:
     save_graph(graph, path)
 
 
+def read_banner(process):
+    """Read startup lines until the ``serving`` banner; return (host, port)."""
+    assert process.stdout is not None
+    for _ in range(10):
+        line = process.stdout.readline()
+        if not line:
+            break
+        if "serving" in line:
+            # "serving 1 graph(s) on 127.0.0.1:PORT (...)"
+            address = line.split(" on ", 1)[1].split(" ", 1)[0]
+            host, port = address.rsplit(":", 1)
+            return host, int(port)
+    fail(f"server never printed its banner (last line: {line!r})")
+
+
 def start_server(data: Path):
     process = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve", str(data),
@@ -67,15 +88,9 @@ def start_server(data: Path):
          "--drain-timeout", "8"],
         stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
     )
-    assert process.stdout is not None
-    line = process.stdout.readline()
-    if "serving" not in line:
-        fail(f"unexpected server banner: {line!r}")
-    # "serving 1 graph(s) on 127.0.0.1:PORT (...)"
-    address = line.split(" on ", 1)[1].split(" ", 1)[0]
-    host, port = address.rsplit(":", 1)
+    host, port = read_banner(process)
     print(f"server up at {host}:{port}", flush=True)
-    return process, host, int(port)
+    return process, host, port
 
 
 def main() -> int:
@@ -84,10 +99,13 @@ def main() -> int:
         build_graph(data)
         process, host, port = start_server(data)
         try:
-            return drive(process, host, port)
+            code = drive(process, host, port)
         finally:
             if process.poll() is None:
                 process.kill()
+        if code != 0:
+            return code
+        return durability_cycle()
 
 
 def drive(process, host: str, port: int) -> int:
@@ -199,6 +217,89 @@ def drive(process, host: str, port: int) -> int:
         fail(f"server exited {code} after SIGTERM")
     print("smoke: PASS", flush=True)
     return 0
+
+
+def durability_cycle() -> int:
+    """Kill -9 a durable server, restart from the store, verify recovery."""
+    from .client import ServiceClient
+
+    with tempfile.TemporaryDirectory() as tmp:
+        data = Path(tmp) / "smoke.gql"
+        build_graph(data)
+        store = str(Path(tmp) / "state.db")
+        base = [sys.executable, "-m", "repro", "serve",
+                "--store", store, "--fsync", "commit",
+                "--port", "0", "--workers", "2", "--timeout", "10",
+                "--limit", "100000"]
+        process = subprocess.Popen(base + [str(data)],
+                                   stdout=subprocess.PIPE,
+                                   stderr=subprocess.STDOUT, text=True)
+        try:
+            host, port = read_banner(process)
+            with ServiceClient(host, port, timeout=30,
+                               client_name="durable") as client:
+                before = client.query(FAST_QUERY, limit=100)
+                if not before.ok:
+                    fail(f"durable query failed: {before.error}")
+                stats = client.stats()
+                durability = stats.get("durability")
+                if durability is None:
+                    fail("no durability section in stats with --store")
+                if durability["wal_bytes"] == 0:
+                    fail("WAL empty before the kill — nothing at stake")
+            # SIGKILL: no drain, no checkpoint — like a power cut.  The
+            # restart must repair from the WAL, not from a clean close.
+            process.kill()
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+        process = subprocess.Popen(base, stdout=subprocess.PIPE,
+                                   stderr=subprocess.STDOUT, text=True)
+        try:
+            host, port = read_banner(process)
+            with ServiceClient(host, port, timeout=30,
+                               client_name="durable") as client:
+                stats = client.stats()
+                durability = stats.get("durability")
+                if durability is None:
+                    fail("no durability section after restart")
+                recovery = durability.get("recovery")
+                if not recovery or not recovery.get("ran"):
+                    fail(f"no recovery report after SIGKILL: {durability}")
+                if recovery["wal_records"] == 0:
+                    fail("recovery found an empty WAL after SIGKILL")
+                after = client.query(FAST_QUERY, limit=100)
+                if not after.ok:
+                    fail(f"query after recovery failed: {after.error}")
+                if _rows_key(after.results) != _rows_key(before.results):
+                    fail(f"recovered answer differs: "
+                         f"{len(after.results)} row(s) vs "
+                         f"{len(before.results)} before the kill")
+                again = client.query(FAST_QUERY, limit=100)
+                if again.cache != "hit":
+                    fail(f"repeat query after recovery was {again.cache!r}, "
+                         f"expected a result-cache hit (version-keyed "
+                         f"caching broken across recovery?)")
+                if _rows_key(again.results) != _rows_key(before.results):
+                    fail("cached answer differs from the pre-kill answer")
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=30)
+            if code != 0:
+                fail(f"recovered server exited {code} after SIGTERM")
+        finally:
+            if process.poll() is None:
+                process.kill()
+    print(f"durability: PASS (recovered {recovery['wal_records']} WAL "
+          f"record(s), {recovery['replayed_transactions']} txn(s) "
+          f"replayed, cache hit after restart)", flush=True)
+    return 0
+
+
+def _rows_key(rows):
+    """An order-insensitive identity for a result-row list."""
+    return sorted(json.dumps(row, sort_keys=True) for row in rows)
 
 
 if __name__ == "__main__":

@@ -2,7 +2,7 @@
 
 from .buffer import BufferPool, BufferStats
 from .database import GraphDatabase
-from .faults import FaultStats, FaultyPageFile
+from .faults import CrashPoint, FaultStats, FaultyPageFile, SimulatedCrash
 from .graphstore import GraphStore
 from .pager import (
     PAGE_SIZE,
@@ -23,11 +23,26 @@ from .serializer import (
     save_collection,
     save_graph,
 )
+from .wal import (
+    FSYNC_ALWAYS,
+    FSYNC_COMMIT,
+    FSYNC_NEVER,
+    RecoveryResult,
+    WalError,
+    WriteAheadLog,
+    recover,
+    scan_wal,
+    wal_path_for,
+)
 
 __all__ = [
     "BufferPool",
     "BufferStats",
     "ChecksumError",
+    "CrashPoint",
+    "FSYNC_ALWAYS",
+    "FSYNC_COMMIT",
+    "FSYNC_NEVER",
     "FaultStats",
     "FaultyPageFile",
     "GraphDatabase",
@@ -35,15 +50,22 @@ __all__ = [
     "PAGE_SIZE",
     "PageFile",
     "RecordFile",
+    "RecoveryResult",
+    "SimulatedCrash",
     "SlottedPage",
     "StorageError",
     "TransientIOError",
+    "WalError",
+    "WriteAheadLog",
     "collection_from_text",
     "collection_to_text",
     "graph_from_text",
     "graph_to_text",
     "load_collection",
     "load_graph",
+    "recover",
     "save_collection",
     "save_graph",
+    "scan_wal",
+    "wal_path_for",
 ]

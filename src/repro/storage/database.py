@@ -18,7 +18,9 @@ from ..core.pattern import GraphPattern, GroundPattern
 from ..lang.compiler import compile_pattern_text, compile_program
 from ..matching.planner import GraphMatcher, MatchOptions, MatchReport
 from ..runtime import ExecutionContext
-from .serializer import load_collection, save_collection
+from .graphstore import GraphStore
+from .serializer import _atomic_write_text, load_collection, save_collection
+from .wal import RecoveryResult
 
 
 class GraphDatabase:
@@ -32,6 +34,10 @@ class GraphDatabase:
         self._collections: Dict[str, GraphCollection] = {}
         self._matchers: Dict[int, GraphMatcher] = {}
         self._collection_indexes: Dict[str, "object"] = {}
+        self._store: Optional[GraphStore] = None
+        #: what opening the durable store found/repaired (see
+        #: :meth:`attach_durable`); ``None`` until a store is attached
+        self.recovery: Optional[RecoveryResult] = None
 
     # -- collection management ----------------------------------------------------
 
@@ -72,9 +78,67 @@ class GraphDatabase:
             filename = f"{name}.gql"
             save_collection(collection, directory / filename)
             manifest_lines.append(f"{name}\t{filename}\t{int(directed)}")
-        (directory / "MANIFEST").write_text(
-            "\n".join(manifest_lines) + "\n", encoding="utf-8"
-        )
+        _atomic_write_text(directory / "MANIFEST",
+                           "\n".join(manifest_lines) + "\n")
+
+    # -- the durable-mutation path ---------------------------------------------
+
+    @property
+    def durable_store(self) -> Optional[GraphStore]:
+        """The attached WAL-backed store, or ``None``."""
+        return self._store
+
+    def attach_durable(self, path: Union[str, Path],
+                       fsync: str = "commit",
+                       clustering: str = "bfs") -> RecoveryResult:
+        """Open a WAL-backed :class:`GraphStore` as the mutation backend.
+
+        Recovery runs first (replaying committed transactions, cutting
+        torn tails), then every document the store holds is registered —
+        with each graph's persisted :attr:`Graph.version` restored, so
+        version-keyed caches stay monotone across the restart.  Further
+        :meth:`register_durable` calls write through the store before
+        the in-memory registration becomes visible.
+        """
+        if self._store is not None:
+            raise RuntimeError("a durable store is already attached")
+        store = GraphStore(str(path), clustering=clustering,
+                           durable=True, fsync=fsync)
+        self._store = store
+        self.recovery = store.recovery
+        for name, collection in store.load_documents().items():
+            self.register(name, collection)
+        return store.recovery
+
+    def register_durable(self, name: str,
+                         collection: Union[GraphCollection, Graph]) -> None:
+        """Persist a document through the WAL, then register it.
+
+        The store write is one transaction (document marker + every
+        member graph): a crash leaves either the previous registered
+        snapshot or the complete new one.  Write-through ordering means
+        a registration that returned is durable.
+        """
+        if self._store is None:
+            raise RuntimeError(
+                "no durable store attached (call attach_durable first)")
+        if isinstance(collection, Graph):
+            collection = GraphCollection([collection], name=name)
+        self._store.save_document(name, list(collection))
+        self.register(name, collection)
+
+    def checkpoint(self) -> int:
+        """Checkpoint the durable store; returns WAL bytes freed."""
+        if self._store is None:
+            return 0
+        return self._store.checkpoint()
+
+    def close_store(self, checkpoint: bool = True) -> None:
+        """Checkpoint (by default) and close the durable store."""
+        if self._store is None:
+            return
+        store, self._store = self._store, None
+        store.close(checkpoint=checkpoint)
 
     @classmethod
     def open(cls, directory: Union[str, Path]) -> "GraphDatabase":

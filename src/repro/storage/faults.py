@@ -33,8 +33,77 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 from contextlib import contextmanager
+from typing import Callable
 
 from .pager import PAGE_SIZE, PageFile, StorageError, TransientIOError
+
+
+class SimulatedCrash(StorageError):
+    """The write path was killed by a :class:`CrashPoint`.
+
+    Models a power cut / SIGKILL: the operation in flight may have
+    persisted only a prefix, and **nothing after it runs** — every
+    further guarded operation raises again, like a dead process.  The
+    harness abandons the live objects and reopens the files through
+    recovery, exactly as a restarted process would.
+    """
+
+
+class CrashPoint:
+    """Kill the storage write path after N guarded operations.
+
+    Page-file writes, WAL appends and fsyncs each count as one
+    operation.  Operations ``1..crash_after-1`` proceed normally;
+    operation ``crash_after`` crashes: a *write* persists only a
+    seeded-random prefix (``tear=True``, the torn-write case — possibly
+    the empty prefix) before :class:`SimulatedCrash` is raised, a
+    *barrier* (fsync) raises before syncing.  A budget larger than the
+    workload never trips — which is how a harness counts a workload's
+    total operations.
+    """
+
+    def __init__(self, crash_after: int, tear: bool = True,
+                 seed: int = 0) -> None:
+        if crash_after < 1:
+            raise ValueError("crash_after must be >= 1")
+        self.crash_after = crash_after
+        self.tear = tear
+        self.ops = 0
+        self.tripped = False
+        self._rng = random.Random(seed)
+
+    def _arm(self) -> bool:
+        """Count one operation; True when this one must crash."""
+        if self.tripped:
+            raise SimulatedCrash("process already crashed")
+        self.ops += 1
+        if self.ops >= self.crash_after:
+            self.tripped = True
+            return True
+        return False
+
+    def write(self, write: Callable[[bytes], object], data: bytes) -> None:
+        """Guard one file write (the crashing write tears first)."""
+        if not self._arm():
+            write(data)
+            return
+        if self.tear and data:
+            prefix = data[:self._rng.randrange(0, len(data))]
+        else:
+            prefix = b"" if self.tear else data
+        if prefix:
+            write(prefix)
+        raise SimulatedCrash(
+            f"simulated crash on write op {self.ops} "
+            f"({len(prefix)}/{len(data)} bytes persisted)"
+        )
+
+    def barrier(self, sync: Callable[[], object]) -> None:
+        """Guard one fsync (the crashing barrier never syncs)."""
+        if self._arm():
+            raise SimulatedCrash(
+                f"simulated crash on sync op {self.ops}")
+        sync()
 
 
 @dataclass

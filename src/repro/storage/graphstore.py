@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import struct
 from collections import deque
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 
+from ..core.collection import GraphCollection
 from ..core.graph import Graph
 from ..core.tuples import AttributeTuple
 from .pager import PageFile, RecordFile, RecordId, StorageError
+from .wal import RecoveryResult, WriteAheadLog, recover, wal_path_for
 
 _TYPE_INT = 0
 _TYPE_FLOAT = 1
@@ -30,6 +32,7 @@ _TYPE_BOOL = 3
 _REC_GRAPH = 0
 _REC_NODE = 1
 _REC_EDGE = 2
+_REC_DOC = 3
 
 
 def _encode_value(value: Any) -> bytes:
@@ -108,22 +111,75 @@ def encode_edge(edge_id: str, source: str, target: str,
 
 
 def encode_graph_header(name: Optional[str], directed: bool,
-                        attrs: AttributeTuple) -> bytes:
-    """Binary graph-header record."""
+                        attrs: AttributeTuple, version: int = 0) -> bytes:
+    """Binary graph-header record.
+
+    *version* persists :attr:`Graph.version` at save time, so a reload
+    (including crash recovery) restores a mutation counter no smaller
+    than any the running system handed out for this graph — service
+    caches keyed on the version can never alias across a recovery.
+    Records written before this field existed decode as version 0.
+    """
     return (bytes([_REC_GRAPH]) + _encode_str(name)
-            + struct.pack("<B", int(directed)) + _encode_tuple(attrs))
+            + struct.pack("<B", int(directed)) + _encode_tuple(attrs)
+            + struct.pack("<Q", version))
+
+
+def encode_document_marker(name: str) -> bytes:
+    """Binary document-boundary record.
+
+    Marks the start of a full snapshot of one named document; the
+    snapshot runs until the next marker.  Re-registering a document
+    appends a fresh snapshot, and :meth:`GraphStore.load_documents`
+    keeps the last one per name (the store is log-structured).
+    """
+    return bytes([_REC_DOC]) + _encode_str(name)
 
 
 class GraphStore:
-    """Persist and reload graphs in a page file."""
+    """Persist and reload graphs in a page file.
 
-    def __init__(self, path: str, clustering: str = "bfs") -> None:
+    With ``durable=True`` the store opens with crash recovery (replaying
+    the write-ahead log next to the page file), wraps every save in a
+    WAL transaction, and exposes :meth:`checkpoint`.  *fsync* is the
+    durability/throughput trade-off (``always``/``commit``/``never``,
+    see :mod:`repro.storage.wal`); *crashpoint* threads a
+    :class:`~repro.storage.faults.CrashPoint` into both the page file
+    and the log for the crash-fuzz harness.
+    """
+
+    def __init__(self, path: str, clustering: str = "bfs",
+                 durable: bool = False, fsync: str = "commit",
+                 run_recovery: bool = True, crashpoint=None) -> None:
         if clustering not in ("bfs", "insertion"):
             raise ValueError(f"unknown clustering policy {clustering!r}")
         self.clustering = clustering
-        self.pagefile = PageFile(path)
+        self.durable = durable
+        self.recovery: Optional[RecoveryResult] = None
+        self.checkpoints = 0
+        if durable:
+            if run_recovery:
+                self.recovery = recover(path, sync=fsync != "never")
+            self.pagefile = PageFile(path, fsync=fsync)
+            wal = WriteAheadLog(wal_path_for(path), fsync=fsync)
+            if crashpoint is not None:
+                self.pagefile.crashpoint = crashpoint
+                wal.crashpoint = crashpoint
+            self.pagefile.attach_wal(wal)
+        else:
+            self.pagefile = PageFile(path)
         self.records = RecordFile(self.pagefile)
         self._node_pages: Dict[str, int] = {}
+
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        """The attached write-ahead log (durable stores only)."""
+        return self.pagefile.wal
+
+    @property
+    def store_version(self) -> int:
+        """Committed-transaction counter from the page-file header."""
+        return self.pagefile.store_version
 
     # -- writing -----------------------------------------------------------------
 
@@ -147,10 +203,10 @@ class GraphStore:
                         queue.append(neighbor)
         return order
 
-    def save(self, graph: Graph) -> None:
-        """Write one graph (header, nodes in cluster order, edges)."""
+    def _write_graph(self, graph: Graph) -> None:
         self.records.insert(
-            encode_graph_header(graph.name, graph.directed, graph.tuple)
+            encode_graph_header(graph.name, graph.directed, graph.tuple,
+                                version=graph.version)
         )
         for node_id in self.node_order(graph):
             record_id = self.records.insert(
@@ -162,32 +218,90 @@ class GraphStore:
                 encode_edge(edge.id, edge.source, edge.target, edge.tuple)
             )
 
+    def save(self, graph: Graph) -> None:
+        """Write one graph (header, nodes in cluster order, edges).
+
+        On a durable store the whole graph is one WAL transaction: a
+        crash anywhere inside leaves either the previous committed state
+        or the complete new graph, never a torn middle.
+        """
+        if self.durable:
+            self.pagefile.begin()
+            try:
+                self._write_graph(graph)
+            except BaseException:
+                self.pagefile.abort()
+                raise
+            self.pagefile.commit()
+            return
+        self._write_graph(graph)
+
+    def save_document(self, name: str,
+                      graphs: Union[GraphCollection, List[Graph]]) -> None:
+        """Write a full snapshot of one named document atomically.
+
+        One WAL transaction covers the document marker and every member
+        graph (plain append without a marker on non-durable stores).
+        """
+        def write_all() -> None:
+            self.records.insert(encode_document_marker(name))
+            for graph in graphs:
+                self._write_graph(graph)
+
+        if not self.durable:
+            write_all()
+            return
+        self.pagefile.begin()
+        try:
+            write_all()
+        except BaseException:
+            self.pagefile.abort()
+            raise
+        self.pagefile.commit()
+
     # -- reading ------------------------------------------------------------------
 
-    def load_all(self) -> List[Graph]:
-        """Reload every graph stored in the file."""
-        graphs: List[Graph] = []
+    def _scan_events(self) -> Iterator[Tuple[str, Any]]:
+        """Decode the record stream into ``("doc", name)`` and
+        ``("graph", graph)`` events (edges resolved, versions restored)."""
         current: Optional[Graph] = None
         pending_edges: List[Tuple[str, str, str, AttributeTuple]] = []
+        saved_version = 0
 
-        def flush_edges() -> None:
-            if current is None:
-                return
+        def finish(graph: Optional[Graph]) -> Optional[Graph]:
+            if graph is None:
+                return None
             for edge_id, source, target, attrs in pending_edges:
-                edge = current.add_edge(source, target, edge_id=edge_id)
+                edge = graph.add_edge(source, target, edge_id=edge_id)
                 edge.tuple = attrs
             pending_edges.clear()
+            # rebuilding performs at most as many mutations as the saved
+            # graph had seen, so restoring the saved counter never goes
+            # backwards — versions stay monotone across recoveries
+            graph.version = max(graph.version, saved_version)
+            return graph
 
         for _record_id, raw in self.records.scan():
             kind = raw[0]
-            if kind == _REC_GRAPH:
-                flush_edges()
+            if kind == _REC_DOC:
+                done = finish(current)
+                current = None
+                if done is not None:
+                    yield ("graph", done)
+                name, _ = _decode_str(raw, 1)
+                yield ("doc", name or "")
+            elif kind == _REC_GRAPH:
+                done = finish(current)
+                if done is not None:
+                    yield ("graph", done)
                 name, offset = _decode_str(raw, 1)
                 (directed,) = struct.unpack_from("<B", raw, offset)
                 offset += 1
-                attrs, _ = _decode_tuple(raw, offset)
+                attrs, offset = _decode_tuple(raw, offset)
+                saved_version = 0
+                if offset + 8 <= len(raw):  # pre-versioning records end here
+                    (saved_version,) = struct.unpack_from("<Q", raw, offset)
                 current = Graph(name, attrs, directed=bool(directed))
-                graphs.append(current)
             elif kind == _REC_NODE:
                 if current is None:
                     raise StorageError("node record before graph header")
@@ -206,8 +320,35 @@ class GraphStore:
                                       target or "", attrs))
             else:
                 raise StorageError(f"unknown record kind {kind}")
-        flush_edges()
-        return graphs
+        done = finish(current)
+        if done is not None:
+            yield ("graph", done)
+
+    def load_all(self) -> List[Graph]:
+        """Reload every graph stored in the file (markers ignored)."""
+        return [item for event, item in self._scan_events()
+                if event == "graph"]
+
+    def load_documents(self) -> Dict[str, GraphCollection]:
+        """Reload named documents (last snapshot per name wins).
+
+        Graphs saved outside any document marker fall back to a document
+        named after the graph (anonymous graphs group under ``"data"``).
+        """
+        documents: Dict[str, GraphCollection] = {}
+        current_doc: Optional[str] = None
+        for event, item in self._scan_events():
+            if event == "doc":
+                current_doc = item
+                documents[item] = GraphCollection(name=item)
+            else:
+                if current_doc is None:
+                    name = item.name or "data"
+                    documents.setdefault(name, GraphCollection(name=name))
+                    documents[name].add(item)
+                else:
+                    documents[current_doc].add(item)
+        return documents
 
     # -- locality measurement ------------------------------------------------------
 
@@ -229,8 +370,21 @@ class GraphStore:
             counted += 1
         return total / counted if counted else 0.0
 
-    def close(self) -> None:
-        """Close the underlying page file."""
+    def checkpoint(self) -> int:
+        """Sync pages, truncate the WAL; returns log bytes freed."""
+        freed = self.pagefile.checkpoint()
+        if self.durable:
+            self.checkpoints += 1
+        return freed
+
+    def close(self, checkpoint: bool = True) -> None:
+        """Close the underlying page file (and WAL).
+
+        A durable store checkpoints first by default, so a cleanly
+        closed store restarts with an empty log and a no-op recovery.
+        """
+        if self.durable and checkpoint and not self.pagefile.in_transaction:
+            self.checkpoint()
         self.pagefile.close()
 
     def __enter__(self) -> "GraphStore":

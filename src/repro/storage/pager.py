@@ -22,11 +22,13 @@ import os
 import struct
 import time
 import zlib
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 PAGE_SIZE = 4096
 _MAGIC = b"GQLP"
-_HEADER_FMT = "<4sII"  # magic, page_count, free_list_head
+# magic, page_count, free_list_head, store_version (u64, appended by the
+# durability work — old files read zeros out of the header padding)
+_HEADER_FMT = "<4sIIQ"
 _NO_PAGE = 0xFFFFFFFF
 
 
@@ -51,12 +53,35 @@ class PageFile:
 
     Page 0 is the header; data pages start at 1.  Freed pages form a
     singly-linked free list threaded through their first four bytes.
+
+    With a write-ahead log attached (:meth:`attach_wal`), page writes
+    become transactional under a **no-steal** policy: between
+    :meth:`begin` and :meth:`commit`, images accumulate in a pending
+    buffer (reads see them — read-your-writes), commit frames them into
+    the WAL, fsyncs it (the durability point), and only then writes the
+    pages.  A crash at any step leaves either the old state (commit
+    record never became durable) or a state the WAL replay repairs.
+    ``store_version`` in the header counts committed transactions and is
+    what lets :class:`~repro.core.graph.Graph` versions stay monotone
+    across recoveries.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, fsync: str = "never") -> None:
         self.path = path
+        self.fsync_policy = fsync
+        #: attached :class:`~repro.storage.wal.WriteAheadLog`, if any
+        self.wal = None
+        #: optional :class:`~repro.storage.faults.CrashPoint` guarding
+        #: raw file writes and fsyncs
+        self.crashpoint = None
+        self.store_version = 0
+        self._txn: Optional[int] = None
+        self._pending: Dict[int, bytes] = {}
         create = not os.path.exists(path) or os.path.getsize(path) == 0
-        self._file = open(path, "r+b" if not create else "w+b")
+        # unbuffered, like the WAL: an abandoned handle (crash) must
+        # never hold page bytes that could flush after recovery ran
+        self._file = open(path, "r+b" if not create else "w+b",
+                          buffering=0)
         if create:
             self._page_count = 1
             self._free_head = _NO_PAGE
@@ -67,11 +92,18 @@ class PageFile:
 
     # -- header -----------------------------------------------------------------
 
-    def _write_header(self) -> None:
+    def _header_image(self) -> bytes:
         header = struct.pack(_HEADER_FMT, _MAGIC, self._page_count,
-                             self._free_head)
-        self._file.seek(0)
-        self._file.write(header.ljust(PAGE_SIZE, b"\x00")[:PAGE_SIZE])
+                             self._free_head, self.store_version)
+        return header.ljust(PAGE_SIZE, b"\x00")[:PAGE_SIZE]
+
+    def _write_header(self) -> None:
+        if self.wal is not None:
+            # with a log attached the header page is a page like any
+            # other: it must never reach the file outside a transaction
+            self.write_page(0, self._header_image())
+            return
+        self._raw_write(0, self._header_image())
         self._file.flush()
 
     def _read_header(self) -> None:
@@ -83,7 +115,8 @@ class PageFile:
                 f"{self.path}: truncated header ({len(raw)} bytes, "
                 f"need {header_size}); not a page file or badly damaged"
             )
-        magic, page_count, free_head = struct.unpack(_HEADER_FMT, raw)
+        magic, page_count, free_head, version = struct.unpack(
+            _HEADER_FMT, raw)
         if magic != _MAGIC:
             raise StorageError(
                 f"{self.path}: bad magic {magic!r} (expected {_MAGIC!r}); "
@@ -104,6 +137,7 @@ class PageFile:
             )
         self._page_count = page_count
         self._free_head = free_head
+        self.store_version = version
 
     # -- page access ---------------------------------------------------------------
 
@@ -113,23 +147,49 @@ class PageFile:
         return self._page_count
 
     def read_page(self, page_no: int) -> bytes:
-        """Read one page (header page 0 included)."""
+        """Read one page (header page 0 included).
+
+        Inside a transaction, pages this transaction has written are
+        served from the pending buffer (read-your-writes)."""
         if page_no >= self._page_count:
             raise StorageError(f"page {page_no} out of range")
+        pending = self._pending.get(page_no)
+        if pending is not None:
+            return pending
         self._file.seek(page_no * PAGE_SIZE)
         data = self._file.read(PAGE_SIZE)
         if len(data) != PAGE_SIZE:
             raise StorageError(f"short read on page {page_no}")
         return data
 
+    def _raw_write(self, page_no: int, data: bytes) -> None:
+        """Write bytes at a page offset, through the crash injector."""
+        self._file.seek(page_no * PAGE_SIZE)
+        if self.crashpoint is not None:
+            self.crashpoint.write(self._file.write, data)
+        else:
+            self._file.write(data)
+
     def write_page(self, page_no: int, data: bytes) -> None:
-        """Write one full page."""
+        """Write one full page.
+
+        With a WAL attached, the write joins the open transaction's
+        pending buffer (a write outside any transaction is wrapped in
+        an implicit single-write transaction, so no page write can ever
+        bypass the log)."""
         if len(data) != PAGE_SIZE:
             raise StorageError("page data must be exactly PAGE_SIZE bytes")
         if page_no >= self._page_count:
             raise StorageError(f"page {page_no} out of range")
-        self._file.seek(page_no * PAGE_SIZE)
-        self._file.write(data)
+        if self.wal is not None:
+            if self._txn is None:
+                self.begin()
+                self._pending[page_no] = bytes(data)
+                self.commit()
+            else:
+                self._pending[page_no] = bytes(data)
+            return
+        self._raw_write(page_no, data)
 
     def allocate_page(self) -> int:
         """Allocate a page (reusing the free list when possible)."""
@@ -141,8 +201,10 @@ class PageFile:
             return page_no
         page_no = self._page_count
         self._page_count += 1
-        self._file.seek(page_no * PAGE_SIZE)
-        self._file.write(b"\x00" * PAGE_SIZE)
+        # physical zero-extension happens immediately even inside a
+        # transaction: reserving space is harmless to recover from (an
+        # uncommitted extension just leaves fresh all-zero pages behind)
+        self._raw_write(page_no, b"\x00" * PAGE_SIZE)
         self._write_header()
         return page_no
 
@@ -155,8 +217,107 @@ class PageFile:
         self._free_head = page_no
         self._write_header()
 
+    # -- durability -----------------------------------------------------------
+
+    def attach_wal(self, wal) -> None:
+        """Route all further page writes through a write-ahead log."""
+        self.wal = wal
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether a WAL transaction is open."""
+        return self._txn is not None
+
+    def begin(self) -> int:
+        """Open a WAL transaction; page writes buffer until commit."""
+        if self.wal is None:
+            raise StorageError("no write-ahead log attached")
+        if self._txn is not None:
+            raise StorageError("transaction already open (no nesting)")
+        self._txn = self.wal.begin()
+        return self._txn
+
+    def commit(self) -> int:
+        """Make the open transaction durable, then write its pages.
+
+        Sequence: stamp the bumped ``store_version`` into the pending
+        header image, frame BEGIN/pages/COMMIT into the WAL and fsync it
+        (the durability point), then flush the pending pages and the
+        file.  Returns the commit LSN.
+        """
+        if self._txn is None:
+            raise StorageError("commit without an open transaction")
+        self.store_version += 1
+        self._write_header()  # lands in the pending buffer
+        txn, self._txn = self._txn, None
+        pending, self._pending = self._pending, {}
+        try:
+            lsn = self.wal.log_transaction(txn, pending)
+            for page_no in sorted(pending):
+                self._raw_write(page_no, pending[page_no])
+            self.flush()
+        except BaseException:
+            # a failed commit (crash injection, disk error) must not
+            # leave half a version bump behind in memory
+            self.store_version -= 1
+            raise
+        return lsn
+
+    def abort(self) -> None:
+        """Drop the open transaction's buffered writes.
+
+        The WAL never receives a COMMIT for the transaction id, so
+        recovery discards anything already framed.  In-memory header
+        state (page count, free list) may run ahead of the committed
+        header; that only over-reserves zero pages, which reopening
+        resolves.
+        """
+        self._txn = None
+        self._pending = {}
+
+    def flush(self, sync: Optional[bool] = None) -> None:
+        """Flush buffered writes; fsync according to the policy.
+
+        ``sync=True`` forces an fsync, ``sync=False`` suppresses it, and
+        the default follows ``fsync_policy`` (``never`` skips it)."""
+        self._file.flush()
+        if sync is None:
+            sync = self.fsync_policy != "never"
+        if sync:
+            if self.crashpoint is not None:
+                self.crashpoint.barrier(
+                    lambda: os.fsync(self._file.fileno()))
+            else:
+                os.fsync(self._file.fileno())
+
+    def checkpoint(self) -> int:
+        """Sync the page file, then truncate the WAL; returns bytes freed.
+
+        Everything the log was protecting is durably in the pages after
+        the sync, so the log restarts empty.  No-op without a WAL.
+        """
+        if self.wal is None:
+            return 0
+        if self._txn is not None:
+            raise StorageError("cannot checkpoint inside a transaction")
+        self.flush(sync=self.fsync_policy != "never")
+        return self.wal.truncate()
+
     def close(self) -> None:
-        """Flush and close the backing file."""
+        """Flush and close the backing file (and the WAL, if attached).
+
+        An open transaction is aborted, not committed: close during an
+        exception unwind must not make half-applied work durable.
+        """
+        if self._txn is not None:
+            self.abort()
+        if self.wal is not None:
+            # committed state already persisted its own header; a plain
+            # header rewrite here would bypass the log
+            self._file.flush()
+            self._file.close()
+            self.wal.close()
+            return
         self._write_header()
         self._file.close()
 
@@ -285,6 +446,10 @@ class RecordFile:
     *retry_backoff* seconds and doubling), so a storage layer with
     sporadic read faults — see :class:`repro.storage.faults.FaultyPageFile`
     — still serves records; persistent faults surface after the budget.
+
+    *sleep* is the delay function the backoff uses; tests inject a fake
+    to assert the schedule (1ms, 2ms, 4ms, ...) without burning
+    wall-clock time.
     """
 
     def __init__(
@@ -292,10 +457,12 @@ class RecordFile:
         pagefile: PageFile,
         max_retries: int = 5,
         retry_backoff: float = 0.001,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         self.pagefile = pagefile
         self.max_retries = max_retries
         self.retry_backoff = retry_backoff
+        self.sleep = sleep
         self.retries_performed = 0
         self._data_pages: List[int] = [
             p for p in range(1, pagefile.num_pages)
@@ -314,7 +481,7 @@ class RecordFile:
                 if attempt >= self.max_retries:
                     raise
                 if self.retry_backoff > 0:
-                    time.sleep(self.retry_backoff * (2 ** attempt))
+                    self.sleep(self.retry_backoff * (2 ** attempt))
                 attempt += 1
                 self.retries_performed += 1
 

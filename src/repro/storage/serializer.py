@@ -8,6 +8,8 @@ declarations in one file.
 
 from __future__ import annotations
 
+import os
+import tempfile
 from pathlib import Path
 from typing import Any, Iterable, List, Union
 
@@ -79,9 +81,35 @@ def collection_from_text(text: str, directed: bool = False) -> GraphCollection:
     return collection
 
 
+def _atomic_write_text(path: Union[str, Path], text: str) -> None:
+    """Replace *path*'s contents all-or-nothing.
+
+    The text is written to a temporary file in the *same directory*
+    (``os.replace`` must not cross filesystems), flushed and fsynced,
+    then renamed over the target — so a crash at any point leaves either
+    the complete old file or the complete new one, never a truncated
+    mix.  The temporary file is removed on failure.
+    """
+    path = Path(path)
+    fd, tmp = tempfile.mkstemp(prefix=f".{path.name}.", suffix=".tmp",
+                               dir=str(path.parent) or ".")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
 def save_collection(collection: GraphCollection, path: Union[str, Path]) -> None:
-    """Write a collection to a file."""
-    Path(path).write_text(collection_to_text(collection) + "\n", encoding="utf-8")
+    """Write a collection to a file (atomically: temp file + rename)."""
+    _atomic_write_text(path, collection_to_text(collection) + "\n")
 
 
 def load_collection(path: Union[str, Path], directed: bool = False) -> GraphCollection:
@@ -90,8 +118,8 @@ def load_collection(path: Union[str, Path], directed: bool = False) -> GraphColl
 
 
 def save_graph(graph: Graph, path: Union[str, Path]) -> None:
-    """Write one graph to a file."""
-    Path(path).write_text(graph_to_text(graph) + "\n", encoding="utf-8")
+    """Write one graph to a file (atomically: temp file + rename)."""
+    _atomic_write_text(path, graph_to_text(graph) + "\n")
 
 
 def load_graph(path: Union[str, Path], directed: bool = False) -> Graph:

@@ -171,6 +171,30 @@ class TestRetries:
         assert pagefile.stats.read_faults > 0
         assert records.retries_performed >= pagefile.stats.read_faults
 
+    def test_backoff_schedule_doubles(self, tmp_path):
+        """The injected sleep sees exactly 1ms, 2ms, 4ms, ... — the
+        documented bounded-exponential schedule, no wall clock burned."""
+        pagefile = FaultyPageFile(str(tmp_path / "sched.db"),
+                                  read_error_rate=1.0, seed=13)
+        pagefile.allocate_page()
+        delays = []
+        records = RecordFile(pagefile, max_retries=5, retry_backoff=0.001,
+                             sleep=delays.append)
+        with pytest.raises(TransientIOError):
+            records.read((1, 0))
+        assert delays == [0.001, 0.002, 0.004, 0.008, 0.016]
+
+    def test_zero_backoff_never_sleeps(self, tmp_path):
+        pagefile = FaultyPageFile(str(tmp_path / "nosleep.db"),
+                                  read_error_rate=1.0, seed=13)
+        pagefile.allocate_page()
+        delays = []
+        records = RecordFile(pagefile, max_retries=3, retry_backoff=0.0,
+                             sleep=delays.append)
+        with pytest.raises(TransientIOError):
+            records.read((1, 0))
+        assert delays == []
+
     def test_retry_budget_is_bounded(self, tmp_path):
         pagefile = FaultyPageFile(str(tmp_path / "hard.db"),
                                   read_error_rate=1.0, seed=13)

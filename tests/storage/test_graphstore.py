@@ -60,6 +60,86 @@ class TestRoundTrip:
             GraphStore(str(tmp_path / "x.db"), clustering="random")
 
 
+class TestAttributeEdgeCases:
+    """Round trips of values that break naive serializers."""
+
+    def roundtrip(self, tmp_path, **attrs) -> Graph:
+        g = Graph("edge-cases")
+        g.add_node("n", **attrs)
+        with GraphStore(str(tmp_path / "attrs.db")) as store:
+            store.save(g)
+            (loaded,) = store.load_all()
+        return loaded
+
+    def test_unicode_and_newline_strings(self, tmp_path):
+        values = {
+            "unicode": "gráph — ∀x∃y: ⟨x,y⟩ 🎓",
+            "newlines": "line one\nline two\r\n\ttabbed",
+            "quotes": 'she said "hi" \\ and left',
+            "empty": "",
+        }
+        loaded = self.roundtrip(tmp_path, **values)
+        for name, value in values.items():
+            assert loaded.node("n")[name] == value
+
+    def test_int_extremes(self, tmp_path):
+        values = {
+            "max64": 2 ** 63 - 1,
+            "min64": -(2 ** 63),
+            "negative": -42,
+            "zero": 0,
+        }
+        loaded = self.roundtrip(tmp_path, **values)
+        for name, value in values.items():
+            back = loaded.node("n")[name]
+            assert back == value and isinstance(back, int)
+
+    def test_bool_is_not_int(self, tmp_path):
+        """bool must be checked before int (bool subclasses int): True
+        must come back as True, and 1 as 1, not each other."""
+        loaded = self.roundtrip(tmp_path, flag=True, off=False, one=1, nil=0)
+        node = loaded.node("n")
+        assert node["flag"] is True
+        assert node["off"] is False
+        assert node["one"] == 1 and not isinstance(node["one"], bool)
+        assert node["nil"] == 0 and not isinstance(node["nil"], bool)
+
+    def test_float_specials(self, tmp_path):
+        import math
+
+        loaded = self.roundtrip(tmp_path, nan=float("nan"),
+                                inf=float("inf"), ninf=float("-inf"),
+                                tiny=5e-324, neg_zero=-0.0)
+        node = loaded.node("n")
+        assert math.isnan(node["nan"])
+        assert node["inf"] == float("inf")
+        assert node["ninf"] == float("-inf")
+        assert node["tiny"] == 5e-324
+        assert math.copysign(1.0, node["neg_zero"]) == -1.0
+
+    def test_empty_graph(self, tmp_path):
+        g = Graph("empty")
+        with GraphStore(str(tmp_path / "empty.db")) as store:
+            store.save(g)
+            (loaded,) = store.load_all()
+        assert loaded.num_nodes() == 0
+        assert loaded.num_edges() == 0
+        assert loaded.name == "empty"
+
+    def test_durable_roundtrip_of_edge_cases(self, tmp_path):
+        """The WAL-backed path preserves the same values byte-for-byte."""
+        g = Graph("edge-cases")
+        g.add_node("n", text="uni — ✓\nnl", big=2 ** 62, neg=-7,
+                   flag=True, ratio=0.1)
+        path = str(tmp_path / "durable.db")
+        with GraphStore(path, durable=True, fsync="never") as store:
+            store.save_document("doc", [g])
+        with GraphStore(path, durable=True, fsync="never") as store:
+            back = store.load_documents()["doc"][0]
+        assert back.equals(g)
+        assert back.version == g.version
+
+
 class TestClustering:
     def test_bfs_order_visits_neighbors_together(self):
         g = Graph()
