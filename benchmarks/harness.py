@@ -31,6 +31,7 @@ from repro.matching import (
     baseline_options,
     optimized_options,
 )
+from repro.obs.trace import SpanCollector, tracer
 from repro.runtime import ExecutionContext, Outcome
 from repro.sqlbaseline import ExecutionStats, SQLGraphMatcher, WorkBudgetExceeded
 
@@ -165,8 +166,8 @@ def synthetic_query_workload(
 class QueryResult:
     """One query's measurements across configurations."""
 
-    __slots__ = ("hits", "ratios", "times", "outcomes", "cache", "sql_time",
-                 "sql_aborted")
+    __slots__ = ("hits", "ratios", "times", "outcomes", "cache", "phases",
+                 "sql_time", "sql_aborted")
 
     def __init__(self) -> None:
         self.hits = 0
@@ -175,6 +176,9 @@ class QueryResult:
         self.outcomes: Dict[str, Outcome] = {}
         #: serving-path cache verdicts ("hit"/"miss"/"bypass") per run
         self.cache: Dict[str, str] = {}
+        #: per-configuration span totals (span name -> summed seconds),
+        #: pulled from the tracer during :func:`measure_query`
+        self.phases: Dict[str, Dict[str, float]] = {}
         self.sql_time: Optional[float] = None
         self.sql_aborted = False
 
@@ -196,6 +200,8 @@ class QueryResult:
             "outcomes": {name: status.value
                          for name, status in self.outcomes.items()},
             "cache": dict(self.cache),
+            "phases": {name: dict(totals)
+                       for name, totals in self.phases.items()},
             "sql_time": self.sql_time,
             "sql_aborted": self.sql_aborted,
         }
@@ -237,8 +243,17 @@ def measure_query(
     def run(name: str, options: MatchOptions):
         context = (ExecutionContext(timeout=timeout)
                    if timeout is not None else None)
-        report = matcher.match(query, options, context=context)
+        collector = SpanCollector()
+        with tracer().session(collector):
+            report = matcher.match(query, options, context=context)
         result.outcomes[name] = report.outcome.status
+        # per-phase timings come from the spans the matcher emitted; the
+        # report's own stopwatch is the fallback if none were collected
+        totals = collector.totals()
+        result.phases[name] = totals if totals else {
+            f"match.{phase}": seconds
+            for phase, seconds in report.times.items()
+        }
         return report
 
     profile_report = run(

@@ -5,13 +5,15 @@ Usage examples::
     repro-gql info data.gql
     repro-gql match data.gql --pattern query.gql [--baseline] [--explain]
     repro-gql match data.gql --pattern query.gql --timeout 1 --max-steps 100000
-    repro-gql match data.gql --pattern query.gql --json
+    repro-gql match data.gql --pattern query.gql --json --trace-out spans.jsonl
+    repro-gql explain data.gql --pattern query.gql [--analyze] [--json]
     repro-gql run program.gql --doc DBLP=papers.gql --out result.gql
     repro-gql stress --seed 7 --queries 20 --timeout 5 --workers 4
     repro-gql serve data.gql --port 7687 --workers 4
-    repro-gql serve --synthetic 1000 --port 0
+    repro-gql serve --synthetic 1000 --port 0 --metrics-port 9090
     repro-gql serve data.gql --store state.db --fsync commit
     repro-gql serve --store state.db --port 0      # resume from the store
+    repro-gql stats --port 7687 --format prometheus
     repro-gql recover state.db --json
     repro-gql checkpoint state.db
 
@@ -27,13 +29,14 @@ paper's 1000-answer termination rule), ``TIMED_OUT`` exits 3 and
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import random
 import signal
 import sys
 import threading
 from pathlib import Path
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from .core import Graph, GraphCollection
 from .lang import compile_pattern_text
@@ -54,6 +57,33 @@ EXIT_BY_OUTCOME = {
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--directed", action="store_true",
                         help="treat data graphs as directed")
+
+
+def _add_trace(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", default=None, metavar="PATH",
+                        help="enable tracing and append one JSON line per "
+                             "finished span to PATH (see "
+                             "docs/observability.md)")
+
+
+@contextlib.contextmanager
+def _tracing_to(path: Optional[str]) -> Iterator[None]:
+    """Tracing enabled with a JSONL sink at *path* for the block.
+
+    With ``path=None`` this is a no-op (tracing stays disabled and the
+    matcher instrumentation stays on its zero-cost path).
+    """
+    if not path:
+        yield
+        return
+    from .obs.trace import JsonlSink, tracer
+
+    sink = JsonlSink(path)
+    try:
+        with tracer().session(sink):
+            yield
+    finally:
+        sink.close()
 
 
 def _add_governance(parser: argparse.ArgumentParser) -> None:
@@ -94,10 +124,33 @@ def build_parser() -> argparse.ArgumentParser:
     match.add_argument("--explain", action="store_true",
                        help="print the access plan instead of matching")
     match.add_argument("--json", action="store_true",
-                       help="emit one JSON document (mappings + outcome, "
-                            "the wire-protocol serialization)")
+                       help="emit one JSON document (mappings + outcome + "
+                            "per-stage counts and timings, the "
+                            "wire-protocol serialization)")
     _add_governance(match)
     _add_common(match)
+    _add_trace(match)
+
+    explain = sub.add_parser(
+        "explain",
+        help="show the access plan for a pattern (EXPLAIN [ANALYZE])",
+    )
+    explain.add_argument("data", help="GraphQL data file")
+    explain.add_argument("--pattern", required=True,
+                         help="file containing one graph pattern")
+    explain.add_argument("--baseline", action="store_true",
+                         help="explain the unoptimized access path")
+    explain.add_argument("--analyze", action="store_true",
+                         help="also run the query and report actual "
+                              "counts, per-phase timings and the outcome")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the explain document as JSON (the "
+                              "same shape the service 'explain' op "
+                              "returns)")
+    explain.add_argument("--limit", type=int, default=1000,
+                         help="answer cap for --analyze (default 1000)")
+    _add_governance(explain)
+    _add_common(explain)
 
     run = sub.add_parser("run", help="run a GraphQL program")
     run.add_argument("program", help="GraphQL program file")
@@ -109,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
                      help="emit one JSON document (result text + outcome)")
     _add_governance(run)
     _add_common(run)
+    _add_trace(run)
 
     stress = sub.add_parser(
         "stress",
@@ -204,7 +258,34 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=("always", "commit", "never"),
                        help="WAL fsync policy for --store "
                             "(default: commit)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="expose Prometheus metrics over plain HTTP "
+                            "on this port (0 picks a free one; GET "
+                            "/metrics for the text exposition, /stats "
+                            "for JSON)")
+    serve.add_argument("--slow-log-size", type=int, default=32,
+                       help="keep the N slowest over-threshold requests "
+                            "(0 disables the slow-query log)")
+    serve.add_argument("--slow-log-threshold", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="only record requests slower than this in "
+                            "the slow-query log")
     _add_common(serve)
+    _add_trace(serve)
+
+    stats = sub.add_parser(
+        "stats",
+        help="fetch a running server's metrics over the wire protocol",
+    )
+    stats.add_argument("--host", default="127.0.0.1",
+                       help="server address (default 127.0.0.1)")
+    stats.add_argument("--port", type=int, default=7687,
+                       help="server port (default 7687)")
+    stats.add_argument("--format", default="json",
+                       choices=("json", "prometheus"),
+                       help="json snapshot (default) or the Prometheus "
+                            "text exposition")
 
     recover_cmd = sub.add_parser(
         "recover",
@@ -261,7 +342,8 @@ def cmd_match(args: argparse.Namespace) -> int:
         max_results=args.limit,
         max_memory=args.max_memory,
     )
-    reports = database.match("data", pattern, options, context=context)
+    with _tracing_to(args.trace_out):
+        reports = database.match("data", pattern, options, context=context)
     if args.json:
         overall = context.outcome()
         document = {
@@ -273,6 +355,7 @@ def cmd_match(args: argparse.Namespace) -> int:
                     ],
                     "outcome": report.outcome.to_dict(),
                     "degradation": list(report.degradation),
+                    "stages": report.stats_dict(),
                 }
                 for name, report in reports.items()
             },
@@ -300,6 +383,59 @@ def cmd_match(args: argparse.Namespace) -> int:
     return EXIT_BY_OUTCOME[overall.status]
 
 
+def cmd_explain(args: argparse.Namespace) -> int:
+    """``repro-gql explain``: the access plan, EXPLAIN [ANALYZE] style.
+
+    Prints, per graph and pattern node, the retrieval method the planner
+    chose (attribute index / label index / scan), the statistics-based
+    candidate estimate next to the actual feasible-mate, pruned and
+    refined counts, and the selected search order with its cost-model
+    estimates.  ``--analyze`` additionally runs the query and attaches
+    per-phase timings, search counters and the governance outcome.
+    """
+    from .obs.explain import explain_document, render_text
+
+    collection = load_collection(args.data, directed=args.directed)
+    pattern_text = Path(args.pattern).read_text(encoding="utf-8")
+    pattern = compile_pattern_text(pattern_text)
+    database = GraphDatabase()
+    database.register("data", collection)
+    options = (baseline_options(limit=args.limit) if args.baseline
+               else optimized_options(limit=args.limit))
+    context = None
+    if args.analyze:
+        context = ExecutionContext(
+            timeout=args.timeout,
+            max_steps=args.max_steps,
+            max_results=args.limit,
+            max_memory=args.max_memory,
+        )
+    document = explain_document(database, "data", pattern, options,
+                                analyze=args.analyze, context=context)
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(render_text(document))
+    if context is not None:
+        return EXIT_BY_OUTCOME[context.outcome().status]
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """``repro-gql stats``: fetch a running server's metrics."""
+    from .service import ServiceClient
+
+    with ServiceClient(args.host, args.port,
+                       client_name="stats-cli") as client:
+        payload = client.stats(format=args.format)
+    if args.format == "prometheus":
+        sys.stdout.write(payload if payload.endswith("\n")
+                         else payload + "\n")
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     """``repro-gql run``: execute a GraphQL program against bound docs."""
     database = GraphDatabase()
@@ -320,7 +456,8 @@ def cmd_run(args: argparse.Namespace) -> int:
                          max_memory=args.max_memory)
         if governed else None
     )
-    env = database.query(program_text, context=context)
+    with _tracing_to(args.trace_out):
+        env = database.query(program_text, context=context)
     result = env.get("__result__")
     rendered = _render_result(result)
     outcome = context.outcome() if context is not None else None
@@ -430,8 +567,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
     listening socket closes immediately, in-flight queries finish or are
     cancelled at the drain deadline, and final metrics are printed.
     """
-    from .service import QueryServer, QueryService, ServiceConfig
-
     if args.data is not None and args.synthetic is not None:
         print("error: serve takes a data file or --synthetic N, not both",
               file=sys.stderr)
@@ -440,6 +575,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("error: serve needs a data file, --synthetic N, or --store",
               file=sys.stderr)
         return 2
+    # the trace session covers the whole lifecycle — recovery and
+    # registration (WAL spans) included, not just the serve loop
+    with _tracing_to(args.trace_out):
+        return _serve(args)
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from .service import QueryServer, QueryService, ServiceConfig
+
     config = ServiceConfig(
         workers=args.workers,
         queue_depth=args.queue_depth,
@@ -453,6 +597,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         drain_timeout=args.drain_timeout,
         store_path=args.store,
         fsync=args.fsync,
+        slow_log_size=args.slow_log_size,
+        slow_log_threshold=args.slow_log_threshold,
     )
     service = QueryService(config)
     if service.recovery is not None:
@@ -481,6 +627,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
     primary = (service.database.names()[0]
                if "data" not in service.database.names() else "data")
     graphs = service.database.doc(primary)
+    exporter = None
+    if args.metrics_port is not None:
+        from .obs.httpexport import MetricsHTTPExporter
+
+        exporter = MetricsHTTPExporter(
+            service.metrics_text, json_fn=service.stats,
+            host=args.host, port=args.metrics_port)
+        exporter.start()
+        metrics_host, metrics_port = exporter.address
+        print(f"metrics on {metrics_host}:{metrics_port}", flush=True)
     server = QueryServer(service, (args.host, args.port))
     host, port = server.address
     print(f"serving {len(graphs)} graph(s) on {host}:{port} "
@@ -495,8 +651,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
 
     signal.signal(signal.SIGTERM, on_signal)
     signal.signal(signal.SIGINT, on_signal)
-    server.serve_until_shutdown()
+    try:
+        server.serve_until_shutdown()
+    finally:
+        if exporter is not None:
+            exporter.close()
     print(f"shutdown: {service.metrics.summary()}", flush=True)
+    for line in service.slow_log.render_lines():
+        print(f"slow query: {line}", flush=True)
     return 0
 
 
@@ -562,6 +724,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"info": cmd_info, "match": cmd_match, "run": cmd_run,
+                "explain": cmd_explain, "stats": cmd_stats,
                 "stress": cmd_stress, "serve": cmd_serve,
                 "recover": cmd_recover, "checkpoint": cmd_checkpoint}
     try:

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Protocol, Union
 
+from ..obs.trace import span as trace_span
 from ..runtime import ExecutionContext, ExecutionInterrupted
 from .algebra import select
 from .bindings import MatchedGraph
@@ -82,6 +83,18 @@ class ForClause:
         context: Optional[ExecutionContext] = None,
     ) -> List[Union[Graph, MatchedGraph]]:
         """Evaluate the clause to the list of bindings, in document order."""
+        with trace_span("flwr.for", source=self.source) as sp:
+            out = self._bindings(database, env, grammar, context)
+            sp.incr("bindings", len(out))
+        return out
+
+    def _bindings(
+        self,
+        database: DocumentSource,
+        env: Dict[str, Any],
+        grammar=None,
+        context: Optional[ExecutionContext] = None,
+    ) -> List[Union[Graph, MatchedGraph]]:
         collection = database.doc(self.source)
         out: List[Union[Graph, MatchedGraph]] = []
         if self.pattern is not None:
@@ -145,26 +158,30 @@ class FLWRQuery:
         """
         env = env if env is not None else {}
         name = self.for_clause.binding_name
-        bindings = self.for_clause.bindings(database, env, grammar,
-                                            context=context)
-        if self.let_var is None:
-            out = GraphCollection()
+        mode = "return" if self.let_var is None else "let"
+        with trace_span("flwr.query", mode=mode) as sp:
+            bindings = self.for_clause.bindings(database, env, grammar,
+                                                context=context)
+            if self.let_var is None:
+                out = GraphCollection()
+                for binding in bindings:
+                    if context is not None:
+                        context.tick()
+                    arguments = self._arguments(env, name, binding)
+                    out.add(self.template.instantiate(arguments))
+                sp.incr("graphs", len(out))
+                return out
+            accumulator = env.get(self.let_var)
+            if accumulator is None:
+                accumulator = Graph(self.let_var)
             for binding in bindings:
                 if context is not None:
                     context.tick()
                 arguments = self._arguments(env, name, binding)
-                out.add(self.template.instantiate(arguments))
-            return out
-        accumulator = env.get(self.let_var)
-        if accumulator is None:
-            accumulator = Graph(self.let_var)
-        for binding in bindings:
-            if context is not None:
-                context.tick()
-            arguments = self._arguments(env, name, binding)
-            arguments[self.let_var] = accumulator
-            accumulator = self.template.instantiate(arguments)
-        env[self.let_var] = accumulator
+                arguments[self.let_var] = accumulator
+                accumulator = self.template.instantiate(arguments)
+            env[self.let_var] = accumulator
+            sp.incr("graphs", 1)
         return accumulator
 
     def _arguments(
@@ -224,15 +241,17 @@ class Program:
         """
         env = env if env is not None else {}
         result: Any = None
-        try:
-            for statement in self.statements:
-                if context is not None:
-                    context.check()
-                result = statement.evaluate(database, env, self.grammar,
-                                            context=context)
-        except ExecutionInterrupted as exc:
-            if context is None:
-                raise
-            context.mark_interrupted(exc)
+        with trace_span("flwr.program") as sp:
+            try:
+                for statement in self.statements:
+                    if context is not None:
+                        context.check()
+                    result = statement.evaluate(database, env, self.grammar,
+                                                context=context)
+                    sp.incr("statements", 1)
+            except ExecutionInterrupted as exc:
+                if context is None:
+                    raise
+                context.mark_interrupted(exc)
         env["__result__"] = result
         return env

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..obs.trace import span as trace_span
 from ..runtime import ExecutionContext
 from .algebra import cartesian_product, compose, select
 from .bindings import as_graph
@@ -102,8 +103,11 @@ class Select(Plan):
 
     def evaluate(self, source, context: Optional[ExecutionContext] = None
                  ) -> GraphCollection:
-        return select(self.child.evaluate(source, context), self.pattern,
-                      context=context)
+        with trace_span("plan.select") as sp:
+            out = select(self.child.evaluate(source, context), self.pattern,
+                         context=context)
+            sp.incr("graphs", len(out))
+        return out
 
     def _label(self) -> str:
         return f"Select({self.pattern!r})"
@@ -122,12 +126,14 @@ class Filter(Plan):
     def evaluate(self, source, context: Optional[ExecutionContext] = None
                  ) -> GraphCollection:
         out = GraphCollection()
-        for graph_like in self.child.evaluate(source, context):
-            if context is not None:
-                context.tick()
-            scope = _graph_scope(graph_like)
-            if self.predicate.holds(scope):
-                out.add(graph_like)
+        with trace_span("plan.filter") as sp:
+            for graph_like in self.child.evaluate(source, context):
+                if context is not None:
+                    context.tick()
+                scope = _graph_scope(graph_like)
+                if self.predicate.holds(scope):
+                    out.add(graph_like)
+            sp.incr("graphs", len(out))
         return out
 
     def _label(self) -> str:
@@ -149,12 +155,15 @@ class Product(Plan):
 
     def evaluate(self, source, context: Optional[ExecutionContext] = None
                  ) -> GraphCollection:
-        return cartesian_product(
-            self.left.evaluate(source, context),
-            self.right.evaluate(source, context),
-            self.left_name, self.right_name,
-            context=context,
-        )
+        with trace_span("plan.product") as sp:
+            out = cartesian_product(
+                self.left.evaluate(source, context),
+                self.right.evaluate(source, context),
+                self.left_name, self.right_name,
+                context=context,
+            )
+            sp.incr("graphs", len(out))
+        return out
 
     def _label(self) -> str:
         return f"Product({self.left_name}, {self.right_name})"
@@ -172,9 +181,12 @@ class Union(Plan):
 
     def evaluate(self, source, context: Optional[ExecutionContext] = None
                  ) -> GraphCollection:
-        return self.left.evaluate(source, context).union(
-            self.right.evaluate(source, context)
-        )
+        with trace_span("plan.union") as sp:
+            out = self.left.evaluate(source, context).union(
+                self.right.evaluate(source, context)
+            )
+            sp.incr("graphs", len(out))
+        return out
 
 
 class Difference(Plan):
@@ -189,9 +201,12 @@ class Difference(Plan):
 
     def evaluate(self, source, context: Optional[ExecutionContext] = None
                  ) -> GraphCollection:
-        return self.left.evaluate(source, context).difference(
-            self.right.evaluate(source, context)
-        )
+        with trace_span("plan.difference") as sp:
+            out = self.left.evaluate(source, context).difference(
+                self.right.evaluate(source, context)
+            )
+            sp.incr("graphs", len(out))
+        return out
 
 
 class Compose(Plan):
@@ -208,8 +223,11 @@ class Compose(Plan):
 
     def evaluate(self, source, context: Optional[ExecutionContext] = None
                  ) -> GraphCollection:
-        return compose(self.template, self.child.evaluate(source, context),
-                       param_names=[self.param])
+        with trace_span("plan.compose") as sp:
+            out = compose(self.template, self.child.evaluate(source, context),
+                          param_names=[self.param])
+            sp.incr("graphs", len(out))
+        return out
 
     def _label(self) -> str:
         return f"Compose({self.param})"

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs.trace import span as trace_span
 from ..runtime import ExecutionContext, ExecutionInterrupted
 from .ast import Atom, BodyLiteral, Builtin, Const, Program, Rule, Var
 
@@ -79,13 +80,16 @@ def evaluate(
     complete.
     """
     facts: FactStore = {p: set(rows) for p, rows in program.facts.items()}
-    try:
-        for rules in stratify(program):
-            _fixpoint(rules, facts, context)
-    except ExecutionInterrupted as exc:
-        if context is None:
-            raise
-        context.mark_interrupted(exc)
+    with trace_span("datalog.evaluate") as sp:
+        try:
+            for stratum, rules in enumerate(stratify(program)):
+                with trace_span("datalog.fixpoint", stratum=stratum):
+                    _fixpoint(rules, facts, context)
+        except ExecutionInterrupted as exc:
+            if context is None:
+                raise
+            context.mark_interrupted(exc)
+        sp.incr("facts", sum(len(rows) for rows in facts.values()))
     return facts
 
 

@@ -39,6 +39,8 @@ class RetrievalStats:
         self.after_fu: Dict[str, int] = {}
         self.after_local: Dict[str, int] = {}
         self.used_index: Dict[str, bool] = {}
+        #: per pattern node: "attribute-index" | "label-index" | "scan"
+        self.method: Dict[str, str] = {}
 
     def __repr__(self) -> str:
         return (
@@ -93,16 +95,20 @@ def retrieve_feasible_mates(
             )
             if stats is not None:
                 stats.used_index[name] = candidate_ids is not None
+                if candidate_ids is not None:
+                    stats.method[name] = "attribute-index"
         if candidate_ids is None and profile_index is not None:
             label = motif_node.attrs.get(label_attr)
             if label is not None:
                 candidate_ids = profile_index.nodes_with_label(label)
                 if stats is not None:
                     stats.used_index[name] = True
+                    stats.method[name] = "label-index"
         if candidate_ids is None:
             candidate_ids = graph.node_ids()
             if stats is not None:
                 stats.used_index[name] = False
+                stats.method[name] = "scan"
         if stats is not None:
             stats.scanned[name] = len(candidate_ids)
         # exact F_u check (Definition 4.8)

@@ -26,6 +26,7 @@ from ..core.graph import Graph
 from ..core.pattern import GraphPattern, GroundPattern
 from ..index.attribute_index import AttributeIndexSet
 from ..index.profile_index import ProfileIndex
+from ..obs.trace import span as trace_span
 from ..runtime import (
     ExecutionContext,
     ExecutionInterrupted,
@@ -106,6 +107,43 @@ class MatchReport:
             return 0.0
         size = self.refined_space if stage == "refined" else self.retrieved_space
         return size / self.baseline_space
+
+    def stats_dict(self) -> Dict[str, object]:
+        """JSON-ready per-stage statistics (counts, timings, order).
+
+        This is what ``repro-gql match --json`` embeds per graph so
+        scripts get the stage breakdown without re-running verbose.
+        """
+        retrieval = self.retrieval
+        refinement = self.refinement
+        search = self.search
+        return {
+            "times": dict(self.times),
+            "total_time": self.total_time,
+            "spaces": {
+                "baseline": self.baseline_space,
+                "retrieved": self.retrieved_space,
+                "refined": self.refined_space,
+            },
+            "order": list(self.order),
+            "retrieval": ({
+                "scanned": dict(retrieval.scanned),
+                "feasible_mates": dict(retrieval.after_fu),
+                "after_pruning": dict(retrieval.after_local),
+                "method": dict(retrieval.method),
+            } if retrieval is not None else None),
+            "refinement": ({
+                "levels_run": refinement.levels_run,
+                "pairs_checked": refinement.pairs_checked,
+                "pairs_removed": refinement.pairs_removed,
+            } if refinement is not None else None),
+            "search": ({
+                "candidates_tried": search.candidates_tried,
+                "check_calls": search.check_calls,
+                "partial_states": search.partial_states,
+                "results": search.results,
+            } if search is not None else None),
+        }
 
 
 class GraphMatcher:
@@ -191,20 +229,23 @@ class GraphMatcher:
         """
         opts = options or MatchOptions()
         report = MatchReport()
-        try:
-            self.refresh()
-        except Exception as exc:
-            self._degrade(report, f"index refresh failed ({exc}); "
-                                  "matching with stale structures")
-        for message in getattr(self, "build_errors", ()):
-            report.degradation.append(message)
-        try:
-            self._match_pipeline(pattern, opts, report, context)
-        except ExecutionInterrupted as exc:
-            if context is None:
-                raise
-            context.mark_interrupted(exc)
-        report.outcome = current_outcome(context)
+        with trace_span("match.query", graph=self.graph.name or "<anon>") as sp:
+            try:
+                self.refresh()
+            except Exception as exc:
+                self._degrade(report, f"index refresh failed ({exc}); "
+                                      "matching with stale structures")
+            for message in getattr(self, "build_errors", ()):
+                report.degradation.append(message)
+            try:
+                self._match_pipeline(pattern, opts, report, context)
+            except ExecutionInterrupted as exc:
+                if context is None:
+                    raise
+                context.mark_interrupted(exc)
+            report.outcome = current_outcome(context)
+            sp.annotate(status=report.outcome.status.value)
+            sp.incr("mappings", len(report.mappings))
         return report
 
     def _degrade(self, report: MatchReport, message: str) -> None:
@@ -283,7 +324,9 @@ class GraphMatcher:
         baseline: Optional[Dict[str, List[str]]] = None
         if opts.compute_baseline or opts.local == "none":
             started = time.perf_counter()
-            baseline = self._retrieve(pattern, opts, report, local="none")
+            with trace_span("match.retrieve_baseline") as sp:
+                baseline = self._retrieve(pattern, opts, report, local="none")
+                sp.incr("space", space_size(baseline))
             report.times["retrieve_baseline"] = time.perf_counter() - started
             report.baseline_space = space_size(baseline)
 
@@ -294,9 +337,11 @@ class GraphMatcher:
             report.times["local_pruning"] = 0.0
         else:
             started = time.perf_counter()
-            retrieval_stats = RetrievalStats()
-            space = self._retrieve(pattern, opts, report, local=opts.local,
-                                   stats=retrieval_stats)
+            with trace_span("match.prune", local=opts.local) as sp:
+                retrieval_stats = RetrievalStats()
+                space = self._retrieve(pattern, opts, report, local=opts.local,
+                                       stats=retrieval_stats)
+                sp.incr("space", space_size(space))
             report.times["local_pruning"] = time.perf_counter() - started
             report.retrieval = retrieval_stats
         report.retrieved_space = space_size(space)
@@ -304,51 +349,59 @@ class GraphMatcher:
         # Step 3: joint reduction (Algorithm 4.2)
         if opts.refine:
             started = time.perf_counter()
-            refinement_stats = RefinementStats()
-            try:
-                space = refine_search_space(
-                    pattern.motif,
-                    graph,
-                    space,
-                    level=opts.refine_level,
-                    stats=refinement_stats,
-                    context=context,
-                )
-            except ExecutionInterrupted:
-                report.times["refine"] = time.perf_counter() - started
-                raise
-            except Exception as exc:
-                self._degrade(report, f"refinement failed ({exc}); "
-                                      "searching the unrefined space")
+            with trace_span("match.refine") as sp:
+                refinement_stats = RefinementStats()
+                try:
+                    space = refine_search_space(
+                        pattern.motif,
+                        graph,
+                        space,
+                        level=opts.refine_level,
+                        stats=refinement_stats,
+                        context=context,
+                    )
+                except ExecutionInterrupted:
+                    report.times["refine"] = time.perf_counter() - started
+                    raise
+                except Exception as exc:
+                    self._degrade(report, f"refinement failed ({exc}); "
+                                          "searching the unrefined space")
+                sp.incr("pairs_removed", refinement_stats.pairs_removed)
             report.times["refine"] = time.perf_counter() - started
             report.refinement = refinement_stats
         report.refined_space = space_size(space)
 
         # Step 4: search order
         started = time.perf_counter()
-        sizes = {name: len(candidates) for name, candidates in space.items()}
-        if (opts.plan_order is not None
-                and set(opts.plan_order) == set(space.keys())):
-            report.times["order"] = time.perf_counter() - started
-            report.order = list(opts.plan_order)
-            self._search(pattern, opts, report, space, report.order, context)
-            return
-        try:
-            if opts.optimize_order:
-                model = CostModel(
-                    pattern.motif,
-                    stats=self.stats if opts.gamma_mode == "frequency" else None,
-                    gamma_const=opts.gamma_const,
-                    label_attr=opts.label_attr,
-                    directed=graph.directed,
-                )
-                order = greedy_order(pattern.motif, sizes, model)
+        with trace_span("match.order") as sp:
+            sizes = {name: len(candidates)
+                     for name, candidates in space.items()}
+            if (opts.plan_order is not None
+                    and set(opts.plan_order) == set(space.keys())):
+                order, policy = list(opts.plan_order), "plan-cache"
             else:
-                order = connected_order(pattern.motif, sizes)
-        except Exception as exc:
-            self._degrade(report, f"search-order optimization failed ({exc}); "
-                                  "using declaration order")
-            order = pattern.node_names()
+                try:
+                    if opts.optimize_order:
+                        model = CostModel(
+                            pattern.motif,
+                            stats=(self.stats if opts.gamma_mode == "frequency"
+                                   else None),
+                            gamma_const=opts.gamma_const,
+                            label_attr=opts.label_attr,
+                            directed=graph.directed,
+                        )
+                        order, policy = (
+                            greedy_order(pattern.motif, sizes, model), "greedy")
+                    else:
+                        order, policy = (
+                            connected_order(pattern.motif, sizes), "connected")
+                except Exception as exc:
+                    self._degrade(
+                        report,
+                        f"search-order optimization failed ({exc}); "
+                        "using declaration order")
+                    order, policy = pattern.node_names(), "declaration"
+            sp.annotate(policy=policy)
         report.times["order"] = time.perf_counter() - started
         report.order = order
         self._search(pattern, opts, report, space, order, context)
@@ -365,20 +418,23 @@ class GraphMatcher:
         # Step 5: the backtracking search (Algorithm 4.1)
         started = time.perf_counter()
         counters = SearchCounters()
-        try:
-            report.mappings = find_matches(
-                pattern,
-                self.graph,
-                candidates=space,
-                order=order,
-                exhaustive=opts.exhaustive,
-                limit=opts.limit,
-                counters=counters,
-                context=context,
-            )
-        finally:
-            report.times["search"] = time.perf_counter() - started
-            report.search = counters
+        with trace_span("match.search") as sp:
+            try:
+                report.mappings = find_matches(
+                    pattern,
+                    self.graph,
+                    candidates=space,
+                    order=order,
+                    exhaustive=opts.exhaustive,
+                    limit=opts.limit,
+                    counters=counters,
+                    context=context,
+                )
+            finally:
+                report.times["search"] = time.perf_counter() - started
+                report.search = counters
+                sp.incr("results", counters.results)
+                sp.incr("candidates_tried", counters.candidates_tried)
 
     def explain(
         self,

@@ -1,0 +1,87 @@
+"""A minimal plain-HTTP metrics scrape endpoint.
+
+Serves ``GET /metrics`` (Prometheus text exposition) and ``GET /stats``
+(the JSON snapshot) from callbacks, on a daemon thread.  Enabled by
+``repro-gql serve --metrics-port``; deliberately tiny — no TLS, no auth,
+bind it to loopback (the default) or behind a scrape proxy.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Optional, Tuple
+
+__all__ = ["MetricsHTTPExporter"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsHTTPExporter:
+    """Background HTTP server exposing /metrics and /stats."""
+
+    def __init__(
+        self,
+        text_fn: Callable[[], str],
+        json_fn: Optional[Callable[[], Any]] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._text_fn = text_fn
+        self._json_fn = json_fn
+        exporter = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path in ("/metrics", "/"):
+                    exporter._reply(self, PROMETHEUS_CONTENT_TYPE,
+                                    exporter._text_fn)
+                elif path == "/stats" and exporter._json_fn is not None:
+                    exporter._reply(
+                        self, "application/json",
+                        lambda: json.dumps(exporter._json_fn(),
+                                           default=str, indent=2))
+                else:
+                    self.send_error(404)
+
+            def log_message(self, *args: Any) -> None:
+                pass  # scrapes must not spam the server log
+
+        self._server = ThreadingHTTPServer((host, port), _Handler)
+        self._server.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @staticmethod
+    def _reply(handler: BaseHTTPRequestHandler, content_type: str,
+               body_fn: Callable[[], str]) -> None:
+        try:
+            body = body_fn().encode("utf-8")
+        except Exception as exc:  # a broken callback must not kill scrapes
+            handler.send_error(500, explain=str(exc))
+            return
+        handler.send_response(200)
+        handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """(host, port) actually bound — port is resolved for port 0."""
+        return self._server.server_address[:2]
+
+    def start(self) -> "MetricsHTTPExporter":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="metrics-exporter", daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -147,12 +147,46 @@ class ServiceClient:
             raise ProtocolError(reply.get("error", "cancel failed"))
         return bool(reply.get("cancelled"))
 
-    def stats(self) -> Dict[str, Any]:
-        """The server's metrics snapshot."""
-        reply = self.call({"op": "stats"})
+    def stats(self, format: Optional[str] = None):
+        """The server's metrics snapshot.
+
+        ``format="prometheus"`` returns the text exposition string;
+        the default (or ``"json"``) returns the JSON snapshot dict.
+        """
+        message: Dict[str, Any] = {"op": "stats"}
+        if format is not None:
+            message["format"] = format
+        reply = self.call(message)
         if not reply.get("ok"):
             raise ProtocolError(reply.get("error", "stats failed"))
+        if format == "prometheus":
+            return reply["stats_text"]
         return reply["stats"]
+
+    def explain(
+        self,
+        query_text: str,
+        document: str = "data",
+        analyze: bool = False,
+        baseline: bool = False,
+        limit: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """The server's EXPLAIN [ANALYZE] document for one query."""
+        message: Dict[str, Any] = {
+            "op": "explain", "query": query_text, "document": document,
+        }
+        if analyze:
+            message["analyze"] = True
+        if baseline:
+            message["baseline"] = True
+        for key, value in (("limit", limit), ("timeout", timeout)):
+            if value is not None:
+                message[key] = value
+        reply = self.call(message)
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "explain failed"))
+        return reply["explain"]
 
     def ping(self) -> Dict[str, Any]:
         """Round-trip liveness check; returns the server's ping reply."""

@@ -52,6 +52,11 @@ class ServiceConfig:
     # seconds shutdown waits for in-flight queries before cancelling them
     drain_timeout: float = 5.0
 
+    # slow-query log: keep the slow_log_size slowest requests whose
+    # latency is >= slow_log_threshold seconds (0.0 = the slowest of all)
+    slow_log_size: int = 32
+    slow_log_threshold: float = 0.0
+
     # durable storage: when set, the service opens this WAL-backed
     # GraphStore on startup (running crash recovery), registers every
     # document it holds, and writes register/load mutations through it
@@ -65,6 +70,10 @@ class ServiceConfig:
             raise ValueError("queue_depth must be >= 0")
         if self.per_client < 1:
             raise ValueError("per_client must be >= 1")
+        if self.slow_log_size < 0:
+            raise ValueError("slow_log_size must be >= 0")
+        if self.slow_log_threshold < 0:
+            raise ValueError("slow_log_threshold must be >= 0")
         from ..storage.wal import check_fsync_policy
 
         check_fsync_policy(self.fsync)

@@ -1,140 +1,141 @@
-"""Service observability: counters and a latency histogram.
+"""Service observability: registry-backed counters and latency histogram.
 
-Everything here is cheap (one lock, integer bumps) because it sits on
-the per-request hot path.  The ``stats`` wire request and the shutdown
-log both render :meth:`ServiceMetrics.snapshot`.
+The instruments now live in a :class:`repro.obs.metrics.MetricsRegistry`
+(one per :class:`~repro.service.service.QueryService`), so the same
+numbers that feed the ``stats`` wire response are scrapeable as
+Prometheus text via ``repro-gql stats --format prometheus`` or the
+``serve --metrics-port`` endpoint.  The public surface of
+:class:`ServiceMetrics` is unchanged: ``count()``, ``record_outcome()``,
+``snapshot()``, ``summary()``, and plain-integer attribute reads
+(``metrics.result_cache_hits`` …) all keep working.
+
+``LatencyHistogram`` and ``DEFAULT_BUCKETS`` are back-compat aliases of
+:class:`repro.obs.metrics.Histogram` and its default bucket bounds.
 """
 
 from __future__ import annotations
 
-import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional
 
+from ..obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS as DEFAULT_BUCKETS,
+    Histogram as LatencyHistogram,
+    MetricsRegistry,
+)
 from ..runtime import Outcome
 
-#: Default histogram bucket upper bounds, in seconds (the last bucket is
-#: unbounded).  Chosen to straddle the paper's millisecond-scale queries
-#: and pathological multi-second stragglers.
-DEFAULT_BUCKETS = (
-    0.001, 0.002, 0.005,
-    0.01, 0.02, 0.05,
-    0.1, 0.2, 0.5,
-    1.0, 2.0, 5.0, 10.0,
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "ServiceMetrics",
+]
+
+#: Integer counters the service bumps by name via ``count()``; each is
+#: exported as ``repro_service_<name>_total``.
+_COUNTER_NAMES = (
+    "submitted",
+    "admitted",
+    "rejected",
+    "executed",
+    "cancelled_requests",
+    "result_cache_hits",
+    "result_cache_misses",
+    "plan_cache_hits",
+    "plan_cache_misses",
 )
 
-
-class LatencyHistogram:
-    """Fixed-bucket latency histogram (seconds), thread-safe."""
-
-    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
-        self.bounds: List[float] = sorted(buckets)
-        self.counts: List[int] = [0] * (len(self.bounds) + 1)
-        self.total = 0
-        self.sum = 0.0
-        self.max = 0.0
-        self._lock = threading.Lock()
-
-    def record(self, seconds: float) -> None:
-        """Account one observation."""
-        index = len(self.bounds)
-        for i, bound in enumerate(self.bounds):
-            if seconds <= bound:
-                index = i
-                break
-        with self._lock:
-            self.counts[index] += 1
-            self.total += 1
-            self.sum += seconds
-            if seconds > self.max:
-                self.max = seconds
-
-    def quantile(self, q: float) -> float:
-        """Approximate quantile (upper bound of the covering bucket)."""
-        with self._lock:
-            if self.total == 0:
-                return 0.0
-            target = q * self.total
-            seen = 0
-            for i, count in enumerate(self.counts):
-                seen += count
-                if seen >= target:
-                    return (self.bounds[i] if i < len(self.bounds)
-                            else self.max)
-            return self.max
-
-    def snapshot(self) -> Dict[str, object]:
-        """A JSON-ready view: bucket counts plus summary statistics."""
-        with self._lock:
-            buckets = {
-                (f"<={bound:g}s" if i < len(self.bounds) else
-                 f">{self.bounds[-1]:g}s"): count
-                for i, (bound, count) in enumerate(
-                    zip(list(self.bounds) + [float("inf")], self.counts))
-                if count
-            }
-            mean = self.sum / self.total if self.total else 0.0
-            total, maximum = self.total, self.max
-        return {
-            "count": total,
-            "mean": mean,
-            "max": maximum,
-            "p50": self.quantile(0.5),
-            "p95": self.quantile(0.95),
-            "p99": self.quantile(0.99),
-            "buckets": buckets,
-        }
+_COUNTER_HELP = {
+    "submitted": "Requests received by the service.",
+    "admitted": "Requests that passed admission control.",
+    "rejected": "Requests turned away by admission control.",
+    "executed": "Requests that ran a matcher (cache misses).",
+    "cancelled_requests": "Requests cancelled by an explicit cancel call.",
+    "result_cache_hits": "Result-cache hits.",
+    "result_cache_misses": "Result-cache misses.",
+    "plan_cache_hits": "Plan-cache hits (replayed search orders).",
+    "plan_cache_misses": "Plan-cache misses.",
+}
 
 
 class ServiceMetrics:
-    """Admission, cache and outcome counters plus the latency histogram."""
+    """Admission, cache and outcome counters plus the latency histogram.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self.submitted = 0
-        self.admitted = 0
-        self.rejected = 0
-        self.executed = 0
-        self.cancelled_requests = 0
-        self.result_cache_hits = 0
-        self.result_cache_misses = 0
-        self.plan_cache_hits = 0
-        self.plan_cache_misses = 0
-        self.outcomes: Dict[str, int] = {status.value: 0 for status in Outcome}
-        self.latency = LatencyHistogram()
+    Everything on the request hot path is one counter bump or one
+    histogram observe.  Pass a shared *registry* to co-locate the
+    service's metrics with other subsystems' on one scrape endpoint; by
+    default each instance gets its own registry (test isolation).
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(
+                f"repro_service_{name}_total", _COUNTER_HELP[name])
+            for name in _COUNTER_NAMES
+        }
+        self._outcomes = {
+            status.value: self.registry.counter(
+                "repro_service_outcomes_total",
+                "Finished requests by outcome status.",
+                labels={"status": status.value})
+            for status in Outcome
+        }
+        self.latency = self.registry.histogram(
+            "repro_service_request_seconds",
+            "End-to-end request latency in seconds.")
+
+    def __getattr__(self, name: str) -> int:
+        # plain-attribute reads (metrics.result_cache_hits == int) keep
+        # the pre-registry API working for callers and tests
+        counters = self.__dict__.get("_counters")
+        if counters and name in counters:
+            return counters[name].value
+        raise AttributeError(name)
+
+    @property
+    def outcomes(self) -> Dict[str, int]:
+        """Finished-request counts by outcome status."""
+        return {status: counter.value
+                for status, counter in self._outcomes.items()}
 
     def count(self, name: str, n: int = 1) -> None:
-        """Bump one of the integer counters by name."""
-        with self._lock:
-            setattr(self, name, getattr(self, name) + n)
+        """Bump one of the named counters."""
+        self._counters[name].inc(n)
 
     def record_outcome(self, status: Outcome,
                        latency: Optional[float] = None) -> None:
         """Account one finished request: outcome plus optional latency."""
-        with self._lock:
-            self.outcomes[status.value] = self.outcomes.get(status.value, 0) + 1
+        counter = self._outcomes.get(status.value)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_service_outcomes_total",
+                "Finished requests by outcome status.",
+                labels={"status": status.value})
+            self._outcomes[status.value] = counter
+        counter.inc()
         if latency is not None:
-            self.latency.record(latency)
+            self.latency.observe(latency)
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-ready view of every counter (the ``stats`` response)."""
-        with self._lock:
-            return {
-                "submitted": self.submitted,
-                "admitted": self.admitted,
-                "rejected": self.rejected,
-                "executed": self.executed,
-                "cancelled_requests": self.cancelled_requests,
-                "result_cache": {
-                    "hits": self.result_cache_hits,
-                    "misses": self.result_cache_misses,
-                },
-                "plan_cache": {
-                    "hits": self.plan_cache_hits,
-                    "misses": self.plan_cache_misses,
-                },
-                "outcomes": dict(self.outcomes),
-                "latency": self.latency.snapshot(),
-            }
+        return {
+            "submitted": self._counters["submitted"].value,
+            "admitted": self._counters["admitted"].value,
+            "rejected": self._counters["rejected"].value,
+            "executed": self._counters["executed"].value,
+            "cancelled_requests": self._counters["cancelled_requests"].value,
+            "result_cache": {
+                "hits": self._counters["result_cache_hits"].value,
+                "misses": self._counters["result_cache_misses"].value,
+            },
+            "plan_cache": {
+                "hits": self._counters["plan_cache_hits"].value,
+                "misses": self._counters["plan_cache_misses"].value,
+            },
+            "outcomes": self.outcomes,
+            "latency": self.latency.snapshot(),
+        }
 
     def summary(self) -> str:
         """One shutdown-log line."""

@@ -51,11 +51,11 @@ def pool_execute(
     pattern_text: str,
     options_kwargs: Dict[str, Any],
     governance: Dict[str, Optional[float]],
-) -> Tuple[List[Dict[str, Any]], Dict[str, Any]]:
+) -> Tuple[List[Dict[str, Any]], Dict[str, Any], List[str]]:
     """Run one query in a worker process.
 
-    Returns ``(rows, outcome_dict)`` — plain JSON-ready values, so the
-    result pickles cheaply back to the parent.
+    Returns ``(rows, outcome_dict, degradation_notes)`` — plain
+    JSON-ready values, so the result pickles cheaply back to the parent.
     """
     from ..core.pattern import GroundPattern
     from ..lang.compiler import compile_pattern_text
@@ -71,6 +71,7 @@ def pool_execute(
         max_memory=governance.get("max_memory"),
     )
     rows: List[Dict[str, Any]] = []
+    notes: List[str] = []
     for name, matcher in _matchers_for(document):
         if context.is_interrupted:
             break
@@ -84,4 +85,6 @@ def pool_execute(
                 "nodes": dict(mapping.nodes),
                 "edges": dict(mapping.edges),
             })
-    return rows, context.outcome().to_dict()
+        for note in report.degradation:
+            notes.append(f"{name}: {note}")
+    return rows, context.outcome().to_dict(), notes

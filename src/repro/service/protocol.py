@@ -13,8 +13,15 @@ Requests (``op`` selects the operation)::
      "timeout": 1.5, "max_steps": 100000, "max_memory": 1000000,
      "baseline": false, "no_cache": false}
     {"op": "cancel", "id": "c1", "target": "q1"}
-    {"op": "stats", "id": "s1"}
+    {"op": "stats", "id": "s1", "format": "json"}
+    {"op": "explain", "id": "e1", "query": "graph P {...}",
+     "document": "data", "analyze": false, "baseline": false}
     {"op": "ping", "id": "p1"}
+
+``stats`` accepts ``"format": "prometheus"`` to receive the text
+exposition as ``{"stats_text": "..."}`` instead of the JSON snapshot;
+``explain`` responds with ``{"explain": {...}}`` — the same document
+``repro-gql explain --json`` prints.
 
 Responses always echo ``id`` and carry ``ok``::
 
@@ -40,7 +47,7 @@ PROTOCOL_VERSION = 1
 #: against a hostile or broken peer).
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
-VALID_OPS = ("query", "cancel", "stats", "ping")
+VALID_OPS = ("query", "cancel", "stats", "explain", "ping")
 
 
 class ProtocolError(ValueError):
@@ -79,8 +86,13 @@ def validate_request(message: Dict[str, Any]) -> str:
         raise ProtocolError(
             f"unknown op {op!r} (expected one of {', '.join(VALID_OPS)})"
         )
-    if op == "query" and not isinstance(message.get("query"), str):
-        raise ProtocolError('"query" op requires a "query" text field')
+    if op in ("query", "explain") and not isinstance(
+            message.get("query"), str):
+        raise ProtocolError(f'"{op}" op requires a "query" text field')
+    if op == "stats" and message.get("format") not in (
+            None, "json", "prometheus"):
+        raise ProtocolError(
+            '"stats" format must be "json" or "prometheus"')
     if op == "cancel" and not isinstance(message.get("target"), str):
         raise ProtocolError('"cancel" op requires a "target" request id')
     return op

@@ -137,8 +137,22 @@ class QueryServer(socketserver.ThreadingTCPServer):
                         "version": PROTOCOL_VERSION,
                         "draining": self.draining}
             if op == "stats":
+                if message.get("format") == "prometheus":
+                    return {"id": request_id, "ok": True, "op": "stats",
+                            "stats_text": self.service.metrics_text()}
                 return {"id": request_id, "ok": True, "op": "stats",
                         "stats": self.service.stats()}
+            if op == "explain":
+                report = self.service.explain(
+                    message["query"],
+                    document=message.get("document", "data"),
+                    analyze=bool(message.get("analyze", False)),
+                    baseline=bool(message.get("baseline", False)),
+                    limit=message.get("limit"),
+                    timeout=message.get("timeout"),
+                )
+                return {"id": request_id, "ok": True, "op": "explain",
+                        "explain": report}
             if op == "cancel":
                 cancelled = self.service.cancel(
                     message["target"],
@@ -202,6 +216,8 @@ class QueryServer(socketserver.ThreadingTCPServer):
         logger.info("drained %s: %s",
                     "cleanly" if clean else "with cancellations",
                     self.service.metrics.summary())
+        for line in self.service.slow_log.render_lines():
+            logger.info("slow query: %s", line)
         self._drained.set()
         return clean
 

@@ -31,6 +31,9 @@ from ..core.graph import Graph
 from ..core.pattern import GraphPattern, GroundPattern
 from ..lang.compiler import compile_pattern_text
 from ..matching.planner import baseline_options, optimized_options
+from ..obs.metrics import MetricsRegistry, render_prometheus
+from ..obs.slowlog import SlowQueryEntry, SlowQueryLog
+from ..obs.trace import span as trace_span, tracer
 from ..runtime import (
     CancellationToken,
     Outcome,
@@ -100,6 +103,8 @@ class QueryResponse:
     cache: str = "bypass"
     elapsed: float = 0.0
     error: Optional[str] = None
+    #: planner fallback notes (one per degradation the matcher took)
+    degradation: List[str] = field(default_factory=list)
 
     @property
     def rejected(self) -> bool:
@@ -116,6 +121,7 @@ class QueryResponse:
             "cache": self.cache,
             "elapsed": self.elapsed,
             "error": self.error,
+            "degradation": list(self.degradation),
         }
 
 
@@ -129,10 +135,14 @@ class QueryService:
     ) -> None:
         self.config = config or ServiceConfig()
         self.database = database or GraphDatabase()
-        self.metrics = ServiceMetrics()
+        self.registry = MetricsRegistry()
+        self.metrics = ServiceMetrics(self.registry)
+        self.slow_log = SlowQueryLog(self.config.slow_log_size,
+                                     self.config.slow_log_threshold)
         self.admission = AdmissionController(self.config)
         self.plan_cache = PlanCache(self.config.plan_cache_size)
         self.result_cache = ResultCache(self.config.result_cache_size)
+        self._register_gauges()
         self._executor: Optional[Union[ThreadPoolExecutor,
                                        ProcessPoolExecutor]] = None
         self._in_flight: Dict[str, Tuple[CancellationToken,
@@ -150,6 +160,38 @@ class QueryService:
             if not self.recovery.clean:
                 logger.warning("store recovery ran: %s",
                                self.recovery.to_dict())
+
+    def _register_gauges(self) -> None:
+        """Live state exposed as callback gauges (read at scrape time)."""
+        reg = self.registry
+        reg.gauge("repro_service_in_flight",
+                  "Requests admitted and not yet finished.",
+                  fn=lambda: self.admission.in_flight)
+        reg.gauge("repro_service_draining",
+                  "1 while the service refuses new admissions.",
+                  fn=lambda: int(self.admission.draining))
+        reg.gauge("repro_service_documents",
+                  "Registered document collections.",
+                  fn=lambda: len(self.database.names()))
+        reg.gauge("repro_service_result_cache_size",
+                  "Entries in the result cache.",
+                  fn=lambda: self.result_cache.stats()["size"])
+        reg.gauge("repro_service_plan_cache_size",
+                  "Entries in the plan cache.",
+                  fn=lambda: self.plan_cache.stats()["size"])
+
+        def _wal_bytes() -> int:
+            store = self.database.durable_store
+            if store is not None and store.wal:
+                return store.wal.size
+            return 0
+
+        reg.gauge("repro_store_wal_bytes",
+                  "Bytes in the write-ahead log (0 without a store).",
+                  fn=_wal_bytes)
+        reg.gauge("repro_service_slow_log_entries",
+                  "Entries currently held by the slow-query log.",
+                  fn=lambda: len(self.slow_log))
 
     # -- graph registration ---------------------------------------------------
 
@@ -237,77 +279,94 @@ class QueryService:
         handling.
         """
         self.metrics.count("submitted")
-        reason = self.admission.try_admit(request.client)
-        if reason is not None:
-            return self._reject(request, reason)
-        self.metrics.count("admitted")
-        submitted_at = time.perf_counter()
+        root = tracer().start(
+            "service.request", request_id=request.request_id,
+            client=request.client, document=request.document)
+        with tracer().activate(root):
+            with trace_span("service.admission") as sp:
+                reason = self.admission.try_admit(request.client)
+                if reason is not None:
+                    sp.annotate(rejected=reason)
+            if reason is not None:
+                return self._reject(request, reason, root=root)
+            self.metrics.count("admitted")
+            submitted_at = time.perf_counter()
 
-        # serve result-cache hits synchronously: no worker, microseconds
-        cached = self._cache_lookup(request)
-        if cached is not None:
-            rows, outcome = cached
-            self.metrics.count("result_cache_hits")
-            response = QueryResponse(
-                request_id=request.request_id, client=request.client,
-                results=rows, outcome=outcome, cache="hit",
-                elapsed=time.perf_counter() - submitted_at,
-            )
-            self._finish(request, response, submitted_at, outer=None)
-            done: "Future[QueryResponse]" = Future()
-            done.set_result(response)
-            return done
-
-        token = CancellationToken()
-        outer: "Future[QueryResponse]" = Future()
-        with self._lock:
-            # the id is the cancellation handle, so it must be unique
-            # among in-flight requests — a second insert would orphan the
-            # first request's token and make its cancel() unreachable
-            if request.request_id in self._in_flight:
-                self.admission.release(request.client)
-                self.metrics.count("admitted", -1)
-                duplicate = True
-            else:
-                self._in_flight[request.request_id] = (token, outer)
-                duplicate = False
-        if duplicate:
-            return self._reject(request, REASON_DUPLICATE_ID)
-        try:
-            executor = self._ensure_executor()
-            if self.config.use_processes:
-                key = self._process_cache_key(request)
-                inner = executor.submit(
-                    pool_execute, request.document,
-                    self._pattern_text(request),
-                    self._options_kwargs(request),
-                    self._governance_kwargs(request),
+            # serve result-cache hits synchronously: no worker, microseconds
+            with trace_span("service.cache_probe") as probe:
+                cached = self._cache_lookup(request)
+                probe.annotate(hit=cached is not None)
+            if cached is not None:
+                rows, outcome = cached
+                self.metrics.count("result_cache_hits")
+                response = QueryResponse(
+                    request_id=request.request_id, client=request.client,
+                    results=rows, outcome=outcome, cache="hit",
+                    elapsed=time.perf_counter() - submitted_at,
                 )
-                inner.add_done_callback(
-                    lambda f: self._finish_process(request, f, submitted_at,
-                                                   outer, key))
-            else:
-                executor.submit(self._run_local, request, token,
-                                submitted_at, outer)
-        except Exception as exc:  # pool shut down under us => shed load
-            logger.warning("submit failed for %s: %s", request.request_id, exc)
-            self._release(request)
-            self.metrics.count("admitted", -1)
-            return self._reject(request, REASON_DRAINING)
+                self._finish(request, response, submitted_at, outer=None,
+                             root=root)
+                done: "Future[QueryResponse]" = Future()
+                done.set_result(response)
+                return done
+
+            token = CancellationToken()
+            outer: "Future[QueryResponse]" = Future()
+            with self._lock:
+                # the id is the cancellation handle, so it must be unique
+                # among in-flight requests — a second insert would orphan
+                # the first request's token and make cancel() unreachable
+                if request.request_id in self._in_flight:
+                    self.admission.release(request.client)
+                    self.metrics.count("admitted", -1)
+                    duplicate = True
+                else:
+                    self._in_flight[request.request_id] = (token, outer)
+                    duplicate = False
+            if duplicate:
+                return self._reject(request, REASON_DUPLICATE_ID, root=root)
+            try:
+                executor = self._ensure_executor()
+                if self.config.use_processes:
+                    key = self._process_cache_key(request)
+                    dispatch = tracer().start("service.dispatch",
+                                              parent=root, mode="process")
+                    inner = executor.submit(
+                        pool_execute, request.document,
+                        self._pattern_text(request),
+                        self._options_kwargs(request),
+                        self._governance_kwargs(request),
+                    )
+                    inner.add_done_callback(
+                        lambda f: self._finish_process(
+                            request, f, submitted_at, outer, key,
+                            root=root, dispatch=dispatch))
+                else:
+                    executor.submit(self._run_local, request, token,
+                                    submitted_at, outer, root)
+            except Exception as exc:  # pool shut down under us => shed load
+                logger.warning("submit failed for %s: %s",
+                               request.request_id, exc)
+                self._release(request)
+                self.metrics.count("admitted", -1)
+                return self._reject(request, REASON_DRAINING, root=root)
         return outer
 
     def execute(self, query: PatternLike, **kwargs) -> QueryResponse:
         """Synchronous convenience wrapper around :meth:`submit`."""
         return self.submit(QueryRequest(query=query, **kwargs)).result()
 
-    def _reject(self, request: QueryRequest,
-                reason: str) -> "Future[QueryResponse]":
+    def _reject(self, request: QueryRequest, reason: str,
+                root=None) -> "Future[QueryResponse]":
         self.metrics.count("rejected")
         self.metrics.record_outcome(Outcome.REJECTED)
         response = QueryResponse(
             request_id=request.request_id, client=request.client,
             outcome=rejected_outcome(reason), cache="bypass",
         )
+        if root is not None:
+            root.annotate(status=Outcome.REJECTED.value, reason=reason)
+            root.finish()
         done: "Future[QueryResponse]" = Future()
         done.set_result(response)
         return done
@@ -417,74 +476,98 @@ class QueryService:
 
     def _run_local(self, request: QueryRequest, token: CancellationToken,
                    submitted_at: float,
-                   outer: "Future[QueryResponse]") -> None:
-        """Worker-thread body: compile, match, serialize, cache."""
-        context = self.config.derive_context(
-            timeout=request.timeout, max_steps=request.max_steps,
-            max_memory=request.max_memory, token=token,
-        )
-        # key the caches on the document version *before* execution, so a
-        # mutation racing with this query can never publish its results
-        # under the post-mutation version
-        key = self._cache_key(request)
-        rows: List[Dict[str, Any]] = []
-        error: Optional[str] = None
-        try:
-            pattern, plan = self._compile(request)
-            options = self._options_for(request)
-            if plan is not None and len(plan.orders) == 1:
-                options = replace(options,
-                                  plan_order=next(iter(plan.orders.values())))
-            reports = self.database.match(request.document, pattern, options,
-                                          context=context)
-            for name, report in reports.items():
-                for mapping in report.mappings:
-                    rows.append({
-                        "graph": name,
-                        "nodes": dict(mapping.nodes),
-                        "edges": dict(mapping.edges),
-                    })
-            if (plan is not None and not plan.orders
-                    and isinstance(pattern, GroundPattern)
-                    and len(reports) == 1):
-                name, report = next(iter(reports.items()))
-                if report.order:
-                    plan.orders[name] = list(report.order)
-            self.metrics.count("executed")
-        except Exception as exc:
-            logger.exception("query %s failed", request.request_id)
-            error = str(exc)
-        outcome = context.outcome()
-        if (error is None and key is not None
-                and self.result_cache.admit(key, rows, outcome)):
-            self.metrics.count("result_cache_misses")
-        response = QueryResponse(
-            request_id=request.request_id, client=request.client,
-            results=rows, outcome=outcome,
-            cache="miss" if key is not None else "bypass",
-            elapsed=time.perf_counter() - submitted_at, error=error,
-        )
-        self._finish(request, response, submitted_at, outer)
+                   outer: "Future[QueryResponse]", root=None) -> None:
+        """Worker-thread body: compile, match, serialize, cache.
+
+        *root* is the request's trace span started in :meth:`submit`;
+        activating it here re-parents this worker thread's spans under
+        the submitting request, so concurrent requests never interleave.
+        """
+        with tracer().activate(root):
+            with trace_span("service.execute"):
+                context = self.config.derive_context(
+                    timeout=request.timeout, max_steps=request.max_steps,
+                    max_memory=request.max_memory, token=token,
+                )
+                # key the caches on the document version *before*
+                # execution, so a mutation racing with this query can
+                # never publish its results under the post-mutation
+                # version
+                key = self._cache_key(request)
+                rows: List[Dict[str, Any]] = []
+                notes: List[str] = []
+                error: Optional[str] = None
+                try:
+                    pattern, plan = self._compile(request)
+                    options = self._options_for(request)
+                    if plan is not None and len(plan.orders) == 1:
+                        options = replace(
+                            options,
+                            plan_order=next(iter(plan.orders.values())))
+                    reports = self.database.match(request.document, pattern,
+                                                  options, context=context)
+                    for name, report in reports.items():
+                        for mapping in report.mappings:
+                            rows.append({
+                                "graph": name,
+                                "nodes": dict(mapping.nodes),
+                                "edges": dict(mapping.edges),
+                            })
+                        for note in report.degradation:
+                            notes.append(f"{name}: {note}")
+                    if (plan is not None and not plan.orders
+                            and isinstance(pattern, GroundPattern)
+                            and len(reports) == 1):
+                        name, report = next(iter(reports.items()))
+                        if report.order:
+                            plan.orders[name] = list(report.order)
+                    self.metrics.count("executed")
+                except Exception as exc:
+                    logger.exception("query %s failed", request.request_id)
+                    error = str(exc)
+                outcome = context.outcome()
+                if (error is None and key is not None
+                        and self.result_cache.admit(key, rows, outcome)):
+                    self.metrics.count("result_cache_misses")
+                response = QueryResponse(
+                    request_id=request.request_id, client=request.client,
+                    results=rows, outcome=outcome,
+                    cache="miss" if key is not None else "bypass",
+                    elapsed=time.perf_counter() - submitted_at, error=error,
+                    degradation=notes,
+                )
+            self._finish(request, response, submitted_at, outer, root=root)
 
     def _finish_process(self, request: QueryRequest, inner: Future,
                         submitted_at: float,
-                        outer: "Future[QueryResponse]", key) -> None:
+                        outer: "Future[QueryResponse]", key,
+                        root=None, dispatch=None) -> None:
         """Done-callback converting a pool result into a QueryResponse.
 
         ``key`` is the :meth:`_process_cache_key` captured at submit
         time — recomputing it here would pick up the *post*-execution
         document version and could publish a stale snapshot's rows as a
-        fresh entry.
+        fresh entry.  ``dispatch`` is the span covering the worker
+        process round-trip (the matcher's own spans stay in the worker).
         """
         rows: List[Dict[str, Any]] = []
+        notes: List[str] = []
         error: Optional[str] = None
         outcome = QueryOutcome()
         try:
-            rows, outcome_dict = inner.result()
+            payload = inner.result()
+            if len(payload) == 3:
+                rows, outcome_dict, notes = payload
+            else:  # an old-style worker (rolling restart)
+                rows, outcome_dict = payload
             outcome = QueryOutcome.from_dict(outcome_dict)
             self.metrics.count("executed")
         except Exception as exc:
             error = str(exc)
+        if dispatch is not None:
+            if error is not None:
+                dispatch.annotate(error=error)
+            dispatch.finish()
         if (error is None and key is not None
                 and self.result_cache.admit(key, rows, outcome)):
             self.metrics.count("result_cache_misses")
@@ -493,8 +576,9 @@ class QueryService:
             results=rows, outcome=outcome,
             cache="miss" if key is not None else "bypass",
             elapsed=time.perf_counter() - submitted_at, error=error,
+            degradation=list(notes),
         )
-        self._finish(request, response, submitted_at, outer)
+        self._finish(request, response, submitted_at, outer, root=root)
 
     def _release(self, request: QueryRequest) -> None:
         self.admission.release(request.client)
@@ -503,14 +587,39 @@ class QueryService:
 
     def _finish(self, request: QueryRequest, response: QueryResponse,
                 submitted_at: float,
-                outer: Optional["Future[QueryResponse]"]) -> None:
+                outer: Optional["Future[QueryResponse]"],
+                root=None) -> None:
         self._release(request)
-        self.metrics.record_outcome(
-            response.outcome.status,
-            latency=time.perf_counter() - submitted_at,
-        )
+        latency = time.perf_counter() - submitted_at
+        self.metrics.record_outcome(response.outcome.status, latency=latency)
+        if root is not None:
+            root.annotate(status=response.outcome.status.value,
+                          cache=response.cache)
+            root.finish()
+        self._record_slow(request, response, latency, root)
         if outer is not None and not outer.done():
             outer.set_result(response)
+
+    def _record_slow(self, request: QueryRequest, response: QueryResponse,
+                     latency: float, root=None) -> None:
+        """Offer one finished request to the slow-query log."""
+        if self.slow_log.capacity == 0:
+            return
+        spans = (root.top_spans() if root is not None and root.enabled
+                 else {})
+        self.slow_log.record(SlowQueryEntry(
+            request_id=request.request_id,
+            client=request.client,
+            document=request.document,
+            query=(request.query if isinstance(request.query, str)
+                   else repr(request.query)),
+            elapsed=latency,
+            status=response.outcome.status.value,
+            reason=response.outcome.reason or None,
+            cache=response.cache,
+            degradation=list(response.degradation),
+            spans=spans,
+        ))
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -540,12 +649,43 @@ class QueryService:
             token.cancel(reason)
         return len(entries)
 
+    def metrics_text(self) -> str:
+        """The Prometheus text exposition of this service's registry."""
+        return render_prometheus(self.registry)
+
+    def explain(
+        self,
+        query_text: str,
+        document: str = "data",
+        analyze: bool = False,
+        baseline: bool = False,
+        limit: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """EXPLAIN [ANALYZE] one query against a registered document.
+
+        Bypasses admission/caching — this is an operator tool, not the
+        serving path.  ``analyze=True`` runs the query for real under a
+        governance context derived from the service defaults.
+        """
+        from ..obs.explain import explain_document  # avoids an import cycle
+
+        request = QueryRequest(query=query_text, document=document,
+                               baseline=baseline, limit=limit)
+        options = self._options_for(request)
+        context = (self.config.derive_context(timeout=timeout)
+                   if analyze else None)
+        return explain_document(
+            self.database, document, compile_pattern_text(query_text),
+            options, analyze=analyze, context=context)
+
     def stats(self) -> Dict[str, Any]:
         """The ``stats`` response: metrics + cache + admission state."""
         snapshot = self.metrics.snapshot()
         snapshot["in_flight"] = self.admission.in_flight
         snapshot["draining"] = self.admission.draining
         snapshot["documents"] = self.database.names()
+        snapshot["slow_queries"] = self.slow_log.snapshot()
         # merge the LRU-internal counters without letting their
         # "hits"/"misses" (bumped by every key probe, including the
         # pre-execution lookups) clobber the request-level ones

@@ -16,7 +16,14 @@ Used by the CI ``service-smoke`` job (and runnable locally).  It:
    the server (no drain, no checkpoint — the WAL still holds records),
    restarts it from the store alone, and asserts the recovery counters
    appear in ``stats`` and a repeated query answers identically (and is
-   served from the result cache keyed on the recovered graph versions).
+   served from the result cache keyed on the recovered graph versions),
+6. runs an observability cycle: serves a durable store with tracing
+   (``--trace-out``), a Prometheus endpoint (``--metrics-port``) and a
+   slow-query threshold, then asserts the scrape endpoint parses, the
+   over-threshold query lands in the slow log, ``explain`` answers over
+   the wire, and the JSONL trace reconstructs one request end to end
+   (admission -> cache probe -> execute -> matcher) plus the WAL commit
+   spans of the durable registration.
 
 Exits 0 on success, 1 with a FAIL line on the first broken invariant.
 """
@@ -65,17 +72,30 @@ def build_graph(path: Path) -> None:
     save_graph(graph, path)
 
 
-def read_banner(process):
-    """Read startup lines until the ``serving`` banner; return (host, port)."""
+def read_banner(process, want_metrics: bool = False):
+    """Read startup lines until the ``serving`` banner.
+
+    Returns ``(host, port)`` — or ``(host, port, metrics_port)`` with
+    ``want_metrics=True``, where ``metrics_port`` comes from the
+    ``metrics on HOST:PORT`` line printed before the serving banner.
+    """
     assert process.stdout is not None
-    for _ in range(10):
+    metrics_port = None
+    for _ in range(12):
         line = process.stdout.readline()
         if not line:
             break
+        if line.startswith("metrics on "):
+            # "metrics on 127.0.0.1:PORT"
+            metrics_port = int(line.strip().rsplit(":", 1)[1])
         if "serving" in line:
             # "serving 1 graph(s) on 127.0.0.1:PORT (...)"
             address = line.split(" on ", 1)[1].split(" ", 1)[0]
             host, port = address.rsplit(":", 1)
+            if want_metrics:
+                if metrics_port is None:
+                    fail("no 'metrics on' line before the serving banner")
+                return host, int(port), metrics_port
             return host, int(port)
     fail(f"server never printed its banner (last line: {line!r})")
 
@@ -105,7 +125,10 @@ def main() -> int:
                 process.kill()
         if code != 0:
             return code
-        return durability_cycle()
+        code = durability_cycle()
+        if code != 0:
+            return code
+        return observability_cycle()
 
 
 def drive(process, host: str, port: int) -> int:
@@ -294,6 +317,121 @@ def durability_cycle() -> int:
     print(f"durability: PASS (recovered {recovery['wal_records']} WAL "
           f"record(s), {recovery['replayed_transactions']} txn(s) "
           f"replayed, cache hit after restart)", flush=True)
+    return 0
+
+
+def observability_cycle() -> int:
+    """Tracing + metrics endpoint + slow log + explain, end to end."""
+    import urllib.request
+
+    from ..obs.metrics import parse_prometheus_text
+    from ..obs.trace import find_spans, read_trace, span_tree
+    from .client import ServiceClient
+
+    with tempfile.TemporaryDirectory() as tmp:
+        data = Path(tmp) / "smoke.gql"
+        build_graph(data)
+        store = str(Path(tmp) / "state.db")
+        trace_path = Path(tmp) / "trace.jsonl"
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", str(data),
+             "--store", store, "--fsync", "commit",
+             "--port", "0", "--workers", "2", "--timeout", "10",
+             "--limit", "100000", "--metrics-port", "0",
+             "--trace-out", str(trace_path),
+             "--slow-log-size", "8", "--slow-log-threshold", "0.05"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+        try:
+            host, port, metrics_port = read_banner(process,
+                                                   want_metrics=True)
+            with ServiceClient(host, port, timeout=30,
+                               client_name="obs") as client:
+                fast = client.query(FAST_QUERY, limit=100)
+                if not fast.ok:
+                    fail(f"obs fast query failed: {fast.error}")
+                # a deadline the heavy query cannot meet: TIMED_OUT and
+                # well over the 50ms slow-log threshold
+                slow = client.query(HEAVY_QUERY, timeout=0.2,
+                                    no_cache=True)
+                if slow.outcome.status.value != "TIMED_OUT":
+                    fail(f"heavy obs query ended {slow.outcome.status}, "
+                         f"expected TIMED_OUT")
+
+                explained = client.explain(FAST_QUERY, analyze=True)
+                graphs = explained.get("graphs") or []
+                if not graphs or not graphs[0].get("order"):
+                    fail(f"wire explain returned no plan: {explained}")
+                if graphs[0].get("actual") is None:
+                    fail("explain analyze=True carried no actuals")
+
+                text = client.stats(format="prometheus")
+                wire_metrics = parse_prometheus_text(text)
+                if "repro_service_submitted_total" not in wire_metrics:
+                    fail(f"wire prometheus stats missing counters: "
+                         f"{sorted(wire_metrics)[:5]}")
+
+                url = f"http://{host}:{metrics_port}/metrics"
+                with urllib.request.urlopen(url, timeout=10) as reply:
+                    scraped = parse_prometheus_text(
+                        reply.read().decode("utf-8"))
+                if scraped.get("repro_service_submitted_total", 0) < 2:
+                    fail(f"scrape endpoint disagrees: {scraped.get('repro_service_submitted_total')}")
+                with urllib.request.urlopen(
+                        f"http://{host}:{metrics_port}/stats",
+                        timeout=10) as reply:
+                    http_stats = json.loads(reply.read().decode("utf-8"))
+                if "slow_queries" not in http_stats:
+                    fail("HTTP /stats carries no slow_queries section")
+
+                stats = client.stats()
+                slow_entries = stats.get("slow_queries", [])
+                if not slow_entries:
+                    fail("over-threshold query never reached the slow log")
+                slowest = slow_entries[0]
+                if slowest["elapsed"] < 0.05:
+                    fail(f"slow-log entry under threshold: {slowest}")
+                if "CORE" not in slowest["query"]:
+                    fail(f"slow log recorded the wrong query: "
+                         f"{slowest['query'][:80]}")
+                if not slowest.get("spans"):
+                    fail("slow-log entry carries no span aggregates")
+            process.send_signal(signal.SIGTERM)
+            code = process.wait(timeout=30)
+            if code != 0:
+                fail(f"obs server exited {code} after SIGTERM")
+            tail = process.stdout.read() if process.stdout else ""
+            if "slow query:" not in tail:
+                fail(f"no slow-query dump in the drain output: {tail!r}")
+        finally:
+            if process.poll() is None:
+                process.kill()
+
+        # offline reconstruction: one request, end to end, from the JSONL
+        forest = span_tree(read_trace(trace_path))
+        requests = find_spans(forest, "service.request")
+        if not requests:
+            fail("trace holds no service.request roots")
+        slow_roots = [r for r in requests
+                      if r["tags"].get("status") == "TIMED_OUT"]
+        if not slow_roots:
+            fail("the TIMED_OUT request left no trace root")
+        inside = slow_roots[0]["children"]
+        child_names = {c["name"] for c in inside}
+        for expected in ("service.admission", "service.cache_probe",
+                         "service.execute"):
+            if expected not in child_names:
+                fail(f"request trace missing {expected}: {child_names}")
+        execute = next(c for c in inside if c["name"] == "service.execute")
+        match_spans = find_spans([execute], "match.query")
+        if not match_spans:
+            fail("no matcher span under the request's execute span")
+        if not find_spans(match_spans, "match.search"):
+            fail("no search span under the matcher span")
+        if not find_spans(forest, "wal.commit"):
+            fail("durable registration left no wal.commit span")
+    print(f"observability: PASS ({len(requests)} request trace(s), "
+          f"slowest {slowest['elapsed'] * 1000:.0f}ms in the slow log, "
+          f"{len(scraped)} scraped sample(s))", flush=True)
     return 0
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..obs.trace import span as trace_span
 from ..runtime import ExecutionContext, ExecutionInterrupted
 from .relation import Relation, RelationalDatabase, SchemaError
 from .sql_parser import ColumnRef, Comparison, SelectQuery, parse_sql
@@ -78,16 +79,20 @@ class SQLEngine:
         order = self._plan_order(query)
         if stats is not None:
             stats.tables_in_plan = len(order)
-        try:
-            return self._run(query, order, limit, stats, max_rows_examined,
-                             context)
-        except ExecutionInterrupted as exc:
-            if context is None:
-                raise
-            context.mark_interrupted(exc)
-            if stats is not None:
-                stats.aborted = True
-            return list(self._partial_results)
+        with trace_span("sql.execute", tables=len(order)) as sp:
+            try:
+                rows = self._run(query, order, limit, stats,
+                                 max_rows_examined, context)
+            except ExecutionInterrupted as exc:
+                if context is None:
+                    raise
+                context.mark_interrupted(exc)
+                if stats is not None:
+                    stats.aborted = True
+                rows = list(self._partial_results)
+                sp.annotate(aborted=True)
+            sp.incr("rows", len(rows))
+        return rows
 
     # -- planning ----------------------------------------------------------------
 

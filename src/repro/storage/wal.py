@@ -41,6 +41,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.trace import span as trace_span
 from .pager import PAGE_SIZE, StorageError
 
 #: Fsync policies accepted by the WAL and the page file.
@@ -183,19 +184,24 @@ class WriteAheadLog:
         self.appends += 1
 
     def _sync(self) -> None:
-        self._file.flush()
-        if self.crashpoint is not None:
-            self.crashpoint.barrier(lambda: os.fsync(self._file.fileno()))
-        else:
-            os.fsync(self._file.fileno())
+        with trace_span("wal.fsync"):
+            self._file.flush()
+            if self.crashpoint is not None:
+                self.crashpoint.barrier(
+                    lambda: os.fsync(self._file.fileno()))
+            else:
+                os.fsync(self._file.fileno())
 
     def append(self, kind: int, txn: int, payload: bytes = b"") -> int:
         """Append one framed record; returns its LSN."""
         lsn = self._next_lsn
         self._next_lsn += 1
-        self._write(_frame(lsn, kind, txn, payload))
-        if self.fsync_policy == FSYNC_ALWAYS:
-            self._sync()
+        with trace_span("wal.append") as sp:
+            data = _frame(lsn, kind, txn, payload)
+            self._write(data)
+            if self.fsync_policy == FSYNC_ALWAYS:
+                self._sync()
+            sp.incr("bytes", len(data))
         return lsn
 
     def begin(self) -> int:
@@ -213,13 +219,15 @@ class WriteAheadLog:
         ``always``/``commit``) is the durability point: once it
         returns, recovery will replay this transaction.
         """
-        self.append(REC_BEGIN, txn)
-        for page_no in sorted(pages):
-            self.append(REC_PAGE, txn,
-                        _PAGE_NO.pack(page_no) + pages[page_no])
-        lsn = self.append(REC_COMMIT, txn)
-        if self.fsync_policy in (FSYNC_ALWAYS, FSYNC_COMMIT):
-            self._sync()
+        with trace_span("wal.commit") as sp:
+            self.append(REC_BEGIN, txn)
+            for page_no in sorted(pages):
+                self.append(REC_PAGE, txn,
+                            _PAGE_NO.pack(page_no) + pages[page_no])
+            lsn = self.append(REC_COMMIT, txn)
+            if self.fsync_policy in (FSYNC_ALWAYS, FSYNC_COMMIT):
+                self._sync()
+            sp.incr("pages", len(pages))
         return lsn
 
     # -- maintenance ----------------------------------------------------------
@@ -237,11 +245,13 @@ class WriteAheadLog:
         truncating earlier would discard the only copy of committed
         changes that have not reached the pages yet.
         """
-        freed = self.size
-        self._file.seek(0)
-        self._file.truncate()
-        if self.fsync_policy != FSYNC_NEVER:
-            self._sync()
+        with trace_span("wal.checkpoint") as sp:
+            freed = self.size
+            self._file.seek(0)
+            self._file.truncate()
+            if self.fsync_policy != FSYNC_NEVER:
+                self._sync()
+            sp.incr("bytes_freed", freed)
         return freed
 
     def close(self) -> None:

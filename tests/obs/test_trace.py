@@ -1,0 +1,182 @@
+"""Tracing spans: nesting, cross-thread adoption, offline rebuild."""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.obs.trace import (
+    NOOP_SPAN,
+    JsonlSink,
+    SpanCollector,
+    find_spans,
+    read_trace,
+    span,
+    span_tree,
+    tracer,
+)
+
+
+def test_disabled_tracer_returns_the_noop_singleton():
+    assert not tracer().enabled
+    assert span("anything", key="value") is NOOP_SPAN
+    assert tracer().start("root") is NOOP_SPAN
+    # the no-op span is inert under every part of the span API
+    with NOOP_SPAN as s:
+        s.annotate(a=1)
+        s.incr("n")
+        s.finish()
+    assert NOOP_SPAN.tags == {}
+    assert NOOP_SPAN.counters == {}
+
+
+def test_span_nesting_and_finish_order():
+    collector = SpanCollector()
+    with tracer().session(collector):
+        with span("outer", who="test") as outer:
+            with span("inner") as inner:
+                inner.incr("items", 3)
+            outer.annotate(done=True)
+    names = [s.name for s in collector.spans]
+    # children finish before their parents
+    assert names == ["inner", "outer"]
+    inner, outer = collector.spans
+    assert inner.parent_id == outer.span_id
+    assert inner.trace_id == outer.trace_id
+    assert inner.counters == {"items": 3}
+    assert outer.tags == {"who": "test", "done": True}
+    assert inner.duration is not None and outer.duration is not None
+    # the session restored the disabled state
+    assert not tracer().enabled
+    assert span("after") is NOOP_SPAN
+
+
+def test_sibling_spans_share_the_parent_not_each_other():
+    collector = SpanCollector()
+    with tracer().session(collector):
+        with span("parent") as parent:
+            with span("first"):
+                pass
+            with span("second"):
+                pass
+    first = collector.by_name("first")[0]
+    second = collector.by_name("second")[0]
+    assert first.parent_id == parent.span_id
+    assert second.parent_id == parent.span_id
+
+
+def test_root_top_spans_aggregates_the_subtree():
+    collector = SpanCollector()
+    with tracer().session(collector):
+        with span("request") as root:
+            for _ in range(3):
+                with span("step"):
+                    pass
+        top = root.top_spans()
+    assert top["step"]["count"] == 3
+    assert top["request"]["count"] == 1
+    assert top["step"]["total"] >= 0
+
+
+def test_thread_pool_workers_nest_under_their_own_request():
+    """Concurrent requests on pool threads never interleave their trees.
+
+    This is the service execution model: a root is started on the
+    submitting thread, the worker adopts it via ``activate``, and every
+    span the matcher emits must land under that root — not under
+    whatever other request is running on a sibling thread.
+    """
+    collector = SpanCollector()
+    barrier = threading.Barrier(4)
+
+    def work(request_index: int, root):
+        with tracer().activate(root):
+            barrier.wait(timeout=10)  # all four requests in flight at once
+            with span("execute", request=request_index):
+                for step in range(3):
+                    with span("step") as s:
+                        s.annotate(request=request_index)
+            root.finish()
+
+    with tracer().session(collector):
+        roots = [tracer().start("request", index=i) for i in range(4)]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            futures = [pool.submit(work, i, root)
+                       for i, root in enumerate(roots)]
+            for future in futures:
+                future.result(timeout=30)
+
+    by_trace = {root.trace_id: root.tags["index"] for root in roots}
+    executes = collector.by_name("execute")
+    assert len(executes) == 4
+    for execute in executes:
+        # the execute span belongs to the request that spawned it
+        assert by_trace[execute.trace_id] == execute.tags["request"]
+    for step in collector.by_name("step"):
+        assert by_trace[step.trace_id] == step.tags["request"]
+    # every root aggregated exactly its own 3 steps, not a neighbour's
+    for root in roots:
+        assert root.top_spans()["step"]["count"] == 3
+
+
+def test_activate_with_none_or_noop_is_inert():
+    with tracer().activate(None) as target:
+        assert target is None
+    with tracer().activate(NOOP_SPAN) as target:
+        assert target is NOOP_SPAN
+        assert tracer().current() is None
+
+
+def test_jsonl_roundtrip_rebuilds_the_tree(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    sink = JsonlSink(path)
+    try:
+        with tracer().session(sink):
+            with span("request", client="t") as root:
+                with span("phase_one"):
+                    with span("leaf") as leaf:
+                        leaf.incr("rows", 7)
+                with span("phase_two"):
+                    pass
+    finally:
+        sink.close()
+
+    records = read_trace(path)
+    assert len(records) == 4
+    forest = span_tree(records)
+    assert [r["name"] for r in forest] == ["request"]
+    request = forest[0]
+    assert request["tags"] == {"client": "t"}
+    assert [c["name"] for c in request["children"]] == ["phase_one",
+                                                        "phase_two"]
+    leaves = find_spans(forest, "leaf")
+    assert len(leaves) == 1
+    assert leaves[0]["counters"] == {"rows": 7}
+    assert leaves[0]["parent"] == request["children"][0]["span"]
+    assert root.span_id == request["span"]
+
+
+def test_exception_inside_a_span_is_tagged_and_reraised():
+    collector = SpanCollector()
+    try:
+        with tracer().session(collector):
+            with span("failing"):
+                raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("the exception was swallowed")
+    failing = collector.by_name("failing")[0]
+    assert "RuntimeError: boom" in failing.tags["error"]
+
+
+def test_broken_sink_never_breaks_the_traced_code():
+    def bad_sink(finished):
+        raise OSError("disk full")
+
+    collector = SpanCollector()
+    with tracer().session(bad_sink):
+        with tracer().session(collector):
+            with span("survives"):
+                pass
+    assert [s.name for s in collector.spans] == ["survives"]
