@@ -51,6 +51,7 @@ EXIT_BY_OUTCOME = {
     Outcome.TIMED_OUT: 3,
     Outcome.CANCELLED: 4,
     Outcome.REJECTED: 5,
+    Outcome.SHED: 5,  # like REJECTED: the service turned the work away
 }
 
 
@@ -271,6 +272,31 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="only record requests slower than this in "
                             "the slow-query log")
+    serve.add_argument("--no-shed", action="store_true",
+                       help="disable deadline-aware load shedding "
+                            "(requests whose deadline cannot be met "
+                            "get queued instead of SHED)")
+    serve.add_argument("--breaker-threshold", type=int, default=8,
+                       metavar="N",
+                       help="consecutive failures/timeouts that open a "
+                            "client's circuit breaker (0 disables)")
+    serve.add_argument("--breaker-cooldown", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="how long an open breaker sheds before the "
+                            "half-open probe")
+    serve.add_argument("--watchdog-multiple", type=float, default=4.0,
+                       metavar="X",
+                       help="recycle a worker stuck past X times the "
+                            "request's effective timeout (0 disables "
+                            "the pool watchdog)")
+    serve.add_argument("--watchdog-interval", type=float, default=0.25,
+                       metavar="SECONDS",
+                       help="how often the pool watchdog scans for "
+                            "stuck workers")
+    serve.add_argument("--dup-table-size", type=int, default=512,
+                       metavar="N",
+                       help="completed responses remembered for "
+                            "idempotent client retries (0 disables)")
     _add_common(serve)
     _add_trace(serve)
 
@@ -599,6 +625,12 @@ def _serve(args: argparse.Namespace) -> int:
         fsync=args.fsync,
         slow_log_size=args.slow_log_size,
         slow_log_threshold=args.slow_log_threshold,
+        shed_enabled=not args.no_shed,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        watchdog_multiple=args.watchdog_multiple,
+        watchdog_interval=args.watchdog_interval,
+        dup_table_size=args.dup_table_size,
     )
     service = QueryService(config)
     if service.recovery is not None:
@@ -627,18 +659,26 @@ def _serve(args: argparse.Namespace) -> int:
     primary = (service.database.names()[0]
                if "data" not in service.database.names() else "data")
     graphs = service.database.doc(primary)
+    server = QueryServer(service, (args.host, args.port))
+    host, port = server.address
     exporter = None
     if args.metrics_port is not None:
         from .obs.httpexport import MetricsHTTPExporter
 
+        def ready_probe():
+            ready, reason = service.ready()
+            if ready and server.draining:
+                return False, "draining"
+            return ready, reason
+
         exporter = MetricsHTTPExporter(
             service.metrics_text, json_fn=service.stats,
-            host=args.host, port=args.metrics_port)
+            host=args.host, port=args.metrics_port,
+            health_fn=service.health, ready_fn=ready_probe)
         exporter.start()
         metrics_host, metrics_port = exporter.address
-        print(f"metrics on {metrics_host}:{metrics_port}", flush=True)
-    server = QueryServer(service, (args.host, args.port))
-    host, port = server.address
+        print(f"metrics on {metrics_host}:{metrics_port} "
+              f"(/metrics /stats /health /ready)", flush=True)
     print(f"serving {len(graphs)} graph(s) on {host}:{port} "
           f"({config.workers} {'process' if args.processes else 'thread'} "
           f"worker(s), queue {config.queue_depth}, "

@@ -1,7 +1,11 @@
 """A minimal plain-HTTP metrics scrape endpoint.
 
 Serves ``GET /metrics`` (Prometheus text exposition) and ``GET /stats``
-(the JSON snapshot) from callbacks, on a daemon thread.  Enabled by
+(the JSON snapshot) from callbacks, on a daemon thread.  Optional
+``health_fn``/``ready_fn`` callbacks add ``GET /health`` (liveness
+report, always 200 while the process serves) and ``GET /ready``
+(readiness probe: 200 when accepting work, 503 while draining,
+recovering or before documents are loaded).  Enabled by
 ``repro-gql serve --metrics-port``; deliberately tiny — no TLS, no auth,
 bind it to loopback (the default) or behind a scrape proxy.
 """
@@ -27,9 +31,13 @@ class MetricsHTTPExporter:
         json_fn: Optional[Callable[[], Any]] = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        health_fn: Optional[Callable[[], Any]] = None,
+        ready_fn: Optional[Callable[[], Tuple[bool, str]]] = None,
     ) -> None:
         self._text_fn = text_fn
         self._json_fn = json_fn
+        self._health_fn = health_fn
+        self._ready_fn = ready_fn
         exporter = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -43,6 +51,13 @@ class MetricsHTTPExporter:
                         self, "application/json",
                         lambda: json.dumps(exporter._json_fn(),
                                            default=str, indent=2))
+                elif path == "/health" and exporter._health_fn is not None:
+                    exporter._reply(
+                        self, "application/json",
+                        lambda: json.dumps(exporter._health_fn(),
+                                           default=str, indent=2))
+                elif path == "/ready" and exporter._ready_fn is not None:
+                    exporter._reply_ready(self)
                 else:
                     self.send_error(404)
 
@@ -63,6 +78,20 @@ class MetricsHTTPExporter:
             return
         handler.send_response(200)
         handler.send_header("Content-Type", content_type)
+        handler.send_header("Content-Length", str(len(body)))
+        handler.end_headers()
+        handler.wfile.write(body)
+
+    def _reply_ready(self, handler: BaseHTTPRequestHandler) -> None:
+        """/ready: 200 when accepting work, 503 (with reason) when not."""
+        try:
+            ready, reason = self._ready_fn()  # type: ignore[misc]
+        except Exception as exc:
+            ready, reason = False, f"readiness check failed: {exc}"
+        body = json.dumps({"ready": ready, "reason": reason},
+                          indent=2).encode("utf-8")
+        handler.send_response(200 if ready else 503)
+        handler.send_header("Content-Type", "application/json")
         handler.send_header("Content-Length", str(len(body)))
         handler.end_headers()
         handler.wfile.write(body)

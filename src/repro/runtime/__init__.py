@@ -13,6 +13,7 @@ from .context import (
     current_outcome,
     mapping_cost,
     rejected_outcome,
+    shed_outcome,
 )
 
 __all__ = [
@@ -28,4 +29,5 @@ __all__ = [
     "current_outcome",
     "mapping_cost",
     "rejected_outcome",
+    "shed_outcome",
 ]

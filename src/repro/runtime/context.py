@@ -54,6 +54,11 @@ class Outcome(str, Enum):
     #: Load shedding turned the request away before any work ran
     #: (admission control in :mod:`repro.service`); no partial results.
     REJECTED = "REJECTED"
+    #: Deadline-aware shedding or an open circuit breaker turned the
+    #: request away: it *could* have been admitted, but could not have
+    #: finished in time.  The response carries a retry-after hint; no
+    #: partial results.
+    SHED = "SHED"
 
     def __str__(self) -> str:  # print as the bare word in CLI output
         return self.value
@@ -198,6 +203,17 @@ def rejected_outcome(reason: str) -> QueryOutcome:
     ``steps == 0`` by construction: a rejected request never executed.
     """
     return QueryOutcome(status=Outcome.REJECTED, reason=reason)
+
+
+def shed_outcome(reason: str) -> QueryOutcome:
+    """The outcome of a request shed before any work ran.
+
+    Distinct from :func:`rejected_outcome`: rejection means the service
+    is at capacity, shedding means this *particular* request was not
+    worth starting (its deadline is hopeless, or its client's circuit
+    breaker is open).  Both carry ``steps == 0``.
+    """
+    return QueryOutcome(status=Outcome.SHED, reason=reason)
 
 
 #: Approximate per-mapping memory cost used by the answer-set cap

@@ -12,9 +12,11 @@ session); use several clients — they are cheap — for concurrent load.
 from __future__ import annotations
 
 import itertools
+import random
 import socket
+import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..runtime import QueryOutcome
 from .protocol import MAX_LINE_BYTES, ProtocolError, decode, encode
@@ -30,27 +32,65 @@ class ClientReply:
     outcome: QueryOutcome = field(default_factory=QueryOutcome)
     cache: str = "bypass"
     error: Optional[str] = None
+    retry_after: Optional[float] = None
+    duplicate: bool = False
     raw: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def rejected(self) -> bool:
-        """Whether the service shed this request at admission."""
+        """Whether admission control turned this request away."""
         return self.outcome.status.value == "REJECTED"
+
+    @property
+    def shed(self) -> bool:
+        """Whether load shedding or a breaker turned this request away."""
+        return self.outcome.status.value == "SHED"
 
 
 class ServiceClient:
-    """Blocking client for one server connection."""
+    """Blocking client for one server connection.
+
+    *timeout* is the overall per-call budget (socket reads and every
+    retry attempt are carved from it); *connect_timeout* bounds TCP
+    connection establishment alone and defaults to *timeout* — it is
+    the one knob every connect honours, including retry reconnects.
+
+    Retries are off by default (``retries=0``), preserving strict
+    one-shot semantics.  With ``retries=N`` the client retries
+    *idempotent* calls (queries, reads, cancels — all read-only here)
+    up to N extra attempts on connection failures, timeouts and
+    protocol desync, reconnecting with full-jitter exponential backoff
+    and tagging each resend with an ``attempt`` counter so the server
+    can answer declared retries from its duplicate-request table.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 7687,
                  timeout: Optional[float] = 30.0,
-                 client_name: str = "anon") -> None:
+                 client_name: str = "anon",
+                 connect_timeout: Optional[float] = None,
+                 retries: int = 0,
+                 backoff_base: float = 0.05,
+                 backoff_max: float = 2.0,
+                 retry_seed: Optional[int] = None) -> None:
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = (connect_timeout if connect_timeout
+                                is not None else timeout)
         self.client_name = client_name
+        self.retries = retries
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self._rng = random.Random(retry_seed)
         self._sock: Optional[socket.socket] = None
         self._reader = None
         self._ids = itertools.count(1)
+        self._ever_connected = False
+        #: observability: attempts beyond the first, and reconnects
+        self.retry_count = 0
+        self.reconnects = 0
 
     # -- connection -----------------------------------------------------------
 
@@ -58,8 +98,12 @@ class ServiceClient:
         """Open the TCP connection (idempotent)."""
         if self._sock is None:
             self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout)
+                (self.host, self.port), timeout=self.connect_timeout)
+            self._sock.settimeout(self.timeout)
             self._reader = self._sock.makefile("rb")
+            if self._ever_connected:
+                self.reconnects += 1
+            self._ever_connected = True
         return self
 
     def close(self) -> None:
@@ -85,16 +129,73 @@ class ServiceClient:
 
     # -- the protocol ---------------------------------------------------------
 
-    def call(self, message: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request dict, block for its response dict."""
-        self.connect()
+    def call(self, message: Dict[str, Any],
+             retryable: bool = False) -> Dict[str, Any]:
+        """Send one request dict, block for its response dict.
+
+        With *retryable* true (idempotent calls only) and ``retries``
+        configured, connection failures, timeouts and response desync
+        trigger a reconnect-and-resend, all attempts sharing one
+        overall ``timeout`` budget.
+        """
         message.setdefault("id", f"{self.client_name}-{next(self._ids)}")
+        attempts = (self.retries + 1) if retryable else 1
+        deadline = (time.monotonic() + self.timeout
+                    if self.timeout is not None else None)
+        last_exc: Optional[Exception] = None
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                message["attempt"] = attempt
+                self.retry_count += 1
+                self._backoff(attempt, deadline)
+            try:
+                return self._call_once(message, deadline)
+            except (ConnectionError, ProtocolError, OSError) as exc:
+                last_exc = exc
+                # the stream may be desynced (a late response could
+                # still arrive): drop the connection before retrying
+                self.close()
+                out_of_time = (deadline is not None
+                               and time.monotonic() >= deadline)
+                if attempt >= attempts or out_of_time:
+                    raise
+        raise last_exc  # type: ignore[misc]  # unreachable
+
+    def _call_once(self, message: Dict[str, Any],
+                   deadline: Optional[float]) -> Dict[str, Any]:
+        """One send/receive exchange under the remaining budget."""
+        self.connect()
         assert self._sock is not None and self._reader is not None
+        if deadline is not None:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise socket.timeout("call budget exhausted")
+            # per-attempt deadline: whatever is left of the overall
+            # budget, so N retries never exceed one configured timeout
+            self._sock.settimeout(remaining)
         self._sock.sendall(encode(message))
         line = self._reader.readline(MAX_LINE_BYTES + 1)
         if not line:
             raise ConnectionError("server closed the connection")
-        return decode(line)
+        reply = decode(line)
+        reply_id = reply.get("id")
+        if reply_id is not None and reply_id != message["id"]:
+            # a stale or duplicated frame (e.g. after packet games on a
+            # flaky path): the session is out of sync beyond repair
+            raise ProtocolError(
+                f"response id {reply_id!r} does not match "
+                f"request id {message['id']!r}")
+        return reply
+
+    def _backoff(self, attempt: int, deadline: Optional[float]) -> None:
+        """Sleep with full jitter, capped by the remaining budget."""
+        cap = min(self.backoff_max,
+                  self.backoff_base * (2 ** (attempt - 2)))
+        delay = self._rng.uniform(0.0, cap)
+        if deadline is not None:
+            delay = min(delay, max(0.0, deadline - time.monotonic()))
+        if delay > 0:
+            time.sleep(delay)
 
     def query(
         self,
@@ -107,14 +208,24 @@ class ServiceClient:
         max_memory: Optional[int] = None,
         baseline: bool = False,
         no_cache: bool = False,
+        idempotency_key: Optional[str] = None,
     ) -> ClientReply:
-        """Run one pattern query; returns a typed :class:`ClientReply`."""
+        """Run one pattern query; returns a typed :class:`ClientReply`.
+
+        Queries are read-only, so they are retried whenever the client
+        has ``retries`` configured.  Passing *idempotency_key* lets the
+        server answer a retry from its duplicate-request table instead
+        of executing twice (the replayed reply carries
+        ``duplicate=True``).
+        """
         message: Dict[str, Any] = {
             "op": "query", "query": query_text, "document": document,
             "client": self.client_name,
         }
         if request_id is not None:
             message["id"] = request_id
+        if idempotency_key is not None:
+            message["idempotency_key"] = idempotency_key
         for key, value in (("limit", limit), ("timeout", timeout),
                            ("max_steps", max_steps),
                            ("max_memory", max_memory)):
@@ -124,10 +235,11 @@ class ServiceClient:
             message["baseline"] = True
         if no_cache:
             message["no_cache"] = True
-        reply = self.call(message)
+        reply = self.call(message, retryable=True)
         outcome = (QueryOutcome.from_dict(reply["outcome"])
                    if isinstance(reply.get("outcome"), dict)
                    else QueryOutcome())
+        retry_after = reply.get("retry_after")
         return ClientReply(
             ok=bool(reply.get("ok")),
             request_id=reply.get("id"),
@@ -135,6 +247,9 @@ class ServiceClient:
             outcome=outcome,
             cache=str(reply.get("cache", "bypass")),
             error=reply.get("error"),
+            retry_after=(float(retry_after)
+                         if retry_after is not None else None),
+            duplicate=bool(reply.get("duplicate", False)),
             raw=reply,
         )
 
@@ -142,7 +257,7 @@ class ServiceClient:
                reason: str = "cancelled by client") -> bool:
         """Cancel an in-flight request by id; True when it was found."""
         reply = self.call({"op": "cancel", "target": target,
-                           "reason": reason})
+                           "reason": reason}, retryable=True)
         if not reply.get("ok"):
             raise ProtocolError(reply.get("error", "cancel failed"))
         return bool(reply.get("cancelled"))
@@ -156,7 +271,7 @@ class ServiceClient:
         message: Dict[str, Any] = {"op": "stats"}
         if format is not None:
             message["format"] = format
-        reply = self.call(message)
+        reply = self.call(message, retryable=True)
         if not reply.get("ok"):
             raise ProtocolError(reply.get("error", "stats failed"))
         if format == "prometheus":
@@ -183,14 +298,28 @@ class ServiceClient:
         for key, value in (("limit", limit), ("timeout", timeout)):
             if value is not None:
                 message[key] = value
-        reply = self.call(message)
+        reply = self.call(message, retryable=True)
         if not reply.get("ok"):
             raise ProtocolError(reply.get("error", "explain failed"))
         return reply["explain"]
 
     def ping(self) -> Dict[str, Any]:
         """Round-trip liveness check; returns the server's ping reply."""
-        reply = self.call({"op": "ping"})
+        reply = self.call({"op": "ping"}, retryable=True)
         if not reply.get("ok"):
             raise ProtocolError(reply.get("error", "ping failed"))
         return reply
+
+    def health(self) -> Dict[str, Any]:
+        """The server's liveness report (drain, recovery, breakers)."""
+        reply = self.call({"op": "health"}, retryable=True)
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "health failed"))
+        return reply["health"]
+
+    def ready(self) -> Tuple[bool, str]:
+        """Whether the server is accepting work, plus the reason."""
+        reply = self.call({"op": "ready"}, retryable=True)
+        if not reply.get("ok"):
+            raise ProtocolError(reply.get("error", "ready failed"))
+        return bool(reply.get("ready")), str(reply.get("reason", ""))

@@ -63,6 +63,33 @@ class ServiceConfig:
     store_path: Optional[str] = None
     fsync: str = "commit"
 
+    # deadline-aware load shedding: a request whose effective timeout is
+    # below the observed p95 queue wait is shed with a SHED outcome and
+    # a retry-after hint.  The estimator stays cold (never sheds) until
+    # shed_min_samples waits have been observed.
+    shed_enabled: bool = True
+    shed_min_samples: int = 10
+    shed_window: int = 256
+
+    # per-client circuit breaker: breaker_threshold consecutive
+    # failures/timeouts open the circuit for breaker_cooldown seconds
+    # (then one HALF_OPEN probe decides).  0 disables the breaker.
+    breaker_threshold: int = 8
+    breaker_cooldown: float = 5.0
+
+    # pool watchdog: a request still unfinished after
+    # watchdog_multiple x its effective timeout is considered *stuck*
+    # (the worker is wedged past any cooperative deadline), answered
+    # TIMED_OUT, and its pool is recycled.  0 disables the watchdog;
+    # requests without an effective timeout are never watched.
+    watchdog_multiple: float = 4.0
+    watchdog_interval: float = 0.25
+
+    # duplicate-request table: completed responses remembered per
+    # (client, request id / idempotency key) so client retries are
+    # answered without re-executing.  0 disables the table.
+    dup_table_size: int = 512
+
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")
@@ -74,6 +101,20 @@ class ServiceConfig:
             raise ValueError("slow_log_size must be >= 0")
         if self.slow_log_threshold < 0:
             raise ValueError("slow_log_threshold must be >= 0")
+        if self.shed_min_samples < 1:
+            raise ValueError("shed_min_samples must be >= 1")
+        if self.shed_window < 1:
+            raise ValueError("shed_window must be >= 1")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0")
+        if self.breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be > 0")
+        if self.watchdog_multiple < 0:
+            raise ValueError("watchdog_multiple must be >= 0")
+        if self.watchdog_interval <= 0:
+            raise ValueError("watchdog_interval must be > 0")
+        if self.dup_table_size < 0:
+            raise ValueError("dup_table_size must be >= 0")
         from ..storage.wal import check_fsync_policy
 
         check_fsync_policy(self.fsync)

@@ -43,6 +43,8 @@ _COUNTER_NAMES = (
     "result_cache_misses",
     "plan_cache_hits",
     "plan_cache_misses",
+    "watchdog_recycles",
+    "duplicate_requests",
 )
 
 _COUNTER_HELP = {
@@ -55,6 +57,9 @@ _COUNTER_HELP = {
     "result_cache_misses": "Result-cache misses.",
     "plan_cache_hits": "Plan-cache hits (replayed search orders).",
     "plan_cache_misses": "Plan-cache misses.",
+    "watchdog_recycles": "Stuck workers the pool watchdog recycled.",
+    "duplicate_requests": "Retried requests answered from the "
+                          "duplicate-request table.",
 }
 
 
@@ -84,6 +89,11 @@ class ServiceMetrics:
         self.latency = self.registry.histogram(
             "repro_service_request_seconds",
             "End-to-end request latency in seconds.")
+        #: shed requests by reason ("deadline" | "breaker"), lazily
+        #: instantiated so only observed reasons appear in the scrape
+        self._shed: Dict[str, object] = {}
+        #: per-client retried-arrival counters (attempt > 1 on the wire)
+        self._client_retries: Dict[str, object] = {}
 
     def __getattr__(self, name: str) -> int:
         # plain-attribute reads (metrics.result_cache_hits == int) keep
@@ -102,6 +112,46 @@ class ServiceMetrics:
     def count(self, name: str, n: int = 1) -> None:
         """Bump one of the named counters."""
         self._counters[name].inc(n)
+
+    def record_shed(self, reason: str) -> None:
+        """Account one shed request under its reason label."""
+        counter = self._shed.get(reason)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_service_shed_total",
+                "Requests shed before admission, by reason.",
+                labels={"reason": reason})
+            self._shed[reason] = counter
+        counter.inc()
+
+    @property
+    def shed(self) -> int:
+        """Total shed requests across every reason."""
+        return sum(counter.value for counter in self._shed.values())
+
+    def shed_snapshot(self) -> Dict[str, int]:
+        """Shed counts by reason plus the total."""
+        by_reason = {reason: counter.value
+                     for reason, counter in self._shed.items()}
+        by_reason["total"] = sum(by_reason.values())
+        return by_reason
+
+    def note_client_retry(self, client: str) -> None:
+        """Account one retried arrival (wire ``attempt`` > 1)."""
+        counter = self._client_retries.get(client)
+        if counter is None:
+            counter = self.registry.counter(
+                "repro_service_client_retries_total",
+                "Retried request arrivals by client.",
+                labels={"client": client})
+            self._client_retries[client] = counter
+        counter.inc()
+
+    @property
+    def client_retries(self) -> Dict[str, int]:
+        """Retried-arrival counts per client."""
+        return {client: counter.value
+                for client, counter in self._client_retries.items()}
 
     def record_outcome(self, status: Outcome,
                        latency: Optional[float] = None) -> None:
@@ -133,6 +183,10 @@ class ServiceMetrics:
                 "hits": self._counters["plan_cache_hits"].value,
                 "misses": self._counters["plan_cache_misses"].value,
             },
+            "shed": self.shed_snapshot(),
+            "watchdog_recycles": self._counters["watchdog_recycles"].value,
+            "duplicate_requests": self._counters["duplicate_requests"].value,
+            "client_retries": self.client_retries,
             "outcomes": self.outcomes,
             "latency": self.latency.snapshot(),
         }

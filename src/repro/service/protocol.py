@@ -17,6 +17,14 @@ Requests (``op`` selects the operation)::
     {"op": "explain", "id": "e1", "query": "graph P {...}",
      "document": "data", "analyze": false, "baseline": false}
     {"op": "ping", "id": "p1"}
+    {"op": "health", "id": "h1"}
+    {"op": "ready", "id": "r1"}
+
+``query`` additionally accepts ``"attempt"`` (1-based retry counter, for
+the server's retried-arrival metric) and ``"idempotency_key"`` (opting a
+mutation-bearing retry into the duplicate-request table); ``health``
+returns a liveness report and ``ready`` a boolean plus reason — the same
+documents the ``/health`` and ``/ready`` HTTP routes serve.
 
 ``stats`` accepts ``"format": "prometheus"`` to receive the text
 exposition as ``{"stats_text": "..."}`` instead of the JSON snapshot;
@@ -47,7 +55,8 @@ PROTOCOL_VERSION = 1
 #: against a hostile or broken peer).
 MAX_LINE_BYTES = 16 * 1024 * 1024
 
-VALID_OPS = ("query", "cancel", "stats", "explain", "ping")
+VALID_OPS = ("query", "cancel", "stats", "explain", "ping",
+             "health", "ready")
 
 
 class ProtocolError(ValueError):
@@ -70,6 +79,10 @@ def decode(line: bytes) -> Dict[str, Any]:
     """Parse one line into a message dict."""
     if len(line) > MAX_LINE_BYTES:
         raise ProtocolError("line exceeds the protocol size limit")
+    if not line.strip():
+        # empty and whitespace-only lines get a structured error rather
+        # than a json.JSONDecodeError with a confusing position
+        raise ProtocolError("empty line (a message must be a JSON object)")
     try:
         message = json.loads(line.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:

@@ -1,0 +1,271 @@
+"""Service resilience primitives: breakers, shed policy, dedup table.
+
+The serving path of :class:`~repro.service.QueryService` must *bend,
+not break* under adversarial load.  This module holds the three
+mechanisms that make that happen, each deliberately tiny and lock-cheap:
+
+* :class:`CircuitBreaker` / :class:`BreakerRegistry` — a per-client
+  CLOSED → OPEN → HALF_OPEN state machine.  A run of consecutive
+  failures or timeouts opens the circuit; while open, the client's
+  requests are shed in microseconds with a ``Retry-After`` hint instead
+  of burning a worker on a query that will fail anyway.  After the
+  cooldown one probe request is let through (HALF_OPEN); its success
+  closes the circuit, its failure re-opens it.
+* :class:`QueueWaitEstimator` — a sliding window of observed
+  admission-to-execution waits.  Its p95 is the *shed policy* input: a
+  request whose whole deadline is below the p95 queue wait cannot
+  possibly finish in time, so the service sheds it immediately with a
+  structured ``SHED`` outcome (deadline-aware load shedding).
+* :class:`DuplicateRequestTable` — the server side of the client's
+  retry contract.  A retried request that carries the same id (or an
+  explicit ``idempotency_key``) after its first attempt already
+  completed is answered from this table instead of being executed
+  again, which is what makes retrying mutations safe.
+
+Everything here is deterministic and dependency-free; the chaos harness
+(``tests/service/chaos.py``) drives all three through real sockets.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
+
+__all__ = [
+    "STATE_CLOSED",
+    "STATE_OPEN",
+    "STATE_HALF_OPEN",
+    "CircuitBreaker",
+    "BreakerRegistry",
+    "QueueWaitEstimator",
+    "DuplicateRequestTable",
+]
+
+#: Breaker states (stable strings: they appear in stats and metrics).
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One client's CLOSED → OPEN → HALF_OPEN failure breaker.
+
+    ``threshold`` consecutive failures open the circuit for ``cooldown``
+    seconds.  While open, :meth:`allow` returns the remaining cooldown
+    as a retry-after hint.  After the cooldown the breaker turns
+    HALF_OPEN and admits a single probe; the probe's outcome decides
+    whether the circuit closes again or re-opens for another cooldown.
+    """
+
+    def __init__(self, threshold: int = 5, cooldown: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if cooldown <= 0:
+            raise ValueError("cooldown must be > 0")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = STATE_CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.opened_total = 0  # times the circuit has opened (monotone)
+        self._probe_in_flight = False
+
+    def allow(self) -> Tuple[bool, Optional[float]]:
+        """Whether a request may pass, plus a retry-after hint when not.
+
+        The hint is the seconds until the next HALF_OPEN probe slot —
+        what the shed response carries back to the client.
+        """
+        with self._lock:
+            if self.state == STATE_CLOSED:
+                return True, None
+            now = self._clock()
+            if self.state == STATE_OPEN:
+                remaining = (self.opened_at or now) + self.cooldown - now
+                if remaining > 0:
+                    return False, remaining
+                self.state = STATE_HALF_OPEN
+                self._probe_in_flight = False
+            # HALF_OPEN: exactly one probe at a time
+            if self._probe_in_flight:
+                return False, self.cooldown
+            self._probe_in_flight = True
+            return True, None
+
+    def record_success(self) -> None:
+        """A finished request succeeded: reset towards CLOSED."""
+        with self._lock:
+            self.state = STATE_CLOSED
+            self.consecutive_failures = 0
+            self.opened_at = None
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        """A finished request failed/timed out: count towards OPEN."""
+        with self._lock:
+            self.consecutive_failures += 1
+            if (self.state == STATE_HALF_OPEN
+                    or self.consecutive_failures >= self.threshold):
+                if self.state != STATE_OPEN:
+                    self.opened_total += 1
+                self.state = STATE_OPEN
+                self.opened_at = self._clock()
+                self._probe_in_flight = False
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-ready view for ``stats()``."""
+        with self._lock:
+            view: Dict[str, Any] = {
+                "state": self.state,
+                "consecutive_failures": self.consecutive_failures,
+                "opened_total": self.opened_total,
+            }
+            if self.state == STATE_OPEN and self.opened_at is not None:
+                view["retry_after"] = max(
+                    0.0, self.opened_at + self.cooldown - self._clock())
+            return view
+
+
+class BreakerRegistry:
+    """Per-client breakers, created on first sight of a client name."""
+
+    def __init__(self, threshold: int = 5, cooldown: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, client: str) -> CircuitBreaker:
+        """The (lazily created) breaker of one client."""
+        with self._lock:
+            breaker = self._breakers.get(client)
+            if breaker is None:
+                breaker = CircuitBreaker(self.threshold, self.cooldown,
+                                         clock=self._clock)
+                self._breakers[client] = breaker
+            return breaker
+
+    def allow(self, client: str) -> Tuple[bool, Optional[float]]:
+        """Shorthand for ``breaker(client).allow()``."""
+        return self.breaker(client).allow()
+
+    def record(self, client: str, failed: bool) -> None:
+        """Account one finished request for *client*."""
+        breaker = self.breaker(client)
+        if failed:
+            breaker.record_failure()
+        else:
+            breaker.record_success()
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """Every known client's breaker state (for ``stats()``)."""
+        with self._lock:
+            breakers = dict(self._breakers)
+        return {client: breaker.snapshot()
+                for client, breaker in breakers.items()}
+
+    def state_counts(self) -> Dict[str, int]:
+        """How many breakers sit in each state (Prometheus gauges)."""
+        counts = {STATE_CLOSED: 0, STATE_OPEN: 0, STATE_HALF_OPEN: 0}
+        with self._lock:
+            breakers = list(self._breakers.values())
+        for breaker in breakers:
+            counts[breaker.state] = counts.get(breaker.state, 0) + 1
+        return counts
+
+
+class QueueWaitEstimator:
+    """A sliding window of queue waits with a p95 read-out.
+
+    ``observe()`` is one deque append under a lock — cheap enough for
+    the per-request hot path.  ``p95()`` returns ``None`` until
+    ``min_samples`` waits have been seen, so a cold service never sheds
+    on noise.
+    """
+
+    def __init__(self, window: int = 256, min_samples: int = 10) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.min_samples = min_samples
+        self._lock = threading.Lock()
+        self._waits: "deque[float]" = deque(maxlen=window)
+
+    def observe(self, wait: float) -> None:
+        """Record one admission-to-execution wait (seconds)."""
+        with self._lock:
+            self._waits.append(max(0.0, wait))
+
+    def p95(self) -> Optional[float]:
+        """The window's 95th-percentile wait, or None while cold."""
+        with self._lock:
+            if len(self._waits) < self.min_samples:
+                return None
+            ordered = sorted(self._waits)
+        return ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._waits)
+
+
+class DuplicateRequestTable:
+    """A bounded LRU of completed responses keyed by (client, key).
+
+    The server consults it before executing a query that carries an
+    explicit request id or ``idempotency_key``: a key seen before is
+    answered with the stored response (marked ``"duplicate": true``)
+    instead of running again.  Only *executed* terminal responses are
+    stored — shed/rejected/internal-error responses must stay
+    retryable, so they never enter the table.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Dict[str, Any]]" = OrderedDict()
+        self.hits = 0
+
+    def get(self, key: Hashable) -> Optional[Dict[str, Any]]:
+        """The stored response of a repeated request, or None.
+
+        Returns a *top-level* copy: callers may add/replace keys (the
+        ``duplicate`` marker, the echoed id) but must not mutate nested
+        values, which stay shared with the stored entry.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return dict(entry)
+
+    def put(self, key: Hashable, response: Dict[str, Any]) -> None:
+        """Remember one completed response for future duplicates."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = dict(response)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"size": len(self._entries), "capacity": self.capacity,
+                    "hits": self.hits}

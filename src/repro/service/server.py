@@ -20,6 +20,7 @@ import logging
 import socket
 import socketserver
 import threading
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from .protocol import (
@@ -31,6 +32,7 @@ from .protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
 )
+from .resilience import DuplicateRequestTable
 from .service import QueryRequest, QueryService
 
 logger = logging.getLogger(__name__)
@@ -42,6 +44,14 @@ class _Handler(socketserver.StreamRequestHandler):
     #: fully buffered reads; the per-line memory bound comes from the
     #: size argument passed to ``readline`` in :meth:`handle`
     rbufsize = -1
+
+    def setup(self) -> None:
+        super().setup()
+        self.server._track_handler(self)  # type: ignore[attr-defined]
+
+    def finish(self) -> None:
+        self.server._untrack_handler(self)  # type: ignore[attr-defined]
+        super().finish()
 
     def handle(self) -> None:
         server: "QueryServer" = self.server  # type: ignore[assignment]
@@ -62,6 +72,12 @@ class _Handler(socketserver.StreamRequestHandler):
                 break
             stripped = line.strip()
             if not stripped:
+                # blank keepalive/noise lines get a structured error so
+                # broken clients notice instead of silently stalling
+                if not self._send(error_response(
+                        None,
+                        "empty line (a message must be a JSON object)")):
+                    break
                 continue
             if not self._send(server.handle_message(stripped)):
                 break
@@ -106,7 +122,23 @@ class QueryServer(socketserver.ThreadingTCPServer):
         self.service = service
         self._draining = threading.Event()
         self._drained = threading.Event()
+        # live connection handlers and their threads; daemon_threads
+        # means the base class never joins them, so graceful shutdown
+        # keeps its own registry to close and join (bounded) before the
+        # final metrics/slow-log dump
+        self._handlers: Dict[Any, threading.Thread] = {}
+        self._handlers_lock = threading.Lock()
+        size = service.config.dup_table_size
+        self.dup_table = (DuplicateRequestTable(size) if size > 0 else None)
         super().__init__(address, _Handler)
+
+    def _track_handler(self, handler: Any) -> None:
+        with self._handlers_lock:
+            self._handlers[handler] = threading.current_thread()
+
+    def _untrack_handler(self, handler: Any) -> None:
+        with self._handlers_lock:
+            self._handlers.pop(handler, None)
 
     # -- request dispatch -----------------------------------------------------
 
@@ -136,6 +168,18 @@ class QueryServer(socketserver.ThreadingTCPServer):
                 return {"id": request_id, "ok": True, "op": "ping",
                         "version": PROTOCOL_VERSION,
                         "draining": self.draining}
+            if op == "health":
+                report = self.service.health()
+                report["draining"] = bool(report["draining"]
+                                          or self.draining)
+                return {"id": request_id, "ok": True, "op": "health",
+                        "health": report}
+            if op == "ready":
+                ready, reason = self.service.ready()
+                if ready and self.draining:
+                    ready, reason = False, "draining"
+                return {"id": request_id, "ok": True, "op": "ready",
+                        "ready": ready, "reason": reason}
             if op == "stats":
                 if message.get("format") == "prometheus":
                     return {"id": request_id, "ok": True, "op": "stats",
@@ -167,10 +211,31 @@ class QueryServer(socketserver.ThreadingTCPServer):
 
     def _handle_query(self, message: Dict[str, Any],
                       request_id: Optional[str]) -> Dict[str, Any]:
+        client = str(message.get("client", "anon"))
+        attempt = message.get("attempt")
+        if isinstance(attempt, int) and attempt > 1:
+            self.service.note_retry(client)
+        dup_key = self._dup_key(message, request_id, client)
+        # only a declared retry (an idempotency key or attempt > 1) may
+        # *read* the table: separate client instances restart their id
+        # counters, so a bare id match is not proof of a retry
+        is_retry = (isinstance(message.get("idempotency_key"), str)
+                    or (isinstance(attempt, int) and attempt > 1))
+        if dup_key is not None and is_retry:
+            cached = self.dup_table.get(dup_key)
+            if cached is not None:
+                self.service.metrics.count("duplicate_requests")
+                replay = dict(cached)
+                replay["duplicate"] = True
+                if isinstance(request_id, str) and request_id:
+                    # echo the *incoming* id: a key-based retry may
+                    # arrive under a fresh wire id
+                    replay["id"] = request_id
+                return replay
         request = QueryRequest(
             query=message["query"],
             document=message.get("document", "data"),
-            client=str(message.get("client", "anon")),
+            client=client,
             limit=message.get("limit"),
             timeout=message.get("timeout"),
             max_steps=message.get("max_steps"),
@@ -185,7 +250,32 @@ class QueryServer(socketserver.ThreadingTCPServer):
         payload["id"] = request.request_id
         payload["ok"] = response.error is None
         payload["op"] = "query"
+        if (dup_key is not None and payload["ok"]
+                and response.outcome.status.value not in
+                ("SHED", "REJECTED")):
+            # remember only *executed* terminal outcomes: shed, rejected
+            # and errored requests never ran, so a retry should get a
+            # fresh attempt rather than a replay of the refusal
+            self.dup_table.put(dup_key, payload)
         return payload
+
+    def _dup_key(self, message: Dict[str, Any],
+                 request_id: Optional[str],
+                 client: str) -> Optional[Tuple[str, str, str]]:
+        """The duplicate-request table key for this query, if any.
+
+        An explicit ``idempotency_key`` opts any query in; otherwise a
+        client-supplied request id identifies retries of the same call.
+        Queries with neither (server-generated ids) are never deduped.
+        """
+        if self.dup_table is None:
+            return None
+        idem = message.get("idempotency_key")
+        if isinstance(idem, str) and idem:
+            return (client, "key", idem)
+        if isinstance(request_id, str) and request_id:
+            return (client, "id", request_id)
+        return None
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -213,6 +303,11 @@ class QueryServer(socketserver.ThreadingTCPServer):
         self.server_close()
         clean = self.service.drain(drain_timeout)
         self.service.shutdown(timeout=0)
+        # join handler threads (bounded) before the final dumps so the
+        # metrics summary and slow-query log include every response the
+        # handlers were still writing; daemon threads would otherwise
+        # race the dump (or die mid-write on interpreter exit)
+        self._join_handlers(timeout=2.0)
         logger.info("drained %s: %s",
                     "cleanly" if clean else "with cancellations",
                     self.service.metrics.summary())
@@ -220,6 +315,30 @@ class QueryServer(socketserver.ThreadingTCPServer):
             logger.info("slow query: %s", line)
         self._drained.set()
         return clean
+
+    def _join_handlers(self, timeout: float) -> bool:
+        """Close lingering connections, then join their threads.
+
+        Handlers blocked in ``readline`` on idle connections never see
+        the draining flag on their own; shutting their sockets down
+        unblocks them.  Returns True when every handler thread exited
+        inside the shared *timeout* budget.
+        """
+        with self._handlers_lock:
+            handlers = dict(self._handlers)
+        for handler in handlers:
+            try:
+                handler.connection.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        deadline = time.monotonic() + timeout
+        for thread in handlers.values():
+            if thread is threading.current_thread():
+                continue  # shutdown issued from inside a handler
+            thread.join(max(0.0, deadline - time.monotonic()))
+        return not any(
+            thread.is_alive() for thread in handlers.values()
+            if thread is not threading.current_thread())
 
 
 def probe(host: str, port: int, timeout: float = 0.5) -> bool:

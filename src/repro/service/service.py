@@ -24,7 +24,16 @@ import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Tuple,
+    Union,
+)
 
 from ..core.collection import GraphCollection
 from ..core.graph import Graph
@@ -39,6 +48,7 @@ from ..runtime import (
     Outcome,
     QueryOutcome,
     rejected_outcome,
+    shed_outcome,
 )
 from ..storage.database import GraphDatabase
 from ..storage.serializer import collection_to_text
@@ -51,6 +61,7 @@ from .cache import CachedPlan, PlanCache, ResultCache, make_key
 from .config import ServiceConfig
 from .metrics import ServiceMetrics
 from .pool import pool_execute, pool_init
+from .resilience import BreakerRegistry, QueueWaitEstimator
 
 logger = logging.getLogger(__name__)
 
@@ -105,15 +116,23 @@ class QueryResponse:
     error: Optional[str] = None
     #: planner fallback notes (one per degradation the matcher took)
     degradation: List[str] = field(default_factory=list)
+    #: seconds after which a SHED request is worth retrying (the
+    #: observed p95 queue wait, or the breaker's remaining cooldown)
+    retry_after: Optional[float] = None
 
     @property
     def rejected(self) -> bool:
         """Whether admission control turned this request away."""
         return self.outcome.status is Outcome.REJECTED
 
+    @property
+    def shed(self) -> bool:
+        """Whether load shedding / an open breaker turned this away."""
+        return self.outcome.status is Outcome.SHED
+
     def to_dict(self) -> Dict[str, Any]:
         """The wire form of this response (protocol payload)."""
-        return {
+        payload = {
             "request_id": self.request_id,
             "client": self.client,
             "results": self.results,
@@ -123,6 +142,29 @@ class QueryResponse:
             "error": self.error,
             "degradation": list(self.degradation),
         }
+        if self.retry_after is not None:
+            payload["retry_after"] = self.retry_after
+        return payload
+
+
+@dataclass
+class _Inflight:
+    """One admitted request's service-side state.
+
+    ``hard_deadline`` (monotonic seconds) is the watchdog's wall: a
+    request unfinished past it is considered stuck — its worker ignored
+    every cooperative signal — and abandoned.  ``claimed`` flips when a
+    worker thread actually starts the request, which is what lets a pool
+    recycle resubmit still-queued work without double-running it.
+    """
+
+    request: QueryRequest
+    token: CancellationToken
+    future: "Future[QueryResponse]"
+    submitted_at: float
+    root: Any = None
+    hard_deadline: Optional[float] = None
+    claimed: bool = False
 
 
 class QueryService:
@@ -142,16 +184,26 @@ class QueryService:
         self.admission = AdmissionController(self.config)
         self.plan_cache = PlanCache(self.config.plan_cache_size)
         self.result_cache = ResultCache(self.config.result_cache_size)
+        self.breakers = BreakerRegistry(
+            threshold=max(1, self.config.breaker_threshold),
+            cooldown=self.config.breaker_cooldown)
+        self.queue_wait = QueueWaitEstimator(
+            window=self.config.shed_window,
+            min_samples=self.config.shed_min_samples)
         self._register_gauges()
         self._executor: Optional[Union[ThreadPoolExecutor,
                                        ProcessPoolExecutor]] = None
-        self._in_flight: Dict[str, Tuple[CancellationToken,
-                                         "Future[QueryResponse]"]] = {}
+        self._in_flight: Dict[str, _Inflight] = {}
         #: per-document versions at process-pool start; process results
         #: are only cacheable while the live documents still match them
         self._pool_versions: Dict[str, int] = {}
         self._lock = threading.Lock()
         self._closed = False
+        self._watchdog: Optional[threading.Thread] = None
+        self._watchdog_stop = threading.Event()
+        #: test seam: called on the worker thread right before a query
+        #: executes (the recycling tests inject an uncooperative sleep)
+        self.execute_hook: Optional[Callable[[QueryRequest], None]] = None
         #: what opening the durable store found/repaired (None without one)
         self.recovery = None
         if self.config.store_path:
@@ -192,6 +244,18 @@ class QueryService:
         reg.gauge("repro_service_slow_log_entries",
                   "Entries currently held by the slow-query log.",
                   fn=lambda: len(self.slow_log))
+        from .resilience import STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN
+
+        for state in (STATE_CLOSED, STATE_OPEN, STATE_HALF_OPEN):
+            reg.gauge("repro_service_breaker_clients",
+                      "Client circuit breakers by state.",
+                      labels={"state": state},
+                      fn=lambda s=state: self.breakers.state_counts()
+                      .get(s, 0))
+        reg.gauge("repro_service_queue_wait_p95_seconds",
+                  "Observed p95 admission-to-execution wait "
+                  "(0 while the estimator is cold).",
+                  fn=lambda: self.queue_wait.p95() or 0.0)
 
     # -- graph registration ---------------------------------------------------
 
@@ -284,9 +348,16 @@ class QueryService:
             client=request.client, document=request.document)
         with tracer().activate(root):
             with trace_span("service.admission") as sp:
-                reason = self.admission.try_admit(request.client)
-                if reason is not None:
-                    sp.annotate(rejected=reason)
+                shed_reason, retry_after = self._shed_check(request)
+                if shed_reason is not None:
+                    sp.annotate(shed=shed_reason)
+                else:
+                    reason = self.admission.try_admit(request.client)
+                    if reason is not None:
+                        sp.annotate(rejected=reason)
+            if shed_reason is not None:
+                return self._shed(request, shed_reason, retry_after,
+                                  root=root)
             if reason is not None:
                 return self._reject(request, reason, root=root)
             self.metrics.count("admitted")
@@ -305,13 +376,18 @@ class QueryService:
                     elapsed=time.perf_counter() - submitted_at,
                 )
                 self._finish(request, response, submitted_at, outer=None,
-                             root=root)
+                             root=root, tracked=False)
                 done: "Future[QueryResponse]" = Future()
                 done.set_result(response)
                 return done
 
             token = CancellationToken()
             outer: "Future[QueryResponse]" = Future()
+            entry = _Inflight(
+                request=request, token=token, future=outer,
+                submitted_at=submitted_at, root=root,
+                hard_deadline=self._hard_deadline_for(request),
+            )
             with self._lock:
                 # the id is the cancellation handle, so it must be unique
                 # among in-flight requests — a second insert would orphan
@@ -321,12 +397,13 @@ class QueryService:
                     self.metrics.count("admitted", -1)
                     duplicate = True
                 else:
-                    self._in_flight[request.request_id] = (token, outer)
+                    self._in_flight[request.request_id] = entry
                     duplicate = False
             if duplicate:
                 return self._reject(request, REASON_DUPLICATE_ID, root=root)
             try:
                 executor = self._ensure_executor()
+                self._ensure_watchdog()
                 if self.config.use_processes:
                     key = self._process_cache_key(request)
                     dispatch = tracer().start("service.dispatch",
@@ -342,8 +419,7 @@ class QueryService:
                             request, f, submitted_at, outer, key,
                             root=root, dispatch=dispatch))
                 else:
-                    executor.submit(self._run_local, request, token,
-                                    submitted_at, outer, root)
+                    executor.submit(self._run_local, entry)
             except Exception as exc:  # pool shut down under us => shed load
                 logger.warning("submit failed for %s: %s",
                                request.request_id, exc)
@@ -370,6 +446,190 @@ class QueryService:
         done: "Future[QueryResponse]" = Future()
         done.set_result(response)
         return done
+
+    # -- resilience: shedding, breakers, the watchdog -------------------------
+
+    def _shed_check(
+            self, request: QueryRequest
+    ) -> Tuple[Optional[str], Optional[float]]:
+        """Whether to shed this request, plus a retry-after hint.
+
+        Two reasons to shed: the client's circuit breaker is open, or
+        the request's whole deadline is below the observed p95 queue
+        wait — it would expire in the queue, so starting it only wastes
+        a worker.
+        """
+        if self.config.breaker_threshold > 0:
+            allowed, retry_after = self.breakers.allow(request.client)
+            if not allowed:
+                self.metrics.record_shed("breaker")
+                return (f"circuit breaker open for client "
+                        f"{request.client!r}", retry_after)
+        if self.config.shed_enabled:
+            effective = self.config.tighten(request.timeout,
+                                            self.config.default_timeout)
+            if effective is not None:
+                p95 = self.queue_wait.p95()
+                if p95 is not None and effective < p95:
+                    self.metrics.record_shed("deadline")
+                    return (f"deadline {effective:g}s is below the "
+                            f"observed p95 queue wait {p95:.3f}s",
+                            round(p95, 3))
+        return None, None
+
+    def _shed(self, request: QueryRequest, reason: str,
+              retry_after: Optional[float],
+              root=None) -> "Future[QueryResponse]":
+        self.metrics.record_outcome(Outcome.SHED)
+        response = QueryResponse(
+            request_id=request.request_id, client=request.client,
+            outcome=shed_outcome(reason), cache="bypass",
+            retry_after=retry_after,
+        )
+        if root is not None:
+            root.annotate(status=Outcome.SHED.value, reason=reason)
+            root.finish()
+        done: "Future[QueryResponse]" = Future()
+        done.set_result(response)
+        return done
+
+    def _hard_deadline_for(self, request: QueryRequest) -> Optional[float]:
+        """The watchdog wall of one request (monotonic), or None.
+
+        A worker that has not produced a result after
+        ``watchdog_multiple`` times the request's *effective* timeout is
+        wedged — the cooperative deadline inside the worker fired long
+        ago and was ignored.  Requests with no effective timeout are
+        never watched (there is no deadline to multiply).
+        """
+        if self.config.watchdog_multiple <= 0:
+            return None
+        effective = self.config.tighten(request.timeout,
+                                        self.config.default_timeout)
+        if effective is None:
+            return None
+        return time.monotonic() + self.config.watchdog_multiple * effective
+
+    def _record_breaker(self, request: QueryRequest,
+                        response: QueryResponse) -> None:
+        """Feed one finished request to its client's circuit breaker."""
+        if self.config.breaker_threshold <= 0:
+            return
+        status = response.outcome.status
+        if response.error is not None or status is Outcome.TIMED_OUT:
+            self.breakers.record(request.client, failed=True)
+        elif status in (Outcome.COMPLETE, Outcome.TRUNCATED):
+            self.breakers.record(request.client, failed=False)
+        # CANCELLED / REJECTED / SHED are neutral: not the query's fault
+
+    def _ensure_watchdog(self) -> None:
+        if self.config.watchdog_multiple <= 0:
+            return
+        with self._lock:
+            if self._watchdog is None and not self._closed:
+                self._watchdog = threading.Thread(
+                    target=self._watchdog_loop,
+                    name="repro-pool-watchdog", daemon=True)
+                self._watchdog.start()
+
+    def _watchdog_loop(self) -> None:
+        while not self._watchdog_stop.wait(self.config.watchdog_interval):
+            try:
+                self._watchdog_scan()
+            except Exception:  # the watchdog itself must never die
+                logger.exception("pool watchdog scan failed")
+
+    def _watchdog_scan(self) -> None:
+        """Abandon stuck requests, then recycle the wedged pool."""
+        now = time.monotonic()
+        with self._lock:
+            stuck = [entry for entry in self._in_flight.values()
+                     if entry.hard_deadline is not None
+                     and now > entry.hard_deadline]
+        if not stuck:
+            return
+        for entry in stuck:
+            self._abandon(entry)
+        self._recycle_pool(
+            f"{len(stuck)} request(s) stuck past their hard deadline")
+
+    def _abandon(self, entry: _Inflight) -> None:
+        """Answer a stuck request TIMED_OUT and free its slot.
+
+        The wedged worker may still complete eventually; its late
+        ``_finish`` finds the entry gone and drops the result instead of
+        double-releasing admission.
+        """
+        request = entry.request
+        with self._lock:
+            if self._in_flight.get(request.request_id) is not entry:
+                return  # finished (or already abandoned) in the race
+            del self._in_flight[request.request_id]
+        self.admission.release(request.client)
+        reason = (f"watchdog: no result after "
+                  f"{self.config.watchdog_multiple:g}x the effective "
+                  f"timeout; worker recycled")
+        entry.token.cancel(reason)
+        self.metrics.count("watchdog_recycles")
+        latency = time.perf_counter() - entry.submitted_at
+        response = QueryResponse(
+            request_id=request.request_id, client=request.client,
+            outcome=QueryOutcome(status=Outcome.TIMED_OUT, reason=reason,
+                                 elapsed=latency),
+            cache="bypass", elapsed=latency,
+        )
+        self.metrics.record_outcome(Outcome.TIMED_OUT, latency=latency)
+        self._record_breaker(request, response)
+        if entry.root is not None:
+            entry.root.annotate(status=Outcome.TIMED_OUT.value,
+                                watchdog="recycled")
+            entry.root.finish()
+        self._record_slow(request, response, latency, entry.root)
+        if not entry.future.done():
+            entry.future.set_result(response)
+
+    def _recycle_pool(self, reason: str) -> None:
+        """Replace the worker pool without waiting for wedged workers.
+
+        Thread pools: the old executor is shut down without waiting
+        (stuck threads finish on their own time and their late results
+        are dropped); work that was still *queued* is resubmitted on the
+        fresh executor, so only the stuck requests pay.  Process pools:
+        the worker processes are killed and the pool is rebuilt from a
+        fresh snapshot — ``_pool_versions`` is recaptured at rebuild, so
+        the snapshot-version cache invariants hold across the recycle.
+        In-flight process requests fail with a structured error (their
+        futures break with the pool); none of them can hang.
+        """
+        logger.warning("recycling the worker pool: %s", reason)
+        with self._lock:
+            executor, self._executor = self._executor, None
+            self._pool_versions = {}
+            queued = ([] if self.config.use_processes else
+                      [entry for entry in self._in_flight.values()
+                       if not entry.claimed])
+        if executor is None:
+            return
+        if self.config.use_processes:
+            processes = getattr(executor, "_processes", None) or {}
+            for process in list(processes.values()):
+                try:
+                    process.terminate()
+                except Exception:
+                    pass
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                logger.exception("process pool shutdown after recycle")
+            return
+        executor.shutdown(wait=False, cancel_futures=True)
+        if queued:
+            fresh = self._ensure_executor()
+            for entry in queued:
+                try:
+                    fresh.submit(self._run_local, entry)
+                except Exception:
+                    self._abandon(entry)
 
     # -- execution ------------------------------------------------------------
 
@@ -474,15 +734,30 @@ class QueryService:
         self.plan_cache.put(key, plan)
         return plan.pattern, plan
 
-    def _run_local(self, request: QueryRequest, token: CancellationToken,
-                   submitted_at: float,
-                   outer: "Future[QueryResponse]", root=None) -> None:
+    def _run_local(self, entry: _Inflight) -> None:
         """Worker-thread body: compile, match, serialize, cache.
 
-        *root* is the request's trace span started in :meth:`submit`;
-        activating it here re-parents this worker thread's spans under
-        the submitting request, so concurrent requests never interleave.
+        ``entry.root`` is the request's trace span started in
+        :meth:`submit`; activating it here re-parents this worker
+        thread's spans under the submitting request, so concurrent
+        requests never interleave.  The claim check makes execution
+        exactly-once across pool recycles: a queued work item that was
+        both cancelled-and-resubmitted runs on whichever executor claims
+        it first, and an entry the watchdog abandoned never starts.
         """
+        request, token = entry.request, entry.token
+        submitted_at, outer, root = (entry.submitted_at, entry.future,
+                                     entry.root)
+        with self._lock:
+            if (self._in_flight.get(request.request_id) is not entry
+                    or entry.claimed):
+                return
+            entry.claimed = True
+        # the queue wait just ended: this sample is what deadline-aware
+        # shedding compares incoming deadlines against
+        self.queue_wait.observe(time.perf_counter() - submitted_at)
+        if self.execute_hook is not None:
+            self.execute_hook(request)
         with tracer().activate(root):
             with trace_span("service.execute"):
                 context = self.config.derive_context(
@@ -580,18 +855,33 @@ class QueryService:
         )
         self._finish(request, response, submitted_at, outer, root=root)
 
-    def _release(self, request: QueryRequest) -> None:
-        self.admission.release(request.client)
+    def _release(self, request: QueryRequest, tracked: bool = True) -> bool:
+        """Free one request's admission slot (idempotent).
+
+        Returns True when this call owned the completion.  ``tracked``
+        requests release only if their in-flight entry was still
+        present — the watchdog may have abandoned them (and released
+        the slot) already.  Untracked requests (cache hits, which never
+        enter the in-flight map) always release.
+        """
         with self._lock:
-            self._in_flight.pop(request.request_id, None)
+            popped = self._in_flight.pop(request.request_id, None) is not None
+        if popped or not tracked:
+            self.admission.release(request.client)
+            return True
+        return False
 
     def _finish(self, request: QueryRequest, response: QueryResponse,
                 submitted_at: float,
                 outer: Optional["Future[QueryResponse]"],
-                root=None) -> None:
-        self._release(request)
+                root=None, tracked: bool = True) -> None:
+        if not self._release(request, tracked=tracked):
+            # the watchdog abandoned this request: the client was
+            # answered and accounted long ago — drop the late result
+            return
         latency = time.perf_counter() - submitted_at
         self.metrics.record_outcome(response.outcome.status, latency=latency)
+        self._record_breaker(request, response)
         if root is not None:
             root.annotate(status=response.outcome.status.value,
                           cache=response.cache)
@@ -636,8 +926,7 @@ class QueryService:
             entry = self._in_flight.get(request_id)
         if entry is None:
             return False
-        token, _future = entry
-        token.cancel(reason)
+        entry.token.cancel(reason)
         self.metrics.count("cancelled_requests")
         return True
 
@@ -645,8 +934,8 @@ class QueryService:
         """Cancel every in-flight request; returns how many were signalled."""
         with self._lock:
             entries = list(self._in_flight.values())
-        for token, _future in entries:
-            token.cancel(reason)
+        for entry in entries:
+            entry.token.cancel(reason)
         return len(entries)
 
     def metrics_text(self) -> str:
@@ -697,12 +986,20 @@ class QueryService:
             snapshot[section]["evictions"] = lru["evictions"]
             snapshot[section]["lru"] = {"hits": lru["hits"],
                                         "misses": lru["misses"]}
+        snapshot["resilience"] = {
+            "breakers": self.breakers.snapshot(),
+            "breaker_states": self.breakers.state_counts(),
+            "queue_wait_p95": self.queue_wait.p95(),
+            "queue_wait_samples": len(self.queue_wait),
+        }
         snapshot["config"] = {
             "workers": self.config.workers,
             "queue_depth": self.config.queue_depth,
             "per_client": self.config.per_client,
             "use_processes": self.config.use_processes,
             "default_timeout": self.config.default_timeout,
+            "breaker_threshold": self.config.breaker_threshold,
+            "watchdog_multiple": self.config.watchdog_multiple,
         }
         store = self.database.durable_store
         if store is not None:
@@ -717,6 +1014,46 @@ class QueryService:
             }
         return snapshot
 
+    def note_retry(self, client: str) -> None:
+        """Account one retried arrival (the wire layer calls this when a
+        request carries ``attempt > 1``) — the server-visible view of
+        client retry activity."""
+        self.metrics.note_client_retry(client)
+
+    def health(self) -> Dict[str, Any]:
+        """The liveness view: drain state, recovery, breakers, watchdog.
+
+        Always answerable (health is about *reporting* state, readiness
+        is about *accepting* work — see :meth:`ready`).
+        """
+        draining = self.admission.draining or self._closed
+        return {
+            "status": "draining" if draining else "ok",
+            "draining": draining,
+            "in_flight": self.admission.in_flight,
+            "documents": len(self.database.names()),
+            "breakers": self.breakers.state_counts(),
+            "watchdog_recycles": self.metrics.watchdog_recycles,
+            "shed": self.metrics.shed_snapshot(),
+            "recovery": (self.recovery.to_dict()
+                         if self.recovery is not None else None),
+        }
+
+    def ready(self) -> Tuple[bool, str]:
+        """Whether the service should receive new traffic, plus why not.
+
+        Not ready while draining/closed or before any document is
+        registered; a durable store that needed recovery is ready as
+        soon as the (synchronous, startup-time) recovery finished.
+        """
+        if self._closed:
+            return False, "service closed"
+        if self.admission.draining:
+            return False, "draining"
+        if not self.database.names():
+            return False, "no documents registered"
+        return True, "ok"
+
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Stop admitting, wait for in-flight work, cancel stragglers.
 
@@ -729,8 +1066,8 @@ class QueryService:
         clean = True
         while True:
             with self._lock:
-                pending = [future for _token, future
-                           in self._in_flight.values()]
+                pending = [entry.future
+                           for entry in self._in_flight.values()]
             if not pending:
                 break
             remaining = deadline - time.monotonic()
@@ -751,6 +1088,11 @@ class QueryService:
                 return self.stats()
             self._closed = True
         self.drain(timeout)
+        self._watchdog_stop.set()
+        with self._lock:
+            watchdog, self._watchdog = self._watchdog, None
+        if watchdog is not None:
+            watchdog.join(timeout=2.0)
         with self._lock:
             executor, self._executor = self._executor, None
         if executor is not None:
