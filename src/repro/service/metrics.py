@@ -44,6 +44,7 @@ _COUNTER_NAMES = (
     "plan_cache_hits",
     "plan_cache_misses",
     "watchdog_recycles",
+    "watchdog_abandoned",
     "duplicate_requests",
 )
 
@@ -58,6 +59,9 @@ _COUNTER_HELP = {
     "plan_cache_hits": "Plan-cache hits (replayed search orders).",
     "plan_cache_misses": "Plan-cache misses.",
     "watchdog_recycles": "Stuck workers the pool watchdog recycled.",
+    "watchdog_abandoned": "Queued requests the watchdog abandoned as "
+                          "TIMED_OUT without recycling the pool (no "
+                          "worker had started them).",
     "duplicate_requests": "Retried requests answered from the "
                           "duplicate-request table.",
 }
@@ -185,6 +189,7 @@ class ServiceMetrics:
             },
             "shed": self.shed_snapshot(),
             "watchdog_recycles": self._counters["watchdog_recycles"].value,
+            "watchdog_abandoned": self._counters["watchdog_abandoned"].value,
             "duplicate_requests": self._counters["duplicate_requests"].value,
             "client_retries": self.client_retries,
             "outcomes": self.outcomes,

@@ -74,6 +74,7 @@ class CircuitBreaker:
         self.opened_at: Optional[float] = None
         self.opened_total = 0  # times the circuit has opened (monotone)
         self._probe_in_flight = False
+        self._probe_started_at: Optional[float] = None
 
     def allow(self) -> Tuple[bool, Optional[float]]:
         """Whether a request may pass, plus a retry-after hint when not.
@@ -91,19 +92,49 @@ class CircuitBreaker:
                     return False, remaining
                 self.state = STATE_HALF_OPEN
                 self._probe_in_flight = False
-            # HALF_OPEN: exactly one probe at a time
+            # HALF_OPEN: exactly one probe at a time.  A probe whose
+            # outcome never arrived (its request was turned away
+            # downstream, its connection died mid-flight) must not hold
+            # the slot forever: after a full cooldown it is presumed
+            # lost and the slot is re-offered.
             if self._probe_in_flight:
-                return False, self.cooldown
+                started = self._probe_started_at
+                if started is not None and now - started < self.cooldown:
+                    return False, max(0.0, started + self.cooldown - now)
             self._probe_in_flight = True
+            self._probe_started_at = now
             return True, None
 
-    def record_success(self) -> None:
-        """A finished request succeeded: reset towards CLOSED."""
+    def release_probe(self) -> None:
+        """Give back a HALF_OPEN probe slot without an outcome.
+
+        Called when a request the breaker admitted is turned away
+        before it executes (admission full, deadline shed, duplicate
+        id, submit failure) or finishes with a neutral outcome: the
+        probe neither succeeded nor failed, so the next request should
+        get the slot instead of waiting out the lost-probe timeout.
+        """
         with self._lock:
+            if self.state == STATE_HALF_OPEN:
+                self._probe_in_flight = False
+                self._probe_started_at = None
+
+    def record_success(self) -> None:
+        """A finished request succeeded: reset towards CLOSED.
+
+        Ignored while OPEN: a straggler admitted before the circuit
+        opened that happens to succeed must not short-circuit the
+        cooldown — only a HALF_OPEN probe may close the circuit during
+        a partial outage.
+        """
+        with self._lock:
+            if self.state == STATE_OPEN:
+                return
             self.state = STATE_CLOSED
             self.consecutive_failures = 0
             self.opened_at = None
             self._probe_in_flight = False
+            self._probe_started_at = None
 
     def record_failure(self) -> None:
         """A finished request failed/timed out: count towards OPEN."""
@@ -116,6 +147,7 @@ class CircuitBreaker:
                 self.state = STATE_OPEN
                 self.opened_at = self._clock()
                 self._probe_in_flight = False
+                self._probe_started_at = None
 
     def snapshot(self) -> Dict[str, Any]:
         """A JSON-ready view for ``stats()``."""
@@ -163,6 +195,13 @@ class BreakerRegistry:
             breaker.record_failure()
         else:
             breaker.record_success()
+
+    def release_probe(self, client: str) -> None:
+        """Return *client*'s HALF_OPEN probe slot without an outcome."""
+        with self._lock:
+            breaker = self._breakers.get(client)
+        if breaker is not None:
+            breaker.release_probe()
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """Every known client's breaker state (for ``stats()``)."""
@@ -223,9 +262,10 @@ class DuplicateRequestTable:
     The server consults it before executing a query that carries an
     explicit request id or ``idempotency_key``: a key seen before is
     answered with the stored response (marked ``"duplicate": true``)
-    instead of running again.  Only *executed* terminal responses are
-    stored — shed/rejected/internal-error responses must stay
-    retryable, so they never enter the table.
+    instead of running again.  Only *useful* executed responses
+    (COMPLETE/TRUNCATED) are stored — shed, rejected, timed-out,
+    cancelled and internal-error responses must stay retryable, so they
+    never enter the table.
     """
 
     def __init__(self, capacity: int = 512) -> None:

@@ -32,6 +32,7 @@ from .protocol import (
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
 )
+from ..runtime import Outcome
 from .resilience import DuplicateRequestTable
 from .service import QueryRequest, QueryService
 
@@ -251,11 +252,12 @@ class QueryServer(socketserver.ThreadingTCPServer):
         payload["ok"] = response.error is None
         payload["op"] = "query"
         if (dup_key is not None and payload["ok"]
-                and response.outcome.status.value not in
-                ("SHED", "REJECTED")):
-            # remember only *executed* terminal outcomes: shed, rejected
-            # and errored requests never ran, so a retry should get a
-            # fresh attempt rather than a replay of the refusal
+                and response.outcome.status in
+                (Outcome.COMPLETE, Outcome.TRUNCATED)):
+            # remember only *useful* executed outcomes: shed, rejected
+            # and errored requests never ran, and timed-out/cancelled
+            # ones produced nothing worth replaying — a retry of any of
+            # those should get a fresh attempt, not the old refusal
             self.dup_table.put(dup_key, payload)
         return payload
 

@@ -152,9 +152,11 @@ class _Inflight:
     """One admitted request's service-side state.
 
     ``hard_deadline`` (monotonic seconds) is the watchdog's wall: a
-    request unfinished past it is considered stuck — its worker ignored
-    every cooperative signal — and abandoned.  ``claimed`` flips when a
-    worker thread actually starts the request, which is what lets a pool
+    request unfinished past it is considered stuck and abandoned.  It
+    is anchored at submit but *re-anchored* when a worker actually
+    starts the request, so time spent merely queued behind a backlog
+    never counts as "stuck worker".  ``claimed`` flips when a worker
+    thread actually starts the request, which is what lets a pool
     recycle resubmit still-queued work without double-running it.
     """
 
@@ -163,8 +165,14 @@ class _Inflight:
     future: "Future[QueryResponse]"
     submitted_at: float
     root: Any = None
+    #: watchdog wall-clock budget (seconds) once a worker starts the
+    #: request; None when the request has no effective timeout
+    watchdog_budget: Optional[float] = None
     hard_deadline: Optional[float] = None
     claimed: bool = False
+    #: process-pool inner future (None on the thread path); lets the
+    #: watchdog tell a dispatched-but-unstarted request from a running one
+    inner: Optional[Future] = None
 
 
 class QueryService:
@@ -383,10 +391,13 @@ class QueryService:
 
             token = CancellationToken()
             outer: "Future[QueryResponse]" = Future()
+            budget = self._watchdog_budget_for(request)
             entry = _Inflight(
                 request=request, token=token, future=outer,
                 submitted_at=submitted_at, root=root,
-                hard_deadline=self._hard_deadline_for(request),
+                watchdog_budget=budget,
+                hard_deadline=(None if budget is None
+                               else time.monotonic() + budget),
             )
             with self._lock:
                 # the id is the cancellation handle, so it must be unique
@@ -414,6 +425,7 @@ class QueryService:
                         self._options_kwargs(request),
                         self._governance_kwargs(request),
                     )
+                    entry.inner = inner
                     inner.add_done_callback(
                         lambda f: self._finish_process(
                             request, f, submitted_at, outer, key,
@@ -434,6 +446,9 @@ class QueryService:
 
     def _reject(self, request: QueryRequest, reason: str,
                 root=None) -> "Future[QueryResponse]":
+        # every reject happens after the breaker check admitted the
+        # request, so a HALF_OPEN probe slot may be riding on it
+        self._release_probe(request.client)
         self.metrics.count("rejected")
         self.metrics.record_outcome(Outcome.REJECTED)
         response = QueryResponse(
@@ -472,10 +487,23 @@ class QueryService:
                 p95 = self.queue_wait.p95()
                 if p95 is not None and effective < p95:
                     self.metrics.record_shed("deadline")
+                    # the breaker may have just spent its HALF_OPEN
+                    # probe slot on this request: give it back
+                    self._release_probe(request.client)
                     return (f"deadline {effective:g}s is below the "
                             f"observed p95 queue wait {p95:.3f}s",
                             round(p95, 3))
         return None, None
+
+    def _release_probe(self, client: str) -> None:
+        """Return a breaker probe slot taken by a request that was
+        turned away before it could execute.
+
+        Without this, a HALF_OPEN probe shed/rejected downstream would
+        resolve to neither success nor failure and the slot would stay
+        occupied until the lost-probe timeout."""
+        if self.config.breaker_threshold > 0:
+            self.breakers.release_probe(client)
 
     def _shed(self, request: QueryRequest, reason: str,
               retry_after: Optional[float],
@@ -493,8 +521,8 @@ class QueryService:
         done.set_result(response)
         return done
 
-    def _hard_deadline_for(self, request: QueryRequest) -> Optional[float]:
-        """The watchdog wall of one request (monotonic), or None.
+    def _watchdog_budget_for(self, request: QueryRequest) -> Optional[float]:
+        """The watchdog wall-clock budget of one request, or None.
 
         A worker that has not produced a result after
         ``watchdog_multiple`` times the request's *effective* timeout is
@@ -508,7 +536,7 @@ class QueryService:
                                         self.config.default_timeout)
         if effective is None:
             return None
-        return time.monotonic() + self.config.watchdog_multiple * effective
+        return self.config.watchdog_multiple * effective
 
     def _record_breaker(self, request: QueryRequest,
                         response: QueryResponse) -> None:
@@ -520,7 +548,11 @@ class QueryService:
             self.breakers.record(request.client, failed=True)
         elif status in (Outcome.COMPLETE, Outcome.TRUNCATED):
             self.breakers.record(request.client, failed=False)
-        # CANCELLED / REJECTED / SHED are neutral: not the query's fault
+        else:
+            # CANCELLED / REJECTED / SHED are neutral: not the query's
+            # fault — but if this request held the HALF_OPEN probe slot
+            # it must give it back, or no probe ever resolves
+            self.breakers.release_probe(request.client)
 
     def _ensure_watchdog(self) -> None:
         if self.config.watchdog_multiple <= 0:
@@ -539,8 +571,29 @@ class QueryService:
             except Exception:  # the watchdog itself must never die
                 logger.exception("pool watchdog scan failed")
 
+    @staticmethod
+    def _worker_started(entry: _Inflight) -> bool:
+        """Whether a worker has actually begun executing *entry*.
+
+        Thread path: the worker flips ``claimed`` when it picks the
+        entry up.  Process path: the inner future leaves PENDING once
+        the pool hands the work item to a worker process.
+        """
+        if entry.inner is not None:
+            return entry.inner.running() or entry.inner.done()
+        return entry.claimed
+
     def _watchdog_scan(self) -> None:
-        """Abandon stuck requests, then recycle the wedged pool."""
+        """Abandon stuck requests; recycle only when a worker is wedged.
+
+        A request past its hard deadline that no worker ever *started*
+        is a queue-backlog casualty, not a stuck worker: it is answered
+        TIMED_OUT and its queued work item cancelled, but the pool —
+        whose workers are all making progress — is left alone.  Killing
+        every worker over a backlog would fail all in-flight requests
+        and start a service-wide reset loop exactly when the service is
+        busiest.
+        """
         now = time.monotonic()
         with self._lock:
             stuck = [entry for entry in self._in_flight.values()
@@ -548,17 +601,31 @@ class QueryService:
                      and now > entry.hard_deadline]
         if not stuck:
             return
+        wedged = 0
         for entry in stuck:
-            self._abandon(entry)
-        self._recycle_pool(
-            f"{len(stuck)} request(s) stuck past their hard deadline")
+            started = self._worker_started(entry)
+            if started:
+                wedged += 1
+            elif entry.inner is not None:
+                entry.inner.cancel()  # still pending: never dispatch it
+            self._abandon(entry, stuck_worker=started)
+        if wedged:
+            self._recycle_pool(
+                f"{wedged} request(s) stuck past their hard deadline")
+        else:
+            logger.warning(
+                "watchdog: abandoned %d queued request(s) past their hard "
+                "deadline; pool left alone (no worker had started them)",
+                len(stuck))
 
-    def _abandon(self, entry: _Inflight) -> None:
+    def _abandon(self, entry: _Inflight, stuck_worker: bool = True) -> None:
         """Answer a stuck request TIMED_OUT and free its slot.
 
         The wedged worker may still complete eventually; its late
         ``_finish`` finds the entry gone and drops the result instead of
-        double-releasing admission.
+        double-releasing admission.  ``stuck_worker`` is False for a
+        request no worker ever started (abandoned over a queue backlog,
+        or a failed resubmit after a recycle).
         """
         request = entry.request
         with self._lock:
@@ -566,11 +633,17 @@ class QueryService:
                 return  # finished (or already abandoned) in the race
             del self._in_flight[request.request_id]
         self.admission.release(request.client)
-        reason = (f"watchdog: no result after "
-                  f"{self.config.watchdog_multiple:g}x the effective "
-                  f"timeout; worker recycled")
+        if stuck_worker:
+            reason = (f"watchdog: no result after "
+                      f"{self.config.watchdog_multiple:g}x the effective "
+                      f"timeout; worker recycled")
+        else:
+            reason = (f"watchdog: still queued after "
+                      f"{self.config.watchdog_multiple:g}x the effective "
+                      f"timeout; abandoned without running")
         entry.token.cancel(reason)
-        self.metrics.count("watchdog_recycles")
+        self.metrics.count("watchdog_recycles" if stuck_worker
+                           else "watchdog_abandoned")
         latency = time.perf_counter() - entry.submitted_at
         response = QueryResponse(
             request_id=request.request_id, client=request.client,
@@ -629,7 +702,7 @@ class QueryService:
                 try:
                     fresh.submit(self._run_local, entry)
                 except Exception:
-                    self._abandon(entry)
+                    self._abandon(entry, stuck_worker=False)
 
     # -- execution ------------------------------------------------------------
 
@@ -753,6 +826,12 @@ class QueryService:
                     or entry.claimed):
                 return
             entry.claimed = True
+            # re-anchor the watchdog wall now that a worker is actually
+            # running this request: queue wait is the pool's fault, not
+            # the worker's, and must not read as "stuck"
+            if entry.watchdog_budget is not None:
+                entry.hard_deadline = (time.monotonic()
+                                       + entry.watchdog_budget)
         # the queue wait just ended: this sample is what deadline-aware
         # shedding compares incoming deadlines against
         self.queue_wait.observe(time.perf_counter() - submitted_at)
@@ -837,6 +916,11 @@ class QueryService:
                 rows, outcome_dict = payload
             outcome = QueryOutcome.from_dict(outcome_dict)
             self.metrics.count("executed")
+            # the worker reports its own execution time; the remainder
+            # of the round-trip is dispatch + queue wait, which is what
+            # deadline-aware shedding needs to see in process mode too
+            self.queue_wait.observe(max(
+                0.0, (time.perf_counter() - submitted_at) - outcome.elapsed))
         except Exception as exc:
             error = str(exc)
         if dispatch is not None:

@@ -97,6 +97,48 @@ class TestCircuitBreaker:
         breaker.record_failure()
         assert breaker.state == STATE_CLOSED
 
+    def test_released_probe_slot_is_reoffered_immediately(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.now += 6.0
+        assert breaker.allow() == (True, None)  # the probe
+        assert not breaker.allow()[0]
+        # the probe request was turned away downstream (shed/rejected):
+        # giving the slot back re-opens it to the very next request
+        breaker.release_probe()
+        assert breaker.allow() == (True, None)
+        assert breaker.state == STATE_HALF_OPEN
+
+    def test_lost_probe_times_out_and_is_reoffered(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        clock.now += 6.0
+        assert breaker.allow()[0]  # probe taken, outcome never arrives
+        allowed, retry_after = breaker.allow()
+        assert not allowed and retry_after == pytest.approx(5.0)
+        clock.now += 5.5  # a full cooldown later: the probe is presumed
+        assert breaker.allow() == (True, None)  # lost and re-offered
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+
+    def test_straggler_success_while_open_is_ignored(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=2, cooldown=5.0, clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        # a slow request admitted before the circuit opened succeeds:
+        # it must not short-circuit the cooldown
+        breaker.record_success()
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow()[0]
+        clock.now += 6.0  # ... only the HALF_OPEN probe may close it
+        assert breaker.allow()[0]
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+
     def test_registry_tracks_clients_independently(self):
         clock = FakeClock()
         registry = BreakerRegistry(threshold=1, cooldown=5.0, clock=clock)
@@ -236,6 +278,30 @@ class TestBreakerShedding:
             assert probe.outcome.status is Outcome.COMPLETE
             assert breaker.state == STATE_CLOSED
 
+    def test_turned_away_probe_releases_the_half_open_slot(self):
+        with make_service(breaker_threshold=1, breaker_cooldown=0.1,
+                          shed_min_samples=5) as service:
+            error = service.submit(QueryRequest(
+                query="graph P { broken", client="flaky")).result(timeout=5)
+            assert error.error is not None
+            breaker = service.breakers.breaker("flaky")
+            assert breaker.state == STATE_OPEN
+            time.sleep(0.15)  # cooldown elapses: HALF_OPEN next
+            for _ in range(5):
+                service.queue_wait.observe(2.0)
+            # the HALF_OPEN probe itself is deadline-shed downstream:
+            # the slot must come back instead of wedging the breaker
+            shed = service.submit(QueryRequest(
+                query=EDGE_QUERY, client="flaky", timeout=0.01,
+            )).result(timeout=5)
+            assert shed.outcome.status is Outcome.SHED
+            assert "queue wait" in shed.outcome.reason
+            probe = service.submit(QueryRequest(
+                query=EDGE_QUERY, client="flaky", timeout=10.0,
+            )).result(timeout=10)
+            assert probe.outcome.status is Outcome.COMPLETE
+            assert breaker.state == STATE_CLOSED
+
     def test_breaker_disabled_by_config(self):
         with make_service(breaker_threshold=0) as service:
             for _ in range(20):
@@ -298,6 +364,37 @@ class TestPoolWatchdog:
             assert before == after
             assert service.admission.in_flight == 0
 
+    def test_queued_backlog_is_abandoned_not_recycled(self):
+        with make_service(workers=1, default_timeout=10.0,
+                          watchdog_multiple=2.0, watchdog_interval=0.05,
+                          shed_enabled=False,
+                          breaker_threshold=0) as service:
+            release = threading.Event()
+
+            def hook(request):
+                if request.client == "busy":
+                    release.wait(5.0)
+
+            service.execute_hook = hook
+            busy = service.submit(QueryRequest(
+                query=EDGE_QUERY, client="busy", use_cache=False,
+                timeout=5.0))
+            time.sleep(0.1)  # the single worker has claimed "busy"
+            queued = [service.submit(QueryRequest(
+                query=EDGE_QUERY, client="waiting", use_cache=False,
+                timeout=0.05)) for _ in range(3)]
+            responses = [future.result(timeout=10) for future in queued]
+            for response in responses:
+                assert response.outcome.status is Outcome.TIMED_OUT
+                assert "still queued" in response.outcome.reason
+            # a backlog is not a wedged worker: the pool stays intact
+            assert service.metrics.watchdog_recycles == 0
+            assert service.metrics.watchdog_abandoned == 3
+            release.set()
+            done = busy.result(timeout=10)
+            assert done.outcome.status is Outcome.COMPLETE
+            assert service.admission.in_flight == 0
+
     def test_watchdog_disabled_by_config(self):
         with make_service(watchdog_multiple=0.0) as service:
             response = service.submit(
@@ -310,6 +407,9 @@ class TestPoolWatchdog:
             first = service.submit(QueryRequest(
                 query=EDGE_QUERY, limit=10)).result(timeout=60)
             assert first.outcome.status is Outcome.COMPLETE
+            # process mode feeds the shed estimator too (round-trip
+            # minus worker-reported execution time)
+            assert len(service.queue_wait) >= 1
             service._recycle_pool("test recycle")
             second = service.submit(QueryRequest(
                 query=EDGE_QUERY, limit=10, use_cache=False,
@@ -388,6 +488,46 @@ class TestWireResilience:
             stats = client.stats()
             assert stats["duplicate_requests"] == 1
             assert stats["client_retries"] == {"dup": 1}
+
+    def test_timed_out_response_is_not_replayed_to_a_retry(self):
+        from concurrent.futures import Future
+
+        from repro.runtime import QueryOutcome
+        from repro.service.service import QueryResponse
+
+        service = make_service()
+        srv = QueryServer(service, ("127.0.0.1", 0))
+        try:
+            statuses = [Outcome.TIMED_OUT, Outcome.COMPLETE]
+
+            def fake_submit(request):
+                future = Future()
+                future.set_result(QueryResponse(
+                    request_id=request.request_id, client=request.client,
+                    outcome=QueryOutcome(status=statuses.pop(0)),
+                ))
+                return future
+
+            service.submit = fake_submit
+            message = {"op": "query", "query": EDGE_QUERY, "client": "r",
+                       "id": "q1", "idempotency_key": "k1"}
+            first = srv.handle_message(json.dumps(message).encode())
+            assert first["outcome"]["status"] == "TIMED_OUT"
+            # the declared retry of a timed-out attempt must run fresh,
+            # not be answered with the replayed timeout
+            second = srv.handle_message(
+                json.dumps({**message, "attempt": 2}).encode())
+            assert "duplicate" not in second
+            assert second["outcome"]["status"] == "COMPLETE"
+            # ... and only the useful outcome entered the table
+            third = srv.handle_message(
+                json.dumps({**message, "attempt": 3}).encode())
+            assert third.get("duplicate") is True
+            assert third["outcome"]["status"] == "COMPLETE"
+        finally:
+            srv.server_close()
+            del service.submit
+            service.shutdown()
 
     def test_undeclared_id_reuse_is_not_replayed(self, server):
         # two client instances restart their id counters: same wire id,
