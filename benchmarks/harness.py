@@ -16,7 +16,7 @@ import os
 import random
 import statistics
 import time
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core import Graph, GroundPattern
 from repro.datasets import erdos_renyi_graph, ppi_network, top_labels
@@ -25,15 +25,10 @@ from repro.datasets.queries import (
     extract_connected_query,
     seeded_clique_query,
 )
-from repro.matching import (
-    GraphMatcher,
-    MatchOptions,
-    baseline_options,
-    optimized_options,
-)
+from repro.matching import GraphMatcher, MatchOptions, baseline_options
 from repro.obs.trace import SpanCollector, tracer
 from repro.runtime import ExecutionContext, Outcome
-from repro.sqlbaseline import ExecutionStats, SQLGraphMatcher, WorkBudgetExceeded
+from repro.sqlbaseline import SQLGraphMatcher, WorkBudgetExceeded
 
 FULL_SCALE = os.environ.get("REPRO_FULL_SCALE") == "1"
 

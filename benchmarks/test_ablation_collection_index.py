@@ -13,7 +13,6 @@ import random
 import time
 from typing import List
 
-import pytest
 
 from harness import fmt_ms, mean, print_table
 from repro.core import GroundPattern, SimpleMotif, select

@@ -13,7 +13,6 @@ approximation is not.)
 
 from typing import List
 
-import pytest
 
 from harness import (
     fmt_ms,

@@ -8,7 +8,6 @@ first couple of levels), while refinement time grows roughly linearly.
 
 from typing import List
 
-import pytest
 
 from harness import (
     fmt_ms,

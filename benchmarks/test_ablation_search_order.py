@@ -13,17 +13,8 @@ the number of partial states visited low.
 
 from typing import Dict, List
 
-import pytest
 
-from harness import (
-    fmt_ms,
-    get_ppi,
-    get_ppi_matcher,
-    mean,
-    ppi_clique_workload,
-    print_table,
-    synthetic_base_size,
-)
+from harness import fmt_ms, get_ppi, get_ppi_matcher, mean, ppi_clique_workload, print_table
 from repro.matching import (
     CostModel,
     SearchCounters,

@@ -10,7 +10,6 @@ yet still orders of magnitude behind the graph-native pipeline.
 import time
 from typing import List
 
-import pytest
 
 from harness import (
     fmt_ms,

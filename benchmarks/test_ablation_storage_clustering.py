@@ -10,7 +10,6 @@ step in a disk-resident system.
 
 import random
 
-import pytest
 
 from harness import print_table
 from repro.datasets import erdos_renyi_graph, ppi_network
@@ -35,7 +34,7 @@ def scrambled_copy(graph, seed=0):
 def _traversal_hit_rate(store, graph, capacity=6, walk_length=4000, seed=3):
     """Hit rate of a random-walk neighborhood traversal through a small
     buffer pool over the store's node->page placement."""
-    from repro.storage import BufferPool, PageFile
+    from repro.storage import BufferPool
 
     pool = BufferPool(store.pagefile, capacity=capacity)
     rng = random.Random(seed)

@@ -85,7 +85,7 @@ def test_fig_4_20_shapes(experiment, benchmark):
         assert float(low[-1][4]) <= float(low[0][4])
 
     # benchmark: one profile+refine pass on a representative query
-    from harness import get_ppi, ppi_clique_workload
+    from harness import ppi_clique_workload
     from repro.matching import MatchOptions
 
     matcher = get_ppi_matcher()

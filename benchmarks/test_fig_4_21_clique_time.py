@@ -14,7 +14,7 @@ Expected shapes:
   clique needs 2·C(k,2) joins) and is orders of magnitude slower.
 """
 
-from typing import Dict, List
+from typing import List
 
 import pytest
 

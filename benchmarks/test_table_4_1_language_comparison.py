@@ -19,7 +19,6 @@ probe rather than asserted:
   one collection without schema errors.
 """
 
-import pytest
 
 from harness import print_table
 from repro.core import Graph, GraphCollection, GroundPattern, select

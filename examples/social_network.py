@@ -11,7 +11,7 @@ Run with:  python examples/social_network.py
 
 import random
 
-from repro.core import Graph, GraphCollection, GroundPattern, select
+from repro.core import Graph, GraphCollection, GroundPattern
 from repro.core.aggregate import aggregate, order_by, top_k
 from repro.core.motif import SimpleMotif
 from repro.core.predicate import AttrRef

@@ -16,6 +16,10 @@ Usage examples::
     repro-gql stats --port 7687 --format prometheus
     repro-gql recover state.db --json
     repro-gql checkpoint state.db
+    repro-gql cluster serve --shards 3
+    repro-gql cluster route --endpoints 127.0.0.1:7687,127.0.0.1:7688 \
+        --pattern query.gql --json
+    repro-gql cluster smoke --shards 3 --queries 40
 
 Files use the GraphQL concrete syntax (see ``repro.storage.serializer``);
 a data file holds one or more ``graph`` declarations.
@@ -52,6 +56,7 @@ EXIT_BY_OUTCOME = {
     Outcome.CANCELLED: 4,
     Outcome.REJECTED: 5,
     Outcome.SHED: 5,  # like REJECTED: the service turned the work away
+    Outcome.PARTIAL: 6,  # some shards never answered: rows are incomplete
 }
 
 
@@ -329,6 +334,81 @@ def build_parser() -> argparse.ArgumentParser:
     checkpoint_cmd.add_argument("store", help="store file")
     checkpoint_cmd.add_argument("--json", action="store_true",
                                 help="emit the checkpoint report as JSON")
+
+    cluster = sub.add_parser(
+        "cluster",
+        help="sharded serving: boot local shards, route scatter-gather "
+             "queries, run the partial-failure smoke",
+    )
+    csub = cluster.add_subparsers(dest="cluster_command", required=True)
+
+    cserve = csub.add_parser(
+        "serve",
+        help="split a seeded collection over N local shard servers "
+             "(ephemeral ports) and keep them up until SIGINT/SIGTERM",
+    )
+    cserve.add_argument("--shards", type=int, default=3,
+                        help="shard servers to launch (default 3)")
+    cserve.add_argument("--molecules", type=int, default=48,
+                        help="graphs in the synthetic collection")
+    cserve.add_argument("--seed", type=int, default=97,
+                        help="collection generator seed")
+    cserve.add_argument("--workers", type=int, default=2,
+                        help="worker threads per shard")
+    cserve.add_argument("--timeout", type=float, default=10.0,
+                        metavar="SECONDS",
+                        help="per-shard default query deadline")
+
+    croute = csub.add_parser(
+        "route",
+        help="fan one pattern query out to shard endpoints and merge",
+    )
+    croute.add_argument("--endpoints", required=True,
+                        help="comma-separated shard endpoints "
+                             "(host:port,host:port,...)")
+    group = croute.add_mutually_exclusive_group(required=True)
+    group.add_argument("--pattern", metavar="PATH",
+                       help="file holding the pattern query")
+    group.add_argument("--query", metavar="TEXT",
+                       help="the pattern query inline")
+    croute.add_argument("--document", default="data",
+                        help="document name on the shards (default data)")
+    croute.add_argument("--limit", type=int, default=1000,
+                        help="global answer cap across all shards")
+    croute.add_argument("--timeout", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="overall fan-out deadline")
+    croute.add_argument("--hedge-after", type=float, default=None,
+                        metavar="SECONDS",
+                        help="race a second request to a shard that "
+                             "has not answered after this long")
+    croute.add_argument("--json", action="store_true",
+                        help="emit rows + outcome + per-shard "
+                             "accounting as JSON")
+    _add_trace(croute)
+
+    csmoke = csub.add_parser(
+        "smoke",
+        help="boot a cluster, soak it, SIGKILL one shard mid-run, and "
+             "audit the PARTIAL accounting (exit 0 only when sound)",
+    )
+    csmoke.add_argument("--shards", type=int, default=3,
+                        help="shard servers to launch (default 3)")
+    csmoke.add_argument("--queries", type=int, default=40,
+                        help="fan-outs to run across the soak")
+    csmoke.add_argument("--molecules", type=int, default=48,
+                        help="graphs in the synthetic collection")
+    csmoke.add_argument("--seed", type=int, default=97,
+                        help="collection generator seed")
+    csmoke.add_argument("--no-kill", action="store_true",
+                        help="skip the mid-soak SIGKILL (healthy-path "
+                             "check only)")
+    csmoke.add_argument("--hedge-after", type=float, default=None,
+                        metavar="SECONDS",
+                        help="enable hedging during the soak")
+    csmoke.add_argument("--timeout", type=float, default=8.0,
+                        metavar="SECONDS",
+                        help="per-fan-out deadline")
 
     return parser
 
@@ -683,6 +763,14 @@ def _serve(args: argparse.Namespace) -> int:
           f"({config.workers} {'process' if args.processes else 'thread'} "
           f"worker(s), queue {config.queue_depth}, "
           f"timeout {config.default_timeout:g}s)", flush=True)
+    # machine-readable startup line: with ``--port 0`` the OS picks the
+    # port, and supervisors (repro.cluster bootstrap, smoke harnesses)
+    # need the *actual* bound address without scraping the prose banner
+    ready_payload = {"ready": True, "host": host, "port": port,
+                     "documents": sorted(service.database.names())}
+    if exporter is not None:
+        ready_payload["metrics_port"] = metrics_port
+    print("ready " + json.dumps(ready_payload, sort_keys=True), flush=True)
 
     def on_signal(signum, frame):
         print(f"signal {signum}: draining ...", flush=True)
@@ -746,6 +834,92 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """``repro-gql cluster``: sharded serving and scatter-gather routing."""
+    if args.cluster_command == "serve":
+        return _cluster_serve(args)
+    if args.cluster_command == "route":
+        return _cluster_route(args)
+    return _cluster_smoke(args)
+
+
+def _cluster_serve(args: argparse.Namespace) -> int:
+    from .cluster import launch_cluster
+    from .datasets.molecules import molecule_collection
+
+    cluster = launch_cluster(
+        molecule_collection(num_molecules=args.molecules, seed=args.seed),
+        num_shards=args.shards, workers=args.workers,
+        query_timeout=args.timeout)
+    try:
+        for shard_id, shard in cluster.shards.items():
+            print(f"{shard_id}: {shard.host}:{shard.port} "
+                  f"({len(shard.graph_ids)} graph(s), "
+                  f"pid {shard.process.pid})", flush=True)
+        # same contract as serve's ready line: supervisors parse this,
+        # not the per-shard prose above
+        print("cluster ready " + json.dumps({
+            "shards": {sid: {"host": sp.host, "port": sp.port,
+                             "pid": sp.process.pid}
+                       for sid, sp in cluster.shards.items()},
+            "map": cluster.shard_map.to_dict(),
+        }, sort_keys=True), flush=True)
+        stop = threading.Event()
+        signal.signal(signal.SIGTERM, lambda *_: stop.set())
+        signal.signal(signal.SIGINT, lambda *_: stop.set())
+        stop.wait()
+        print("draining cluster ...", flush=True)
+    finally:
+        cluster.shutdown()
+    return 0
+
+
+def _cluster_route(args: argparse.Namespace) -> int:
+    from .cluster import ClusterCoordinator, ShardMap
+
+    query_text = (Path(args.pattern).read_text(encoding="utf-8")
+                  if args.pattern else args.query)
+    endpoints = {}
+    for index, spec in enumerate(args.endpoints.split(",")):
+        host, _, port = spec.strip().rpartition(":")
+        if not host or not port.isdigit():
+            print(f"error: bad endpoint {spec!r} (want host:port)",
+                  file=sys.stderr)
+            return 2
+        endpoints[f"shard{index}"] = (host, int(port))
+    coordinator = ClusterCoordinator(
+        ShardMap(list(endpoints)), endpoints,
+        timeout=args.timeout, hedge_after=args.hedge_after)
+    with _tracing_to(args.trace_out):
+        reply = coordinator.query(query_text, document=args.document,
+                                  limit=args.limit)
+    if args.json:
+        print(json.dumps(reply.to_dict(), indent=2, sort_keys=True))
+    else:
+        outcome = reply.outcome
+        print(f"{len(reply.results)} row(s) from {reply.merged}/"
+              f"{reply.submitted} shard(s): {outcome}")
+        for answer in reply.answers:
+            state = ("merged" if answer.ok
+                     else f"FAILED ({answer.error})")
+            print(f"  {answer.shard}: {answer.rows} row(s), {state}")
+        if reply.error:
+            print(f"error: {reply.error}", file=sys.stderr)
+    return EXIT_BY_OUTCOME[reply.outcome.status]
+
+
+def _cluster_smoke(args: argparse.Namespace) -> int:
+    from .cluster.smoke import run_smoke
+
+    report = run_smoke(shards=args.shards, molecules=args.molecules,
+                       queries=args.queries, seed=args.seed,
+                       kill=not args.no_kill,
+                       query_timeout=args.timeout,
+                       hedge_after=args.hedge_after)
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return 0 if report["ok"] else 1
+
+
 def _render_result(result) -> str:
     if isinstance(result, Graph):
         return graph_to_text(result)
@@ -766,7 +940,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {"info": cmd_info, "match": cmd_match, "run": cmd_run,
                 "explain": cmd_explain, "stats": cmd_stats,
                 "stress": cmd_stress, "serve": cmd_serve,
-                "recover": cmd_recover, "checkpoint": cmd_checkpoint}
+                "recover": cmd_recover, "checkpoint": cmd_checkpoint,
+                "cluster": cmd_cluster}
     try:
         return handlers[args.command](args)
     except FileNotFoundError as exc:

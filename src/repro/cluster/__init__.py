@@ -1,0 +1,34 @@
+"""Sharded collection serving: placement, scatter-gather, partial results.
+
+A cluster splits one graph collection across N independent
+:mod:`repro.service` servers ("shards") by consistent-hashing each
+member graph's id onto the ring (:class:`ShardMap`).  A
+:class:`ClusterCoordinator` fans a query out to the owning shards over
+the ndjson wire protocol, merges the per-shard answers under one global
+limit and deadline, hedges requests to slow shards, and — when some
+shards cannot answer — degrades to a structured ``PARTIAL``
+:class:`~repro.runtime.QueryOutcome` that names exactly which shards
+answered and which failed (``submitted == merged + failed``).
+
+The paper's graphs-at-a-time algebra is what makes this split safe:
+operators consume and produce *collections of graphs*, and a pattern
+match touches one member graph at a time, so a collection partitioned
+by graph id yields the same answer set as the unsharded run — merging
+is concatenation, never a join.
+"""
+
+from .shardmap import ShardMap, ShardMove
+from .coordinator import ClusterCoordinator, ClusterReply, ShardAnswer
+from .bootstrap import LocalCluster, ShardProcess, launch_cluster, wait_ready
+
+__all__ = [
+    "ClusterCoordinator",
+    "ClusterReply",
+    "LocalCluster",
+    "ShardAnswer",
+    "ShardMap",
+    "ShardMove",
+    "ShardProcess",
+    "launch_cluster",
+    "wait_ready",
+]

@@ -1,0 +1,235 @@
+"""Boot a local cluster: split a collection, launch one server per shard.
+
+:func:`launch_cluster` partitions a :class:`~repro.core.GraphCollection`
+with a :class:`~repro.cluster.shardmap.ShardMap`, writes each shard's
+slice to its own data file, and launches one ``repro-gql serve --port
+0`` subprocess per shard.  Each child announces its OS-assigned port on
+a machine-readable ``ready {...}`` stdout line (see
+:func:`wait_ready`), so no port numbers are configured — or fought
+over — anywhere.
+
+The returned :class:`LocalCluster` is the test/ops handle: it builds
+coordinators wired to the live endpoints, SIGKILLs individual shards
+(the partial-failure drills in ``tests/integration`` and the smoke
+harness), and tears everything down.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..core import GraphCollection
+from ..storage.serializer import save_collection
+from .coordinator import ClusterCoordinator
+from .shardmap import ShardMap
+
+
+def wait_ready(process: subprocess.Popen,
+               timeout: float = 20.0) -> Dict[str, Any]:
+    """Block until a serve child prints its ``ready {...}`` line.
+
+    Returns the parsed payload (``host``, ``port``, ``documents``…).
+    A drain thread keeps consuming the child's stdout afterwards so its
+    later prints (shutdown summary, slow-query log) never fill the pipe
+    and block the server.
+    """
+    lines: "queue.Queue[Optional[str]]" = queue.Queue()
+
+    def pump() -> None:
+        try:
+            for line in process.stdout:  # type: ignore[union-attr]
+                lines.put(line)
+        finally:
+            lines.put(None)
+
+    threading.Thread(target=pump, name="shard-stdout-pump",
+                     daemon=True).start()
+    deadline = time.monotonic() + timeout
+    seen: List[str] = []
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError(
+                f"no ready line after {timeout:g}s; "
+                f"last output: {seen[-5:]}")
+        try:
+            line = lines.get(timeout=remaining)
+        except queue.Empty:
+            continue
+        if line is None:
+            raise RuntimeError(
+                f"server exited (rc={process.poll()}) before its ready "
+                f"line; last output: {seen[-5:]}")
+        seen.append(line.rstrip("\n"))
+        if line.startswith("ready "):
+            return json.loads(line[len("ready "):])
+
+
+@dataclass
+class ShardProcess:
+    """One running shard: its subprocess and announced endpoint."""
+
+    shard_id: str
+    process: subprocess.Popen
+    host: str
+    port: int
+    data_path: Path
+    graph_ids: List[str] = field(default_factory=list)
+
+    @property
+    def alive(self) -> bool:
+        return self.process.poll() is None
+
+    def kill(self) -> None:
+        """SIGKILL — the partial-failure drill (no drain, no goodbye)."""
+        if self.alive:
+            self.process.kill()
+        self.process.wait()
+
+    def terminate(self, timeout: float = 10.0) -> None:
+        """SIGTERM and wait for the graceful drain to finish."""
+        if self.alive:
+            self.process.send_signal(signal.SIGTERM)
+        try:
+            self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait()
+
+
+class LocalCluster:
+    """A handle on N locally-launched shard servers plus their map."""
+
+    def __init__(self, shard_map: ShardMap,
+                 shards: Dict[str, ShardProcess],
+                 document: str, workdir: Path,
+                 _tmp: Optional[tempfile.TemporaryDirectory] = None) -> None:
+        self.shard_map = shard_map
+        self.shards = shards
+        self.document = document
+        self.workdir = workdir
+        self._tmp = _tmp
+
+    @property
+    def endpoints(self) -> Dict[str, Tuple[str, int]]:
+        return {sid: (sp.host, sp.port) for sid, sp in self.shards.items()}
+
+    def coordinator(self, **kwargs) -> ClusterCoordinator:
+        """A coordinator wired to this cluster's live endpoints."""
+        return ClusterCoordinator(self.shard_map, self.endpoints, **kwargs)
+
+    def kill(self, shard_id: str) -> None:
+        """SIGKILL one shard (it stays in the map: the coordinator must
+        discover and report the failure, not have it hidden)."""
+        self.shards[shard_id].kill()
+
+    def alive(self) -> List[str]:
+        """Shard ids whose process is still running."""
+        return [sid for sid, sp in self.shards.items() if sp.alive]
+
+    def shutdown(self) -> None:
+        """Drain every surviving shard and remove the work directory."""
+        for shard in self.shards.values():
+            shard.terminate()
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+    def __enter__(self) -> "LocalCluster":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+def _server_command(data_path: Path, workers: int, timeout: float,
+                    extra_args: Sequence[str]) -> List[str]:
+    return [sys.executable, "-m", "repro", "serve", str(data_path),
+            "--port", "0", "--host", "127.0.0.1",
+            "--workers", str(workers), "--timeout", str(timeout),
+            *extra_args]
+
+
+def launch_cluster(
+    collection: GraphCollection,
+    num_shards: int = 3,
+    *,
+    document: str = "data",
+    replicas: int = 64,
+    workers: int = 2,
+    query_timeout: float = 10.0,
+    ready_timeout: float = 30.0,
+    workdir: Optional[Path] = None,
+    serve_args: Sequence[str] = (),
+) -> LocalCluster:
+    """Split *collection* over *num_shards* local servers and boot them.
+
+    Placement is by the member graphs' names through a fresh
+    :class:`ShardMap`; each shard serves its slice as document
+    *document*.  Raises if any child fails to report ready — already
+    started shards are torn down again, so a failed boot leaks nothing.
+    """
+    names = [graph.name for graph in collection]
+    if len(set(names)) != len(names):
+        raise ValueError("collection has duplicate graph names; "
+                         "placement needs unique graph ids")
+    shard_ids = [f"shard{i}" for i in range(num_shards)]
+    shard_map = ShardMap(shard_ids, replicas=replicas)
+    assignment = shard_map.split(names)
+    by_name = {graph.name: graph for graph in collection}
+    tmp = None
+    if workdir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-cluster-")
+        workdir = Path(tmp.name)
+    workdir = Path(workdir)
+    workdir.mkdir(parents=True, exist_ok=True)
+    env = _child_env()
+    shards: Dict[str, ShardProcess] = {}
+    try:
+        for shard_id in shard_ids:
+            slice_path = workdir / f"{shard_id}.gql"
+            owned = assignment[shard_id]
+            save_collection(
+                GraphCollection([by_name[n] for n in owned],
+                                name=document), slice_path)
+            process = subprocess.Popen(
+                _server_command(slice_path, workers, query_timeout,
+                                serve_args),
+                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+                text=True, env=env, cwd=str(workdir))
+            payload = wait_ready(process, timeout=ready_timeout)
+            shards[shard_id] = ShardProcess(
+                shard_id=shard_id, process=process,
+                host=str(payload["host"]), port=int(payload["port"]),
+                data_path=slice_path, graph_ids=list(owned))
+    except BaseException:
+        for shard in shards.values():
+            shard.kill()
+        if tmp is not None:
+            tmp.cleanup()
+        raise
+    return LocalCluster(shard_map, shards, document, workdir, _tmp=tmp)
+
+
+def _child_env() -> Dict[str, str]:
+    """The child's environment, with ``repro`` importable."""
+    import os
+
+    import repro
+
+    env = dict(os.environ)
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (src_root if not existing
+                         else src_root + os.pathsep + existing)
+    return env

@@ -1,0 +1,461 @@
+"""Scatter-gather query routing across the shards of a cluster.
+
+The :class:`ClusterCoordinator` is a *client-side* fan-out: it owns no
+graphs, only a :class:`~repro.cluster.shardmap.ShardMap` and one wire
+endpoint per shard.  A query is submitted to every shard that owns part
+of the document, the per-shard answers stream back over independent
+connections, and the coordinator merges them under one global limit and
+one global deadline.
+
+Failure handling reuses the service's resilience vocabulary:
+
+* a per-shard :class:`~repro.service.resilience.CircuitBreaker` (via
+  :class:`~repro.service.resilience.BreakerRegistry`) stops the
+  coordinator from burning its deadline on a shard that has been
+  failing — an open breaker fails the shard instantly and the cooldown
+  probe re-tests it;
+* a **hedge**: when a shard has not answered after ``hedge_after``
+  seconds, an identical request (same idempotency key) is raced on a
+  second connection and the first answer wins — the slow path of a
+  stuck connection no longer decides the fan-out's latency;
+* **partial results**: shards that answered merge, shards that did not
+  are named in the ``PARTIAL`` outcome's ``detail["shards"]``, and the
+  accounting invariant ``submitted == merged + failed`` always holds.
+
+Merged results are cached keyed on the shard-map version; explicit
+:meth:`ClusterCoordinator.move` / map changes invalidate exactly the
+entries whose shards were touched.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..obs.trace import span, tracer
+from ..runtime import Outcome, QueryOutcome, partial_outcome
+from ..service.cache import LRUCache
+from ..service.client import ServiceClient
+from ..service.resilience import BreakerRegistry
+from .shardmap import ShardMap, ShardMove
+
+#: shard terminal states whose rows are complete for that shard
+_MERGEABLE = (Outcome.COMPLETE, Outcome.TRUNCATED)
+
+
+@dataclass
+class ShardAnswer:
+    """One shard's contribution to a fan-out."""
+
+    shard: str
+    ok: bool
+    rows: int = 0
+    outcome: Optional[QueryOutcome] = None
+    error: Optional[str] = None
+    elapsed: float = 0.0
+    hedged: bool = False
+    hedge_won: bool = False
+
+    def accounting(self) -> Dict[str, Any]:
+        """The JSON-ready per-shard entry of ``detail["shards"]``."""
+        entry: Dict[str, Any] = {
+            "merged": self.ok,
+            "rows": self.rows,
+            "elapsed": round(self.elapsed, 6),
+        }
+        if self.outcome is not None:
+            entry["status"] = self.outcome.status.value
+        if self.error:
+            entry["error"] = self.error
+        if self.hedged:
+            entry["hedged"] = True
+        if self.hedge_won:
+            entry["hedge_won"] = True
+        return entry
+
+
+@dataclass
+class ClusterReply:
+    """A merged scatter-gather answer.
+
+    ``results`` rows carry their source shard under ``"shard"``;
+    ``outcome.detail["shards"]`` holds the per-shard accounting whatever
+    the terminal status, so tooling reads one shape for COMPLETE,
+    TRUNCATED and PARTIAL alike.
+    """
+
+    results: List[Dict[str, Any]] = field(default_factory=list)
+    outcome: QueryOutcome = field(default_factory=QueryOutcome)
+    answers: List[ShardAnswer] = field(default_factory=list)
+    cache: str = "miss"
+    error: Optional[str] = None
+
+    @property
+    def submitted(self) -> int:
+        """Shards the query was fanned out to."""
+        return len(self.answers)
+
+    @property
+    def merged(self) -> int:
+        """Shards whose rows are part of ``results``."""
+        return sum(1 for a in self.answers if a.ok)
+
+    @property
+    def failed(self) -> int:
+        """Shards that contributed nothing (down, shed, timed out…)."""
+        return sum(1 for a in self.answers if not a.ok)
+
+    @property
+    def partial(self) -> bool:
+        return self.outcome.status is Outcome.PARTIAL
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.error is None,
+            "results": list(self.results),
+            "outcome": self.outcome.to_dict(),
+            "cache": self.cache,
+            **({"error": self.error} if self.error else {}),
+        }
+
+
+def _default_client_factory(host: str, port: int,
+                            timeout: Optional[float],
+                            client_name: str) -> ServiceClient:
+    return ServiceClient(host, port, timeout=timeout,
+                         client_name=client_name)
+
+
+class ClusterCoordinator:
+    """Fans queries out to shards and merges their answers.
+
+    *endpoints* maps shard id -> ``(host, port)`` and must cover every
+    shard in *shard_map*.  *client_factory* is the seam tests use to
+    substitute in-process fakes for TCP clients; it receives
+    ``(host, port, timeout, client_name)`` and must return an object
+    with the :class:`~repro.service.client.ServiceClient` context
+    manager + ``query`` surface.
+
+    ``hedge_after=None`` disables hedging; ``breaker_threshold=0``
+    disables the per-shard breakers.
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        endpoints: Dict[str, Tuple[str, int]],
+        *,
+        timeout: float = 30.0,
+        hedge_after: Optional[float] = None,
+        breaker_threshold: int = 4,
+        breaker_cooldown: float = 5.0,
+        result_cache_size: int = 128,
+        client_name: str = "coordinator",
+        client_factory: Callable[..., Any] = _default_client_factory,
+    ) -> None:
+        missing = [s for s in shard_map.shards if s not in endpoints]
+        if missing:
+            raise ValueError(f"no endpoint for shard(s): {missing}")
+        self.shard_map = shard_map
+        self.endpoints = dict(endpoints)
+        self.timeout = timeout
+        self.hedge_after = hedge_after
+        self.client_name = client_name
+        self.client_factory = client_factory
+        self.breakers = (BreakerRegistry(threshold=breaker_threshold,
+                                         cooldown=breaker_cooldown)
+                         if breaker_threshold > 0 else None)
+        self.result_cache = LRUCache(result_cache_size)
+        self._counters: Dict[str, int] = {}
+        self._counter_lock = threading.Lock()
+
+    # -- bookkeeping ----------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def stats(self) -> Dict[str, Any]:
+        """Coordinator counters, cache stats and breaker states."""
+        with self._counter_lock:
+            counters = dict(self._counters)
+        return {
+            "counters": counters,
+            "result_cache": self.result_cache.stats(),
+            "breakers": (self.breakers.state_counts()
+                         if self.breakers is not None else {}),
+            "map_version": self.shard_map.version,
+            "shards": self.shard_map.shards,
+        }
+
+    # -- placement changes ----------------------------------------------------
+
+    def move(self, graph_id: str, shard: str) -> List[ShardMove]:
+        """Pin a graph to a shard and drop the cache entries the move
+        made stale (the caller transfers the data itself)."""
+        moves = self.shard_map.move(graph_id, shard)
+        if moves:
+            self.invalidate_shards({m.src for m in moves if m.src}
+                                   | {m.dst for m in moves})
+        return moves
+
+    def invalidate_shards(self, shard_ids) -> int:
+        """Drop cached merges that involved any of *shard_ids*."""
+        doomed = set(shard_ids)
+        dropped = self.result_cache.invalidate(
+            lambda key: bool(doomed & set(key[-1])))
+        self._count("cache_invalidated", dropped)
+        return dropped
+
+    # -- the fan-out ----------------------------------------------------------
+
+    def query(
+        self,
+        query_text: str,
+        document: str = "data",
+        *,
+        limit: Optional[int] = None,
+        timeout: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        baseline: bool = False,
+        use_cache: bool = True,
+        use_shard_cache: bool = True,
+        shard_ids: Optional[List[str]] = None,
+    ) -> ClusterReply:
+        """Run one pattern/FLWR query across the cluster.
+
+        *shard_ids* restricts the fan-out (a routed single-graph lookup
+        uses ``[shard_map.owner(graph_id)]``); the default is every
+        shard — a whole-collection match may find answers anywhere.
+        *use_cache* governs the coordinator's merged-result cache,
+        *use_shard_cache* the shards' own result caches (benchmarks
+        disable both to measure execution, not replay).
+        """
+        budget = self.timeout if timeout is None else timeout
+        targets = list(shard_ids) if shard_ids is not None \
+            else self.shard_map.shards
+        cache_key = None
+        if use_cache and use_shard_cache and max_steps is None:
+            cache_key = (self.shard_map.version, document, query_text,
+                         limit, baseline, tuple(sorted(targets)))
+            cached = self.result_cache.get(cache_key)
+            if cached is not None:
+                self._count("cache_hits")
+                return ClusterReply(results=list(cached.results),
+                                    outcome=cached.outcome,
+                                    answers=list(cached.answers),
+                                    cache="hit", error=cached.error)
+        self._count("fanouts")
+        deadline = time.monotonic() + budget
+        answers: List[Optional[ShardAnswer]] = [None] * len(targets)
+        rows_by_shard: Dict[str, List[Dict[str, Any]]] = {}
+        rows_lock = threading.Lock()
+        with span("cluster.query", document=document,
+                  shards=len(targets)) as root:
+            workers = []
+            for index, shard in enumerate(targets):
+                worker = threading.Thread(
+                    target=self._query_shard,
+                    args=(shard, index, answers, rows_by_shard, rows_lock,
+                          root, query_text, document, limit, max_steps,
+                          baseline, use_shard_cache, deadline),
+                    name=f"fanout-{shard}", daemon=True)
+                workers.append(worker)
+                worker.start()
+            for worker in workers:
+                worker.join(max(0.0, deadline - time.monotonic()) + 0.25)
+        with rows_lock:
+            # freeze both sides: a worker that outlived the deadline may
+            # still be mutating its answer, and the merge must stay
+            # internally consistent (submitted == merged + failed)
+            row_snapshot = {s: list(r) for s, r in rows_by_shard.items()}
+            frozen = [replace(a) if a is not None else None
+                      for a in answers]
+        reply = self._merge(targets, frozen, row_snapshot, limit)
+        if cache_key is not None and reply.error is None \
+                and not reply.partial:
+            # only full merges are worth replaying; a PARTIAL answer
+            # must retry the failed shards, not be served from cache
+            self.result_cache.put(cache_key, reply)
+        return reply
+
+    def _query_shard(self, shard, index, answers, rows_by_shard, rows_lock,
+                     parent_span, query_text, document, limit, max_steps,
+                     baseline, use_shard_cache, deadline) -> None:
+        """One shard's attempt (runs on its own fan-out thread)."""
+        started = time.monotonic()
+        answer = ShardAnswer(shard=shard, ok=False)
+        answers[index] = answer
+        admitted = dispatched = False
+        child = tracer().start("cluster.shard", parent=parent_span,
+                               shard=shard)
+        try:
+            if self.breakers is not None:
+                allowed, retry_after = self.breakers.allow(shard)
+                if not allowed:
+                    self._count("breaker_skips")
+                    answer.error = (f"breaker open "
+                                    f"(retry in {retry_after:.2f}s)"
+                                    if retry_after is not None
+                                    else "breaker open")
+                    return
+            admitted = True
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                answer.error = "cluster deadline exhausted before dispatch"
+                return
+            dispatched = True
+            host, port = self.endpoints[shard]
+            idempotency = f"fanout-{uuid.uuid4().hex}"
+            winner: Dict[str, Any] = {}
+            done = threading.Event()
+
+            def attempt(tag: str) -> None:
+                try:
+                    budget = deadline - time.monotonic()
+                    if budget <= 0:
+                        return
+                    with tracer().activate(child):
+                        client = self.client_factory(
+                            host, port, timeout=budget,
+                            client_name=f"{self.client_name}/{shard}")
+                        with client:
+                            got = client.query(
+                                query_text, document=document,
+                                limit=limit, timeout=budget,
+                                max_steps=max_steps, baseline=baseline,
+                                no_cache=not use_shard_cache,
+                                idempotency_key=idempotency)
+                    with rows_lock:
+                        if not winner:
+                            winner["reply"] = got
+                            winner["tag"] = tag
+                except Exception as exc:
+                    with rows_lock:
+                        winner.setdefault("errors", []).append(
+                            f"{tag}: {exc}")
+                finally:
+                    with rows_lock:
+                        # the exchange is decided once a reply landed or
+                        # both attempts have failed
+                        if "reply" in winner or \
+                                len(winner.get("errors", ())) >= expected:
+                            done.set()
+
+            expected = 1
+            primary = threading.Thread(target=attempt, args=("primary",),
+                                       name=f"fanout-{shard}-1", daemon=True)
+            primary.start()
+            if self.hedge_after is not None:
+                done.wait(min(self.hedge_after,
+                              max(0.0, deadline - time.monotonic())))
+                if not done.is_set() and deadline - time.monotonic() > 0:
+                    self._count("hedges")
+                    answer.hedged = True
+                    with rows_lock:
+                        expected = 2
+                    hedge = threading.Thread(
+                        target=attempt, args=("hedge",),
+                        name=f"fanout-{shard}-2", daemon=True)
+                    hedge.start()
+            done.wait(max(0.0, deadline - time.monotonic()) + 0.05)
+            with rows_lock:
+                reply = winner.get("reply")
+                errors = list(winner.get("errors", ()))
+                won_by = winner.get("tag")
+            if reply is None:
+                answer.error = ("; ".join(errors) if errors
+                                else "no answer inside the deadline")
+                return
+            if won_by == "hedge":
+                self._count("hedge_wins")
+                answer.hedge_won = True
+            answer.outcome = reply.outcome
+            if reply.error is not None:
+                answer.error = reply.error
+            elif reply.outcome.status in _MERGEABLE:
+                with rows_lock:
+                    rows_by_shard[shard] = [
+                        dict(row, shard=shard) for row in reply.results]
+                # rows land before the flag flips: a deadline-expired
+                # merge that reads ok=True always finds the rows too
+                answer.rows = len(reply.results)
+                answer.ok = True
+            else:
+                # the shard answered, but with a refusal or an
+                # interruption that carries no usable rows
+                answer.error = (reply.outcome.reason
+                                or reply.outcome.status.value)
+        finally:
+            answer.elapsed = time.monotonic() - started
+            if self.breakers is not None:
+                if dispatched:
+                    self.breakers.record(shard, failed=not answer.ok)
+                elif admitted:
+                    # admitted but never sent (deadline ran out first):
+                    # hand a HALF_OPEN probe slot back rather than
+                    # charging the shard with a failure it never had a
+                    # chance to avoid — or letting the slot time out
+                    self.breakers.release_probe(shard)
+            child.annotate(merged=answer.ok, rows=answer.rows,
+                           **({"error": answer.error}
+                              if answer.error else {}))
+            child.finish()
+
+    # -- the merge ------------------------------------------------------------
+
+    def _merge(self, targets, answers, rows_by_shard,
+               limit: Optional[int]) -> ClusterReply:
+        final: List[ShardAnswer] = [
+            a if a is not None else ShardAnswer(shard=s, ok=False,
+                                                error="never dispatched")
+            for s, a in zip(targets, answers)]
+        ok_shards = {a.shard for a in final if a.ok}
+        rows: List[Dict[str, Any]] = []
+        truncated = False
+        for shard in targets:  # deterministic shard order
+            if shard in ok_shards:
+                rows.extend(rows_by_shard.get(shard, ()))
+        for answer in final:
+            if answer.ok and answer.outcome is not None \
+                    and answer.outcome.status is Outcome.TRUNCATED:
+                truncated = True
+        if limit is not None and len(rows) > limit:
+            rows = rows[:limit]
+            truncated = True
+        merged = sum(1 for a in final if a.ok)
+        failed = len(final) - merged
+        detail = {
+            "submitted": len(final),
+            "merged": merged,
+            "failed": failed,
+            "map_version": self.shard_map.version,
+            "shards": {a.shard: a.accounting() for a in final},
+        }
+        steps = sum(a.outcome.steps for a in final
+                    if a.outcome is not None)
+        if failed == 0:
+            status = Outcome.TRUNCATED if truncated else Outcome.COMPLETE
+            reason = ("global limit reached across shards"
+                      if truncated else "")
+            outcome = QueryOutcome(status=status, reason=reason,
+                                   steps=steps, results=len(rows),
+                                   detail=detail)
+            self._count("complete")
+            return ClusterReply(results=rows, outcome=outcome,
+                                answers=final)
+        self._count("partials")
+        failed_ids = sorted(a.shard for a in final if not a.ok)
+        outcome = partial_outcome(
+            f"{failed}/{len(final)} shard(s) did not answer: "
+            + ", ".join(failed_ids), detail=detail)
+        outcome.steps = steps
+        outcome.results = len(rows)
+        error = None
+        if merged == 0:
+            error = "every shard failed; no rows merged"
+        return ClusterReply(results=rows, outcome=outcome,
+                            answers=final, error=error)

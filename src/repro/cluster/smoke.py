@@ -1,0 +1,137 @@
+"""Self-checking cluster smoke: boot shards, soak, kill one, audit.
+
+``repro-gql cluster smoke`` (CI's ``cluster-smoke`` job) boots an
+N-shard local cluster over a seeded molecule collection, soaks it with
+scatter-gather queries, SIGKILLs one shard halfway through, and then
+*audits the books*:
+
+* while every shard lived, fan-outs came back ``COMPLETE`` (or
+  ``TRUNCATED``) with ``merged == submitted``;
+* after the kill, fan-outs come back ``PARTIAL``, the dead shard is
+  named in ``detail["shards"]``, and ``submitted == merged + failed``
+  holds on every single reply;
+* nothing hangs: every query returns inside its deadline.
+
+Exit status 0 only when every check passes, so the harness is a CI
+gate, not a demo.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+from ..datasets.molecules import molecule_collection
+from .bootstrap import LocalCluster, launch_cluster
+from .coordinator import ClusterReply
+
+#: aromatic-ring carbons: a couple hundred matches over the default
+#: collection, spread across every shard's slice
+SMOKE_QUERY = ('graph P { node a <label="C">; node b <label="C">; '
+               'edge e1 (a, b); }')
+
+
+def _audit(reply: ClusterReply, label: str,
+           problems: List[str]) -> None:
+    """The invariants every reply must satisfy, dead shard or not."""
+    if reply.submitted != reply.merged + reply.failed:
+        problems.append(
+            f"{label}: submitted {reply.submitted} != merged "
+            f"{reply.merged} + failed {reply.failed}")
+    detail = reply.outcome.detail
+    if not detail:
+        problems.append(f"{label}: outcome carries no shard accounting")
+        return
+    if detail.get("submitted") != reply.submitted \
+            or detail.get("merged") != reply.merged \
+            or detail.get("failed") != reply.failed:
+        problems.append(f"{label}: detail accounting disagrees with "
+                        f"the answers list: {detail}")
+    shard_rows = sum(entry.get("rows", 0)
+                     for entry in detail.get("shards", {}).values()
+                     if entry.get("merged"))
+    limit_cut = reply.outcome.status.value == "TRUNCATED"
+    if not limit_cut and shard_rows != len(reply.results):
+        problems.append(
+            f"{label}: per-shard row counts sum to {shard_rows} but "
+            f"{len(reply.results)} rows were merged")
+
+
+def run_smoke(
+    shards: int = 3,
+    molecules: int = 48,
+    queries: int = 40,
+    seed: int = 97,
+    kill: bool = True,
+    query_timeout: float = 8.0,
+    hedge_after: Optional[float] = None,
+    cluster: Optional[LocalCluster] = None,
+) -> Dict[str, Any]:
+    """Run the drill; returns the report dict (``report["ok"]`` gates).
+
+    Passing a pre-booted *cluster* skips the boot (the CI job reuses
+    one cluster for several drills); otherwise one is launched and torn
+    down here.
+    """
+    own_cluster = cluster is None
+    if cluster is None:
+        cluster = launch_cluster(
+            molecule_collection(num_molecules=molecules, seed=seed),
+            num_shards=shards)
+    problems: List[str] = []
+    phases: Dict[str, Dict[str, int]] = {
+        "healthy": {}, "degraded": {}}
+    kill_at = queries // 2 if kill else queries + 1
+    victim = cluster.shard_map.shards[-1]
+    started = time.monotonic()
+    try:
+        coordinator = cluster.coordinator(
+            timeout=query_timeout, hedge_after=hedge_after,
+            # a smoke run must observe every fan-out, not replay one
+            result_cache_size=0,
+            # the probe interval stays far below the soak length so the
+            # post-kill phase records real connection failures, not just
+            # breaker fast-fails
+            breaker_cooldown=0.5)
+        for index in range(queries):
+            if index == kill_at:
+                cluster.kill(victim)
+            phase = "healthy" if index < kill_at else "degraded"
+            reply = coordinator.query(SMOKE_QUERY, limit=500)
+            label = f"query {index} ({phase})"
+            _audit(reply, label, problems)
+            status = reply.outcome.status.value
+            phases[phase][status] = phases[phase].get(status, 0) + 1
+            if phase == "healthy":
+                if reply.failed:
+                    problems.append(
+                        f"{label}: {reply.failed} shard(s) failed with "
+                        f"every shard alive")
+            else:
+                if status != "PARTIAL":
+                    problems.append(
+                        f"{label}: expected PARTIAL after killing "
+                        f"{victim}, got {status}")
+                dead = reply.outcome.detail.get("shards", {}).get(victim)
+                if not dead or dead.get("merged"):
+                    problems.append(
+                        f"{label}: killed shard {victim} not reported "
+                        f"failed: {dead}")
+            if not reply.results and phase == "healthy":
+                problems.append(f"{label}: zero rows from a healthy "
+                                f"cluster")
+        elapsed = time.monotonic() - started
+        stats = coordinator.stats()
+    finally:
+        if own_cluster:
+            cluster.shutdown()
+    return {
+        "ok": not problems,
+        "problems": problems,
+        "phases": phases,
+        "queries": queries,
+        "shards": shards,
+        "killed": victim if kill else None,
+        "elapsed": round(elapsed, 3),
+        "coordinator": stats,
+    }

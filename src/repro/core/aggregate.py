@@ -19,7 +19,7 @@ evaluated with the graph (or matched graph) as the scope fallback, so
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .bindings import MatchedGraph
 from .collection import GraphCollection

@@ -11,7 +11,7 @@ graph iff one of its derived ground patterns matches (Section 3.2).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Set
+from typing import Any, Dict, List, Optional
 
 from .bindings import Mapping, MatchedGraph
 from .graph import Edge, Graph, Node

@@ -340,7 +340,7 @@ def _rewrite(plan: Plan) -> Tuple[Plan, bool]:
 
 def _strip_alias(expr: Expr, alias: str) -> Expr:
     """Rewrite ``G1.attr`` to ``attr`` when pushing below the product."""
-    from .predicate import AttrRef, Literal, Not
+    from .predicate import AttrRef, Not
 
     if isinstance(expr, AttrRef):
         if expr.path[0] == alias:

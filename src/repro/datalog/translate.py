@@ -19,14 +19,14 @@ sketch omits this detail).
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from ..core.bindings import Mapping
 from ..core.graph import Graph
 from ..core.pattern import GroundPattern
 from ..core.predicate import AttrRef, BinOp, Expr, Literal as PredLiteral
 from .ast import Atom, BodyLiteral, Builtin, Const, Program, Rule, Var
-from .engine import evaluate, query
+from .engine import query
 
 
 class DatalogTranslationError(ValueError):

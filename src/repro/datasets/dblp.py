@@ -11,7 +11,7 @@ recur across papers — the property the co-authorship query exercises.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..core.collection import GraphCollection
 from ..core.graph import Graph

@@ -10,7 +10,7 @@ with atoms as nodes (``label`` = element symbol) and bonds as edges.
 from __future__ import annotations
 
 import random
-from typing import List, Optional
+from typing import List
 
 from ..core.collection import GraphCollection
 from ..core.graph import Graph

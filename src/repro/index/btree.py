@@ -13,7 +13,7 @@ merges/borrows on the way down so recursion never underflows.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional, Tuple
+from typing import Any, Iterator, List, Tuple
 
 
 class _BNode:

@@ -8,7 +8,7 @@ and the neighborhood subgraph (computed lazily and cached — it is big).
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from ..core.graph import Graph
 from ..matching.neighborhood import (

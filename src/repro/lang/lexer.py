@@ -9,7 +9,7 @@ comparison; the parser normalizes it by context.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterator, List
+from typing import Any, List
 
 from .errors import GraphQLSyntaxError
 

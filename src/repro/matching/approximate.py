@@ -14,7 +14,7 @@ are ranked by the number of matched edges (descending).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..core.bindings import Mapping
 from ..core.graph import Graph

@@ -11,7 +11,7 @@ graph-wide predicate is evaluated and the mapping reported.  The
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.bindings import Mapping
 from ..core.graph import Graph

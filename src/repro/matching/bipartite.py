@@ -10,7 +10,7 @@ mate.  Hopcroft and Karp's algorithm gives O(E * sqrt(V)).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence
+from typing import Dict, Hashable, Mapping, Optional, Sequence
 
 INFINITY = float("inf")
 

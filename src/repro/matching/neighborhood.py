@@ -15,7 +15,7 @@ which is far cheaper than a subgraph-isomorphism test.
 from __future__ import annotations
 
 from collections import Counter, deque
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, List, Optional, Tuple
 
 from ..core.graph import Graph
 from ..core.motif import SimpleMotif

@@ -12,7 +12,7 @@ and reused across queries, like relational catalog statistics.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Tuple
 
 from ..core.graph import Graph
 from .neighborhood import LabelFn, default_label

@@ -30,10 +30,11 @@ from __future__ import annotations
 import contextvars
 import itertools
 import json
+import os
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 __all__ = [
     "NOOP_SPAN",
@@ -51,7 +52,14 @@ __all__ = [
     "find_spans",
 ]
 
-_ids = itertools.count(1)
+# span/trace ids must stay unique across *processes*, not just threads:
+# a cluster fan-out stitches the coordinator's JSONL trace together with
+# each shard server's via the ids sent over the wire, so two processes
+# must never mint the same id.  Each process draws from its own
+# pid-prefixed range (ids stay < 2**60, safely inside JSON's exact-int
+# window).  Forked pool workers would inherit the parent's range, but
+# they never enable tracing, so no collision can be emitted.
+_ids = itertools.count(((os.getpid() & 0xFFFFF) << 40) | 1)
 
 #: The active span of the current thread/context (None at top level).
 _current: "contextvars.ContextVar[Optional[Span]]" = contextvars.ContextVar(
@@ -248,19 +256,31 @@ class Tracer:
         trace_id = parent.trace_id if parent is not None else next(_ids)
         return Span(self, name, trace_id, parent=parent, tags=tags)
 
-    def start(self, name: str, parent: Optional[Span] = None, **tags):
+    def start(self, name: str, parent: Optional[Span] = None,
+              remote: Optional[Tuple[int, int]] = None, **tags):
         """An explicitly managed span (no context-variable side effects).
 
         For roots that outlive the creating frame — e.g. a service
         request admitted on one thread and finished on another.  The
         caller owns :meth:`Span.finish`.
+
+        ``remote`` is a ``(trace_id, parent_span_id)`` pair received
+        over the wire (see ``repro.service.protocol``): the new span is
+        a *local* root (it aggregates its subtree's totals) but joins
+        the caller's distributed trace — offline, :func:`span_tree` over
+        the merged JSONL files nests it under the remote parent.
         """
         if not self.enabled:
             return NOOP_SPAN
         if parent is not None and not parent.enabled:
             parent = None
         trace_id = parent.trace_id if parent is not None else next(_ids)
-        return Span(self, name, trace_id, parent=parent, tags=tags)
+        started = Span(self, name, trace_id, parent=parent, tags=tags)
+        if parent is None and remote is not None:
+            remote_trace, remote_parent = remote
+            started.trace_id = int(remote_trace)
+            started.parent_id = int(remote_parent)
+        return started
 
     @contextmanager
     def activate(self, target) -> Iterator[Any]:

@@ -12,6 +12,7 @@ from .context import (
     QueryOutcome,
     current_outcome,
     mapping_cost,
+    partial_outcome,
     rejected_outcome,
     shed_outcome,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "QueryOutcome",
     "current_outcome",
     "mapping_cost",
+    "partial_outcome",
     "rejected_outcome",
     "shed_outcome",
 ]

@@ -59,6 +59,12 @@ class Outcome(str, Enum):
     #: finished in time.  The response carries a retry-after hint; no
     #: partial results.
     SHED = "SHED"
+    #: A scatter-gather query merged answers from only *some* of the
+    #: shards it was fanned out to (:mod:`repro.cluster`).  The rows
+    #: present are valid, but shards that were down, shed, or timed out
+    #: contributed nothing; ``detail["shards"]`` names exactly which,
+    #: with ``submitted == merged + failed`` accounting.
+    PARTIAL = "PARTIAL"
 
     def __str__(self) -> str:  # print as the bare word in CLI output
         return self.value
@@ -143,6 +149,10 @@ class QueryOutcome:
     memory_used: int = 0
     elapsed: float = 0.0
     phase_times: Dict[str, float] = field(default_factory=dict)
+    #: structured extras a terminal state may carry — per-shard
+    #: accounting for ``PARTIAL``, degradation notes, ...; empty for
+    #: plain single-node outcomes (and then omitted from the wire form)
+    detail: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
@@ -165,7 +175,7 @@ class QueryOutcome:
     def to_dict(self) -> Dict[str, Any]:
         """A JSON-ready dict; the one serialization the CLI's ``--json``
         output and the service wire protocol both use."""
-        return {
+        payload = {
             "status": self.status.value,
             "reason": self.reason,
             "steps": self.steps,
@@ -174,6 +184,9 @@ class QueryOutcome:
             "elapsed": self.elapsed,
             "phase_times": dict(self.phase_times),
         }
+        if self.detail:
+            payload["detail"] = dict(self.detail)
+        return payload
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "QueryOutcome":
@@ -194,6 +207,7 @@ class QueryOutcome:
                 str(k): float(v)
                 for k, v in dict(data.get("phase_times", {})).items()
             },
+            detail=dict(data.get("detail") or {}),
         )
 
 
@@ -214,6 +228,18 @@ def shed_outcome(reason: str) -> QueryOutcome:
     breaker is open).  Both carry ``steps == 0``.
     """
     return QueryOutcome(status=Outcome.SHED, reason=reason)
+
+
+def partial_outcome(reason: str,
+                    detail: Optional[Dict[str, Any]] = None) -> QueryOutcome:
+    """The outcome of a scatter-gather query some shards never answered.
+
+    The merged rows are valid but incomplete; ``detail`` carries the
+    per-shard accounting (which shards merged, which failed and why) so
+    callers can decide whether a partial answer is acceptable.
+    """
+    return QueryOutcome(status=Outcome.PARTIAL, reason=reason,
+                        detail=dict(detail) if detail else {})
 
 
 #: Approximate per-mapping memory cost used by the answer-set cap

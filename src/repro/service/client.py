@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs.trace import current_span
 from ..runtime import QueryOutcome
 from .protocol import MAX_LINE_BYTES, ProtocolError, decode, encode
 
@@ -139,6 +140,13 @@ class ServiceClient:
         overall ``timeout`` budget.
         """
         message.setdefault("id", f"{self.client_name}-{next(self._ids)}")
+        # propagate trace context: with tracing enabled, the server roots
+        # its request span under this caller's active span, so a cluster
+        # fan-out reconstructs offline as ONE tree across processes
+        active = current_span()
+        if active.enabled:
+            message.setdefault("trace", active.trace_id)
+            message.setdefault("parent", active.span_id)
         attempts = (self.retries + 1) if retryable else 1
         deadline = (time.monotonic() + self.timeout
                     if self.timeout is not None else None)

@@ -21,10 +21,14 @@ Requests (``op`` selects the operation)::
     {"op": "ready", "id": "r1"}
 
 ``query`` additionally accepts ``"attempt"`` (1-based retry counter, for
-the server's retried-arrival metric) and ``"idempotency_key"`` (opting a
-mutation-bearing retry into the duplicate-request table); ``health``
-returns a liveness report and ``ready`` a boolean plus reason — the same
-documents the ``/health`` and ``/ready`` HTTP routes serve.
+the server's retried-arrival metric), ``"idempotency_key"`` (opting a
+mutation-bearing retry into the duplicate-request table) and a remote
+trace context — ``"trace"``/``"parent"`` integer span ids — under which
+the server roots its request span, so a multi-process fan-out (see
+:mod:`repro.cluster`) reconstructs offline as one trace tree; ``health``
+returns a liveness report and ``ready`` a boolean plus reason and the
+server's bound ``host``/``port`` — the same documents the ``/health``
+and ``/ready`` HTTP routes serve.
 
 ``stats`` accepts ``"format": "prometheus"`` to receive the text
 exposition as ``{"stats_text": "..."}`` instead of the JSON snapshot;

@@ -179,8 +179,10 @@ class QueryServer(socketserver.ThreadingTCPServer):
                 ready, reason = self.service.ready()
                 if ready and self.draining:
                     ready, reason = False, "draining"
+                host, port = self.address
                 return {"id": request_id, "ok": True, "op": "ready",
-                        "ready": ready, "reason": reason}
+                        "ready": ready, "reason": reason,
+                        "host": host, "port": port}
             if op == "stats":
                 if message.get("format") == "prometheus":
                     return {"id": request_id, "ok": True, "op": "stats",
@@ -244,6 +246,9 @@ class QueryServer(socketserver.ThreadingTCPServer):
             baseline=bool(message.get("baseline", False)),
             use_cache=not message.get("no_cache", False),
         )
+        trace, parent = message.get("trace"), message.get("parent")
+        if isinstance(trace, int) and isinstance(parent, int):
+            request.trace_parent = (trace, parent)
         if isinstance(request_id, str) and request_id:
             request.request_id = request_id
         response = self.service.submit(request).result()

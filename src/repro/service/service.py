@@ -95,6 +95,9 @@ class QueryRequest:
     max_memory: Optional[int] = None
     baseline: bool = False
     use_cache: bool = True
+    #: remote trace context ``(trace_id, parent_span_id)`` received over
+    #: the wire; the request's root span joins that distributed trace
+    trace_parent: Optional[Tuple[int, int]] = None
 
 
 @dataclass
@@ -352,7 +355,8 @@ class QueryService:
         """
         self.metrics.count("submitted")
         root = tracer().start(
-            "service.request", request_id=request.request_id,
+            "service.request", remote=request.trace_parent,
+            request_id=request.request_id,
             client=request.client, document=request.document)
         with tracer().activate(root):
             with trace_span("service.admission") as sp:

@@ -8,7 +8,7 @@ experiments need: fixed columns, tuple rows, per-column B-tree indexes.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Sequence, Tuple
 
 from ..index.btree import BTree
 

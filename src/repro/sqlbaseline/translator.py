@@ -16,7 +16,7 @@ matching the paper's MySQL setup.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..core.bindings import Mapping
 from ..core.graph import Graph

@@ -10,7 +10,7 @@ dirty pages on eviction and close, and counts hits/misses/evictions.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Optional
+from typing import Dict
 
 from .pager import PAGE_SIZE, PageFile
 

@@ -21,7 +21,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple, Union
 from ..core.collection import GraphCollection
 from ..core.graph import Graph
 from ..core.tuples import AttributeTuple
-from .pager import PageFile, RecordFile, RecordId, StorageError
+from .pager import PageFile, RecordFile, StorageError
 from .wal import RecoveryResult, WriteAheadLog, recover, wal_path_for
 
 _TYPE_INT = 0

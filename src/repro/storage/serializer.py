@@ -11,7 +11,7 @@ from __future__ import annotations
 import os
 import tempfile
 from pathlib import Path
-from typing import Any, Iterable, List, Union
+from typing import Any, List, Union
 
 from ..core.collection import GraphCollection
 from ..core.graph import Graph

@@ -1,0 +1,221 @@
+"""ClusterCoordinator semantics against scripted in-process shards.
+
+The coordinator's client factory is the seam: these tests substitute
+scripted fakes for TCP clients, so merge order, PARTIAL accounting,
+hedging, breakers and cache invalidation are each exercised
+deterministically — no sockets, no subprocesses, no sleeps beyond the
+hedge timer itself.
+"""
+
+import threading
+import time
+
+from repro.cluster import ClusterCoordinator, ShardMap
+from repro.runtime import Outcome, QueryOutcome
+from repro.service.client import ClientReply
+
+QUERY = 'graph P { node a <label="C">; }'
+
+
+class ScriptedShard:
+    """One fake shard endpoint: scripted rows, status, delay or error."""
+
+    def __init__(self, rows=2, status=Outcome.COMPLETE, delay=0.0,
+                 error=None, reason=""):
+        self.rows = rows
+        self.status = status
+        self.delay = delay
+        self.error = error
+        self.reason = reason
+        self.connections = 0
+        self._lock = threading.Lock()
+
+
+class ScriptedClient:
+    def __init__(self, shard: ScriptedShard):
+        self.shard = shard
+        with shard._lock:
+            shard.connections += 1
+            self.connection = shard.connections
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return None
+
+    def query(self, query_text, **kwargs):
+        shard = self.shard
+        delay = shard.delay
+        if callable(delay):
+            delay = delay(self.connection)
+        if delay:
+            time.sleep(delay)
+        if shard.error is not None:
+            raise shard.error
+        rows = [{"graph": f"g{i}", "nodes": {}, "edges": {}}
+                for i in range(shard.rows)]
+        limit = kwargs.get("limit")
+        if limit is not None:
+            rows = rows[:limit]
+        return ClientReply(
+            ok=True, request_id="r", results=rows,
+            outcome=QueryOutcome(status=shard.status,
+                                 reason=shard.reason,
+                                 steps=10, results=len(rows)))
+
+
+def build(shards, **kwargs):
+    """A coordinator over scripted shards keyed ``shard0..shardN``."""
+    table = {f"shard{i}": shard for i, shard in enumerate(shards)}
+    endpoints = {sid: ("scripted", i) for i, sid in enumerate(table)}
+
+    def factory(host, port, timeout=None, client_name=""):
+        return ScriptedClient(table[f"shard{port}"])
+
+    coordinator = ClusterCoordinator(
+        ShardMap(list(table)), endpoints,
+        client_factory=factory, timeout=kwargs.pop("timeout", 5.0),
+        **kwargs)
+    return coordinator
+
+
+def test_all_shards_merge_to_complete_with_full_accounting():
+    coordinator = build([ScriptedShard(rows=2), ScriptedShard(rows=3)])
+    reply = coordinator.query(QUERY)
+    assert reply.outcome.status is Outcome.COMPLETE
+    assert reply.submitted == 2 and reply.merged == 2 and reply.failed == 0
+    assert len(reply.results) == 5
+    assert {row["shard"] for row in reply.results} == {"shard0", "shard1"}
+    detail = reply.outcome.detail
+    assert detail["submitted"] == detail["merged"] + detail["failed"]
+    assert detail["shards"]["shard1"]["rows"] == 3
+    assert reply.outcome.steps == 20  # per-shard accounting is summed
+
+
+def test_one_dead_shard_degrades_to_partial_not_failure():
+    dead = ScriptedShard(error=ConnectionRefusedError("refused"))
+    coordinator = build([ScriptedShard(rows=2), dead,
+                         ScriptedShard(rows=1)])
+    reply = coordinator.query(QUERY)
+    assert reply.outcome.status is Outcome.PARTIAL
+    assert reply.error is None  # rows were merged: partial, not failed
+    assert reply.submitted == 3 == reply.merged + reply.failed
+    assert reply.merged == 2 and reply.failed == 1
+    assert len(reply.results) == 3
+    entry = reply.outcome.detail["shards"]["shard1"]
+    assert entry["merged"] is False and "refused" in entry["error"]
+    assert "shard1" in reply.outcome.reason
+
+
+def test_all_shards_down_is_partial_with_an_error():
+    coordinator = build([ScriptedShard(error=ConnectionError("down")),
+                         ScriptedShard(error=ConnectionError("down"))])
+    reply = coordinator.query(QUERY)
+    assert reply.outcome.status is Outcome.PARTIAL
+    assert reply.merged == 0 and reply.failed == 2
+    assert reply.results == []
+    assert reply.error is not None
+
+
+def test_shed_and_timed_out_shards_count_as_failed():
+    coordinator = build([
+        ScriptedShard(rows=2),
+        ScriptedShard(rows=0, status=Outcome.SHED, reason="breaker open"),
+        ScriptedShard(rows=0, status=Outcome.TIMED_OUT,
+                      reason="deadline expired"),
+    ])
+    reply = coordinator.query(QUERY)
+    assert reply.outcome.status is Outcome.PARTIAL
+    assert reply.merged == 1 and reply.failed == 2
+    shards = reply.outcome.detail["shards"]
+    assert shards["shard1"]["error"] == "breaker open"
+    assert shards["shard2"]["status"] == "TIMED_OUT"
+
+
+def test_global_limit_truncates_across_shards():
+    coordinator = build([ScriptedShard(rows=4), ScriptedShard(rows=4)])
+    reply = coordinator.query(QUERY, limit=5)
+    assert reply.outcome.status is Outcome.TRUNCATED
+    assert len(reply.results) == 5
+    assert reply.merged == 2  # truncation is not failure
+    # deterministic merge order: shard0's rows first
+    assert [row["shard"] for row in reply.results] == \
+        ["shard0"] * 4 + ["shard1"]
+
+
+def test_hedge_races_a_second_connection_and_the_fast_one_wins():
+    # first connection to the slow shard stalls; the hedge answers
+    slow = ScriptedShard(rows=1,
+                         delay=lambda conn: 2.0 if conn == 1 else 0.0)
+    coordinator = build([ScriptedShard(rows=1), slow],
+                        hedge_after=0.1, timeout=5.0)
+    started = time.monotonic()
+    reply = coordinator.query(QUERY)
+    elapsed = time.monotonic() - started
+    assert reply.outcome.status is Outcome.COMPLETE
+    assert reply.merged == 2
+    assert elapsed < 1.5  # did not wait out the stalled connection
+    assert slow.connections == 2
+    entry = reply.outcome.detail["shards"]["shard1"]
+    assert entry["hedged"] is True and entry["hedge_won"] is True
+    counters = coordinator.stats()["counters"]
+    assert counters["hedges"] == 1 and counters["hedge_wins"] == 1
+
+
+def test_breaker_opens_after_repeated_failures_and_skips_the_shard():
+    dead = ScriptedShard(error=ConnectionError("down"))
+    coordinator = build([ScriptedShard(rows=1), dead],
+                        breaker_threshold=2, breaker_cooldown=30.0,
+                        result_cache_size=0)
+    coordinator.query(QUERY)
+    coordinator.query(QUERY)  # two failures: the breaker opens
+    assert dead.connections == 2
+    reply = coordinator.query(QUERY)
+    assert dead.connections == 2  # skipped: no third connection
+    assert reply.outcome.status is Outcome.PARTIAL
+    entry = reply.outcome.detail["shards"]["shard1"]
+    assert "breaker open" in entry["error"]
+    assert coordinator.stats()["counters"]["breaker_skips"] == 1
+
+
+def test_result_cache_hits_and_move_invalidation():
+    shard = ScriptedShard(rows=2)
+    coordinator = build([shard, ScriptedShard(rows=1)])
+    cold = coordinator.query(QUERY)
+    warm = coordinator.query(QUERY)
+    assert cold.cache == "miss" and warm.cache == "hit"
+    assert warm.results == cold.results
+    assert shard.connections == 1  # the hit never touched the shard
+    # an explicit placement change invalidates the affected entries
+    graph = warm.results[0]["graph"]
+    src = coordinator.shard_map.owner(graph)
+    dst = next(s for s in coordinator.shard_map.shards if s != src)
+    moves = coordinator.move(graph, dst)
+    assert [m.dst for m in moves] == [dst]
+    after = coordinator.query(QUERY)
+    assert after.cache == "miss"
+    assert shard.connections == 2
+
+
+def test_partial_replies_are_never_cached():
+    flaky = ScriptedShard(error=ConnectionError("down"))
+    coordinator = build([ScriptedShard(rows=1), flaky])
+    first = coordinator.query(QUERY)
+    assert first.partial
+    flaky.error = None  # the shard recovers
+    second = coordinator.query(QUERY)
+    assert second.cache == "miss"
+    assert second.outcome.status is Outcome.COMPLETE
+    assert second.merged == 2
+
+
+def test_targeted_fanout_touches_only_the_owning_shard():
+    shards = [ScriptedShard(rows=1), ScriptedShard(rows=1)]
+    coordinator = build(shards)
+    reply = coordinator.query(QUERY, shard_ids=["shard1"],
+                              use_cache=False)
+    assert reply.submitted == 1
+    assert shards[0].connections == 0
+    assert shards[1].connections == 1
+    assert [row["shard"] for row in reply.results] == ["shard1"]

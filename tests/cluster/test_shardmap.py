@@ -1,0 +1,98 @@
+"""ShardMap: deterministic placement, bounded moves, versioning."""
+
+import pytest
+
+from repro.cluster import ShardMap
+
+IDS = [f"mol{i}" for i in range(200)]
+
+
+def test_placement_is_deterministic_across_instances():
+    first = ShardMap(["a", "b", "c"])
+    second = ShardMap(["a", "b", "c"])
+    assert [first.owner(g) for g in IDS] == [second.owner(g) for g in IDS]
+
+
+def test_split_covers_every_shard_and_every_graph():
+    shard_map = ShardMap(["a", "b", "c"])
+    split = shard_map.split(IDS)
+    assert set(split) == {"a", "b", "c"}  # empty shards stay visible
+    assert sorted(g for owned in split.values() for g in owned) == \
+        sorted(IDS)
+    for shard, owned in split.items():
+        assert all(shard_map.owner(g) == shard for g in owned)
+
+
+def test_distribution_is_roughly_even():
+    split = ShardMap(["a", "b", "c", "d"], replicas=64).split(IDS)
+    sizes = sorted(len(owned) for owned in split.values())
+    assert sizes[0] >= len(IDS) // 12  # no starved shard
+
+
+def test_adding_a_shard_moves_only_a_fraction():
+    shard_map = ShardMap(["a", "b", "c"])
+    version = shard_map.version
+    moves = shard_map.add_shard("d", known_ids=IDS)
+    assert shard_map.version == version + 1
+    assert 0 < len(moves) < len(IDS) // 2  # ~1/4 expected, not a reshuffle
+    assert all(m.dst == "d" for m in moves)  # only the newcomer gains
+    assert all(shard_map.owner(m.graph_id) == "d" for m in moves)
+
+
+def test_removing_a_shard_reassigns_exactly_its_graphs():
+    shard_map = ShardMap(["a", "b", "c"])
+    owned_by_c = shard_map.split(IDS)["c"]
+    moves = shard_map.remove_shard("c", known_ids=IDS)
+    assert sorted(m.graph_id for m in moves) == sorted(owned_by_c)
+    assert all(m.src == "c" and m.dst in ("a", "b") for m in moves)
+    assert "c" not in shard_map.shards
+
+
+def test_move_pins_win_over_the_ring_and_bump_the_version():
+    shard_map = ShardMap(["a", "b"])
+    graph = next(g for g in IDS if shard_map.owner(g) == "a")
+    version = shard_map.version
+    moves = shard_map.move(graph, "b")
+    assert [m.to_dict() for m in moves] == \
+        [{"graph": graph, "from": "a", "to": "b"}]
+    assert shard_map.owner(graph) == "b"
+    assert shard_map.version == version + 1
+    # moving a graph to where it already lives is a no-op, version too
+    assert shard_map.move(graph, "b") == []
+    assert shard_map.version == version + 1
+
+
+def test_removing_a_shard_dissolves_its_pins():
+    shard_map = ShardMap(["a", "b", "c"])
+    graph = next(g for g in IDS if shard_map.owner(g) != "c")
+    shard_map.move(graph, "c")
+    shard_map.remove_shard("c", known_ids=[graph])
+    assert shard_map.owner(graph) in ("a", "b")
+
+
+def test_serialization_round_trip_preserves_placement():
+    shard_map = ShardMap(["a", "b", "c"], replicas=32)
+    shard_map.move(IDS[0], "b")
+    back = ShardMap.from_dict(shard_map.to_dict())
+    assert back.version == shard_map.version
+    assert [back.owner(g) for g in IDS] == \
+        [shard_map.owner(g) for g in IDS]
+
+
+def test_invalid_constructions_are_rejected():
+    with pytest.raises(ValueError):
+        ShardMap([])
+    with pytest.raises(ValueError):
+        ShardMap(["a", "a"])
+    with pytest.raises(ValueError):
+        ShardMap(["a"], replicas=0)
+    shard_map = ShardMap(["a", "b"])
+    with pytest.raises(ValueError):
+        shard_map.move("g", "nope")
+    with pytest.raises(ValueError):
+        shard_map.add_shard("a")
+    with pytest.raises(ValueError):
+        shard_map.remove_shard("nope")
+    shard_map.remove_shard("b")
+    with pytest.raises(ValueError):
+        shard_map.remove_shard("a")  # never below one shard

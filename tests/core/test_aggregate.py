@@ -11,7 +11,7 @@ from repro.core.aggregate import (
     top_k,
 )
 from repro.core.motif import SimpleMotif
-from repro.core.predicate import AttrRef, Literal
+from repro.core.predicate import AttrRef
 
 
 def ref(path):

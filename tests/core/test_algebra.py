@@ -18,7 +18,7 @@ from repro.core import (
     union,
 )
 from repro.core.motif import SimpleMotif
-from repro.core.predicate import AttrRef, BinOp, Literal
+from repro.core.predicate import AttrRef, BinOp
 
 
 def ref(path):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Graph, GraphPattern, GroundPattern
-from repro.core.motif import MotifBlock, SimpleMotif, clique_motif
+from repro.core.motif import MotifBlock, SimpleMotif
 from repro.core.predicate import AttrRef, BinOp, Literal
 from repro.core.bindings import Mapping
 from repro.matching import find_matches

@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -13,7 +12,6 @@ from repro.core.plans import (
     Difference,
     Doc,
     Filter,
-    Plan,
     Product,
     Select,
     Union,

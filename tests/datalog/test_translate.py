@@ -1,18 +1,10 @@
 """Unit tests for the GraphQL → Datalog translation (Theorem 4.6)."""
 
-import pytest
 
 from repro.core import Graph, GroundPattern
 from repro.core.motif import SimpleMotif, clique_motif
 from repro.core.predicate import AttrRef, BinOp, Literal
-from repro.datalog import (
-    Atom,
-    Var,
-    graph_to_facts,
-    match_with_datalog,
-    pattern_to_rule,
-    query,
-)
+from repro.datalog import graph_to_facts, match_with_datalog, pattern_to_rule
 from repro.matching import find_matches
 
 

@@ -1,6 +1,5 @@
 """Unit tests for hash, attribute and profile indexes."""
 
-import pytest
 
 from repro.core import Graph
 from repro.core.predicate import AttrRef, BinOp, Literal, conjunction

@@ -2,12 +2,11 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Graph, GraphCollection, GroundPattern
-from repro.core.motif import SimpleMotif, clique_motif, path_motif
+from repro.core.motif import SimpleMotif, clique_motif
 from repro.datasets import molecule_collection, benzene_ring_pattern
 from repro.index import (
     PathIndex,

@@ -1,0 +1,83 @@
+"""4-shard scatter-gather soak with a mid-run SIGKILL.
+
+Acceptance criteria from the cluster issue: a 4-shard fan-out keeps
+answering after one shard is SIGKILLed mid-soak — every reply turns
+PARTIAL with exact per-shard accounting (``submitted == merged +
+failed``), the dead shard is named, and nothing hangs.
+
+Real subprocesses, real SIGKILL, real TCP: this is the test that fails
+if the coordinator can deadlock on a half-open connection.
+"""
+
+import time
+
+import pytest
+
+from repro.cluster import launch_cluster
+from repro.cluster.smoke import SMOKE_QUERY, run_smoke
+from repro.datasets.molecules import molecule_collection
+from repro.runtime import Outcome
+
+SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    booted = launch_cluster(
+        molecule_collection(num_molecules=48, seed=23),
+        num_shards=SHARDS, workers=2, query_timeout=8.0)
+    try:
+        yield booted
+    finally:
+        booted.shutdown()
+
+
+def test_soak_survives_a_sigkill_with_exact_accounting(cluster):
+    report = run_smoke(shards=SHARDS, queries=24, kill=True,
+                       cluster=cluster)
+    assert report["problems"] == []
+    assert report["ok"] is True
+    # both phases actually ran and produced only the expected statuses
+    assert set(report["phases"]["healthy"]) <= {"COMPLETE", "TRUNCATED"}
+    assert set(report["phases"]["degraded"]) == {"PARTIAL"}
+    assert sum(report["phases"]["degraded"].values()) == 12
+
+
+def test_partial_replies_after_the_kill_name_the_dead_shard(cluster):
+    victim = report_victim(cluster)
+    coordinator = cluster.coordinator(timeout=8.0, result_cache_size=0,
+                                      breaker_threshold=0)
+    deadline = time.monotonic() + 30.0
+    reply = coordinator.query(SMOKE_QUERY, limit=500)
+    while time.monotonic() < deadline:
+        if reply.outcome.status is Outcome.PARTIAL:
+            break
+        reply = coordinator.query(SMOKE_QUERY, limit=500)
+    assert reply.outcome.status is Outcome.PARTIAL
+    detail = reply.outcome.detail
+    assert detail["submitted"] == SHARDS
+    assert detail["submitted"] == detail["merged"] + detail["failed"]
+    dead = detail["shards"][victim]
+    assert dead["merged"] is False and dead.get("error")
+    # the survivors' rows are present and tagged with their shard
+    live_shards = {row["shard"] for row in reply.results}
+    assert victim not in live_shards
+    assert len(live_shards) == detail["merged"]
+
+
+def report_victim(cluster) -> str:
+    """The shard the module's smoke run killed (the last in map order)."""
+    victim = cluster.shard_map.shards[-1]
+    assert not cluster.shards[victim].alive
+    return victim
+
+
+def test_no_fanout_hangs_past_its_deadline(cluster):
+    # one shard is already dead (module fixture order): the fan-out must
+    # come back within timeout + merge slack, never hang on the corpse
+    coordinator = cluster.coordinator(timeout=2.0, result_cache_size=0)
+    started = time.monotonic()
+    reply = coordinator.query(SMOKE_QUERY, limit=100)
+    elapsed = time.monotonic() - started
+    assert elapsed < 6.0
+    assert reply.submitted == reply.merged + reply.failed

@@ -9,7 +9,7 @@ agrees with the native matcher (spot checks here; randomized equivalence
 in tests/matching/test_properties.py).
 """
 
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.core import (
     Graph,

@@ -1,7 +1,6 @@
 """Tests for networkx interoperability."""
 
 import networkx as nx
-import pytest
 
 from repro.core import Graph, GroundPattern
 from repro.core.motif import clique_motif

@@ -1,7 +1,7 @@
 """Integration tests reproducing the paper's worked examples end-to-end."""
 
-from repro.core import DictSource, Graph, GraphCollection
-from repro.lang import compile_pattern_text, compile_program
+from repro.core import DictSource, Graph
+from repro.lang import compile_pattern_text
 from repro.matching import (
     GraphMatcher,
     MatchOptions,
@@ -94,7 +94,7 @@ class TestSection4Examples:
 class TestFig413Trace:
     def test_intermediate_states(self):
         """Replay the four iterations of Fig. 4.13, checking each state."""
-        from repro.core import FLWRQuery, ForClause, GraphTemplate
+        from repro.core import GraphTemplate
         from repro.core.predicate import AttrRef, BinOp
         from repro.datasets import tiny_dblp
 

@@ -12,15 +12,7 @@ primitive composition and selection.  These tests exercise both flavors
 directly at the algebra level.
 """
 
-from repro.core import (
-    Graph,
-    GraphCollection,
-    GraphTemplate,
-    GroundPattern,
-    cartesian_product,
-    compose,
-    select,
-)
+from repro.core import Graph, GraphCollection, GraphTemplate, GroundPattern, compose, select
 from repro.core.motif import SimpleMotif
 from repro.core.predicate import AttrRef, BinOp
 

@@ -4,17 +4,7 @@ import pytest
 
 from repro.core.predicate import AttrRef, BinOp, Literal
 from repro.lang import GraphQLSyntaxError, parse_expression, parse_graph_decl, parse_program
-from repro.lang.ast import (
-    AssignAst,
-    EdgeDeclAst,
-    ExportAst,
-    FLWRAst,
-    GraphDeclAst,
-    GraphMemberAst,
-    NestedBlocksAst,
-    NodeDeclAst,
-    UnifyAst,
-)
+from repro.lang.ast import AssignAst, ExportAst, FLWRAst, GraphMemberAst, NestedBlocksAst, UnifyAst
 
 
 class TestGraphDecls:

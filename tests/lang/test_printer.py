@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import Graph, GroundPattern
-from repro.core.motif import SimpleMotif, clique_motif
+from repro.core.motif import SimpleMotif
 from repro.lang import compile_pattern_text
 from repro.lang.printer import motif_to_text, pattern_to_text
 from repro.matching import find_matches

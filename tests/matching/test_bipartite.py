@@ -1,7 +1,6 @@
 """Unit and property tests for Hopcroft–Karp bipartite matching."""
 
 import itertools
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

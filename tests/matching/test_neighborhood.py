@@ -1,7 +1,6 @@
 """Unit tests for neighborhood subgraphs and profiles (Section 4.2)."""
 
-from repro.core import Graph, GroundPattern
-from repro.core.motif import clique_motif
+from repro.core import GroundPattern
 from repro.matching import (
     motif_profile,
     neighborhood_subgraph,

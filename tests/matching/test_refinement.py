@@ -1,7 +1,7 @@
 """Unit tests for Algorithm 4.2 (joint search-space reduction)."""
 
 from repro.core import GroundPattern
-from repro.core.motif import SimpleMotif, clique_motif, path_motif
+from repro.core.motif import SimpleMotif, path_motif
 from repro.matching import (
     RefinementStats,
     find_matches,

@@ -272,7 +272,7 @@ def client_worker(index: int, seed: int, address: Tuple[str, int],
                 errors.append(f"c{index}/q{q}: not ok but no error text")
             record.append({"client": index, "q": q,
                            "status": status if reply.ok
-                           else f"server_error",
+                           else "server_error",
                            "duplicate": reply.duplicate,
                            "elapsed": elapsed})
     finally:

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Graph
-from repro.service import QueryRequest, QueryService, ServiceConfig
+from repro.service import QueryService, ServiceConfig
 from repro.storage import GraphDatabase, SimulatedCrash, scan_wal, wal_path_for
 from repro.storage.faults import CrashPoint
 from repro.storage.graphstore import GraphStore

@@ -1,0 +1,79 @@
+"""Trace context over the wire: one tree across client and server.
+
+The client attaches its active span's ids to outgoing requests and the
+server roots its ``service.request`` span under them, so a cluster
+fan-out's trace reconstructs as ONE tree even though every hop runs in
+its own process.  Here client and server share a process (and thus the
+tracer), which lets the test assert directly on the captured spans.
+"""
+
+import threading
+
+import pytest
+
+from repro.datasets.random_graphs import erdos_renyi_graph
+from repro.obs.trace import SpanCollector, span_tree, tracer
+from repro.service import QueryServer, QueryService, ServiceClient, ServiceConfig
+
+QUERY = ('graph P { node u1 <label="L001">; node u2 <label="L002">; '
+         'edge e1 (u1, u2); }')
+
+
+@pytest.fixture()
+def server():
+    service = QueryService(ServiceConfig(workers=2, queue_depth=8,
+                                         default_timeout=10.0))
+    service.register("data", erdos_renyi_graph(
+        120, 360, num_labels=5, seed=11, name="data"))
+    srv = QueryServer(service, ("127.0.0.1", 0))
+    thread = threading.Thread(target=srv.serve_until_shutdown, daemon=True)
+    thread.start()
+    try:
+        yield srv
+    finally:
+        srv.shutdown_gracefully(drain_timeout=2.0)
+        thread.join(timeout=10)
+
+
+def test_server_roots_its_request_span_under_the_caller(server):
+    collector = SpanCollector()
+    host, port = server.address
+    with tracer().session(collector):
+        with tracer().span("caller.fanout") as caller:
+            with ServiceClient(host, port, timeout=10.0,
+                               client_name="tracer") as client:
+                reply = client.query(QUERY, limit=5, no_cache=True)
+            assert reply.ok
+    requests = collector.by_name("service.request")
+    assert len(requests) == 1
+    request = requests[0]
+    # joined the caller's distributed trace instead of minting its own
+    assert request.trace_id == caller.trace_id
+    assert request.parent_id == caller.span_id
+    # offline reconstruction nests it under the caller too
+    roots = span_tree([s.record() for s in collector.spans])
+    fanouts = [r for r in roots if r["name"] == "caller.fanout"]
+    assert len(fanouts) == 1
+    child_names = {child["name"] for child in fanouts[0]["children"]}
+    assert "service.request" in child_names
+
+
+def test_without_an_active_span_the_server_starts_its_own_trace(server):
+    collector = SpanCollector()
+    host, port = server.address
+    with tracer().session(collector):
+        with ServiceClient(host, port, timeout=10.0,
+                           client_name="untraced") as client:
+            assert client.query(QUERY, limit=5, no_cache=True).ok
+    request = collector.by_name("service.request")[0]
+    assert request.parent_id is None
+
+
+def test_span_ids_are_unique_across_processes_by_construction():
+    # two processes must never mint the same span id: each draws from a
+    # pid-prefixed range (collisions would cross-link merged traces)
+    from repro.obs import trace as trace_module
+
+    base = next(trace_module._ids)
+    assert base >> 40  # the pid prefix is present
+    assert base < 2 ** 60  # and ids stay JSON-exact

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import GroundPattern
-from repro.core.motif import SimpleMotif, clique_motif
+from repro.core.motif import SimpleMotif
 from repro.matching import find_matches
 from repro.sqlbaseline import (
     ColumnRef,
@@ -126,7 +126,6 @@ class TestEngine:
 
     def test_constant_false_predicate(self):
         engine = SQLEngine(self.make_db())
-        db = self.make_db()
         rows = engine.execute("SELECT t.id FROM T t WHERE t.id = 99")
         assert rows == []
 

@@ -1,7 +1,6 @@
 """Tests for the crash-point fuzzing harness (small sweeps; the CI
 ``crash-recovery-fuzz`` job runs the full ≥200-point version)."""
 
-import pytest
 
 from repro.storage.crashfuzz import (
     NEVER,

@@ -164,7 +164,6 @@ class TestClustering:
         # scramble declaration order so "insertion" is an adversary
         ids = g.node_ids()
         random.Random(1).shuffle(ids)
-        scrambled = g.induced_subgraph(ids)  # same graph, copied
         scrambled_order = Graph(directed=False)
         for node_id in ids:
             node = g.node(node_id)

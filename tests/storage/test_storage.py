@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import Graph, GraphCollection
+from repro.core import Graph
 from repro.datasets import dblp_collection, tiny_dblp
 from repro.matching import optimized_options
 from repro.storage import (

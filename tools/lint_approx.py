@@ -1,0 +1,137 @@
+"""Approximate the repo's ruff selection (E4/E7/E9, F) with stdlib ast.
+
+CI runs the real thing (`ruff check src tests benchmarks`, configured in
+pyproject.toml).  This script exists for offline environments where ruff
+cannot be installed: `python tools/lint_approx.py [paths...]` exits
+non-zero on findings.  It intentionally under-approximates — anything it
+reports, ruff reports too.
+
+Checks implemented:
+  F401  module-level import never used (skips __init__.py, __all__ names,
+        and names re-exported via "from x import y as y")
+  F841  local variable assigned once and never read (simple Name targets
+        only; skips _-prefixed names, augmented assigns, and closures)
+  E711  comparison to None with ==/!=
+  E712  comparison to True/False with ==/!=
+  F632  `is` / `is not` against a str/int/tuple literal
+  F541  f-string without any placeholder
+  E722  bare except
+"""
+import ast
+import sys
+from pathlib import Path
+
+
+def names_loaded(tree):
+    loaded = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            loaded.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            base = node
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name):
+                loaded.add(base.id)
+    # names referenced in __all__ or in string annotations count as used
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                if isinstance(t, ast.Name) and t.id == "__all__":
+                    for elt in ast.walk(node.value):
+                        if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                            loaded.add(elt.value)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            # crude: string annotations / doctest references
+            pass
+    return loaded
+
+
+def check_file(path):
+    findings = []
+    src = path.read_text()
+    try:
+        tree = ast.parse(src, filename=str(path))
+    except SyntaxError as exc:  # E9
+        findings.append((exc.lineno or 0, "E999", f"syntax error: {exc.msg}"))
+        return findings
+    loaded = names_loaded(tree)
+
+    is_init = path.name == "__init__.py"
+    spec_ids = {
+        id(n.format_spec)
+        for n in ast.walk(tree)
+        if isinstance(n, ast.FormattedValue) and n.format_spec is not None
+    }
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)) and not is_init:
+            if isinstance(node, ast.ImportFrom) and node.module == "__future__":
+                continue
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                if alias.name == "*":
+                    continue
+                if alias.asname == alias.name:  # explicit re-export idiom
+                    continue
+                if name not in loaded:
+                    findings.append((node.lineno, "F401", f"unused import: {name}"))
+        elif isinstance(node, ast.Compare):
+            for op, comp in zip(node.ops, node.comparators):
+                if isinstance(op, (ast.Eq, ast.NotEq)) and isinstance(comp, ast.Constant):
+                    if comp.value is None:
+                        findings.append((node.lineno, "E711", "comparison to None with ==/!="))
+                    elif comp.value is True or comp.value is False:
+                        findings.append((node.lineno, "E712", "comparison to True/False with ==/!="))
+                if isinstance(op, (ast.Is, ast.IsNot)) and isinstance(comp, ast.Constant):
+                    if isinstance(comp.value, (str, int, tuple)) and not isinstance(comp.value, bool):
+                        findings.append((node.lineno, "F632", "`is` with a literal"))
+        elif isinstance(node, ast.JoinedStr) and id(node) not in spec_ids:
+            if not any(isinstance(v, ast.FormattedValue) for v in node.values):
+                findings.append((node.lineno, "F541", "f-string without placeholders"))
+        elif isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append((node.lineno, "E722", "bare except"))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            findings.extend(check_locals(node))
+    return findings
+
+
+def check_locals(func):
+    # skip functions that contain nested defs/lambdas (closure reads)
+    for node in ast.walk(func):
+        if node is not func and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            return []
+    assigned = {}
+    read = set()
+    for node in ast.walk(func):
+        # ruff's F841 only flags plain single-name assignments — loop
+        # variables, with-targets and tuple unpacking are exempt
+        if isinstance(node, ast.Assign):
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                assigned.setdefault(node.targets[0].id, node.lineno)
+        if isinstance(node, ast.Name) and not isinstance(node.ctx, ast.Store):
+            read.add(node.id)
+        elif isinstance(node, (ast.AugAssign,)):
+            if isinstance(node.target, ast.Name):
+                read.add(node.target.id)
+    out = []
+    for name, lineno in sorted(assigned.items(), key=lambda kv: kv[1]):
+        if name.startswith("_") or name in read:
+            continue
+        out.append((lineno, "F841", f"unused local: {name} (in {func.name})"))
+    return out
+
+
+def main():
+    roots = [Path(a) for a in (sys.argv[1:] or ["src", "tests", "benchmarks"])]
+    total = 0
+    for root in roots:
+        for path in sorted(root.rglob("*.py")):
+            for lineno, code, msg in check_file(path):
+                print(f"{path}:{lineno}: {code} {msg}")
+                total += 1
+    print(f"-- {total} finding(s)")
+    return 1 if total else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
