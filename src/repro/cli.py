@@ -358,6 +358,17 @@ def build_parser() -> argparse.ArgumentParser:
     cserve.add_argument("--timeout", type=float, default=10.0,
                         metavar="SECONDS",
                         help="per-shard default query deadline")
+    cserve.add_argument("--replication", type=int, default=1,
+                        metavar="R",
+                        help="replicas per slice (R >= 2 enables "
+                             "failover serving; default 1)")
+    cserve.add_argument("--supervise", action="store_true",
+                        help="restart dead shards from their stores "
+                             "(exponential backoff, restart budget)")
+    cserve.add_argument("--state", default=None, metavar="PATH",
+                        help="write a JSON cluster-state file here "
+                             "(read by 'cluster status'), refreshed "
+                             "while serving")
 
     croute = csub.add_parser(
         "route",
@@ -409,6 +420,28 @@ def build_parser() -> argparse.ArgumentParser:
     csmoke.add_argument("--timeout", type=float, default=8.0,
                         metavar="SECONDS",
                         help="per-fan-out deadline")
+    csmoke.add_argument("--replication", type=int, default=1,
+                        metavar="R",
+                        help="replicas per slice; R >= 2 runs the "
+                             "zero-PARTIAL drill (supervised failover "
+                             "instead of PARTIAL replies)")
+    csmoke.add_argument("--report", default=None, metavar="PATH",
+                        help="also write the JSON report here (written "
+                             "on failure too, for CI artifacts)")
+
+    cstatus = csub.add_parser(
+        "status",
+        help="one line per shard: endpoint, alive/ready, breaker "
+             "states, restart count, map version",
+    )
+    cstatus.add_argument("--state", required=True, metavar="PATH",
+                         help="cluster-state file written by "
+                              "'cluster serve --state'")
+    cstatus.add_argument("--probe-timeout", type=float, default=2.0,
+                         metavar="SECONDS",
+                         help="per-shard wire probe deadline")
+    cstatus.add_argument("--json", action="store_true",
+                         help="emit the full merged status as JSON")
 
     return parser
 
@@ -840,6 +873,8 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         return _cluster_serve(args)
     if args.cluster_command == "route":
         return _cluster_route(args)
+    if args.cluster_command == "status":
+        return _cluster_status(args)
     return _cluster_smoke(args)
 
 
@@ -850,7 +885,10 @@ def _cluster_serve(args: argparse.Namespace) -> int:
     cluster = launch_cluster(
         molecule_collection(num_molecules=args.molecules, seed=args.seed),
         num_shards=args.shards, workers=args.workers,
-        query_timeout=args.timeout)
+        query_timeout=args.timeout,
+        replication_factor=args.replication,
+        supervise=args.supervise)
+    state_path = Path(args.state) if args.state else None
     try:
         for shard_id, shard in cluster.shards.items():
             print(f"{shard_id}: {shard.host}:{shard.port} "
@@ -867,11 +905,86 @@ def _cluster_serve(args: argparse.Namespace) -> int:
         stop = threading.Event()
         signal.signal(signal.SIGTERM, lambda *_: stop.set())
         signal.signal(signal.SIGINT, lambda *_: stop.set())
-        stop.wait()
+        if state_path is None:
+            stop.wait()
+        else:
+            # refresh the state file while serving so 'cluster status'
+            # sees supervisor restarts and fresh ports, not boot state
+            while not stop.wait(1.0):
+                cluster.write_state(state_path)
+            cluster.write_state(state_path)
         print("draining cluster ...", flush=True)
     finally:
+        if state_path is not None:
+            try:
+                cluster.write_state(state_path)
+            except OSError:
+                pass
         cluster.shutdown()
     return 0
+
+
+def _cluster_status(args: argparse.Namespace) -> int:
+    """``repro-gql cluster status``: probe the shards of a state file."""
+    from .service.client import ServiceClient
+
+    state = json.loads(Path(args.state).read_text(encoding="utf-8"))
+    map_info = state.get("map", {})
+    supervisor = state.get("supervisor") or {}
+    abandoned = supervisor.get("abandoned", {})
+    rows = []
+    all_ok = True
+    for shard_id in sorted(state.get("shards", {})):
+        entry = state["shards"][shard_id]
+        host, port = entry["host"], int(entry["port"])
+        probe = {"alive": False, "ready": False,
+                 "reason": "unreachable", "breakers": {}}
+        try:
+            with ServiceClient(host, port, timeout=args.probe_timeout,
+                               client_name="cluster-status") as client:
+                ready, reason = client.ready()
+                health = client.health()
+            probe.update(alive=True, ready=ready, reason=reason,
+                         breakers=health.get("breakers", {}))
+        except Exception as exc:
+            probe["reason"] = f"{type(exc).__name__}: {exc}"
+        if not probe["ready"]:
+            all_ok = False
+        rows.append({
+            "shard": shard_id, "host": host, "port": port,
+            "restarts": int(entry.get("restarts", 0)),
+            "abandoned": abandoned.get(shard_id),
+            **probe,
+        })
+    merged = {
+        "map_version": map_info.get("version"),
+        "replication_factor": map_info.get("replication_factor", 1),
+        "supervisor": supervisor,
+        "shards": rows,
+        "ok": all_ok,
+    }
+    if args.json:
+        print(json.dumps(merged, indent=2, sort_keys=True))
+        return 0 if all_ok else 1
+    print(f"map v{merged['map_version']} "
+          f"R={merged['replication_factor']} "
+          f"({len(rows)} shard(s), "
+          f"{supervisor.get('restarts', 0)} supervised restart(s))")
+    for row in rows:
+        if row["abandoned"]:
+            status = f"ABANDONED ({row['abandoned']})"
+        elif not row["alive"]:
+            status = f"DEAD ({row['reason']})"
+        elif not row["ready"]:
+            status = f"NOT READY ({row['reason']})"
+        else:
+            status = "ready"
+        breakers = ",".join(f"{k}={v}" for k, v in
+                            sorted(row["breakers"].items()) if v)
+        print(f"  {row['shard']}  {row['host']}:{row['port']}  "
+              f"{status}  breakers[{breakers or 'none'}]  "
+              f"restarts={row['restarts']}")
+    return 0 if all_ok else 1
 
 
 def _cluster_route(args: argparse.Namespace) -> int:
@@ -911,12 +1024,28 @@ def _cluster_route(args: argparse.Namespace) -> int:
 def _cluster_smoke(args: argparse.Namespace) -> int:
     from .cluster.smoke import run_smoke
 
-    report = run_smoke(shards=args.shards, molecules=args.molecules,
-                       queries=args.queries, seed=args.seed,
-                       kill=not args.no_kill,
-                       query_timeout=args.timeout,
-                       hedge_after=args.hedge_after)
-    print(json.dumps(report, indent=2, sort_keys=True))
+    try:
+        report = run_smoke(shards=args.shards, molecules=args.molecules,
+                           queries=args.queries, seed=args.seed,
+                           kill=not args.no_kill,
+                           query_timeout=args.timeout,
+                           hedge_after=args.hedge_after,
+                           replication=args.replication)
+    except Exception as exc:
+        # the drill crashing IS a failure: still leave a report behind
+        # for the CI artifact upload
+        report = {"ok": False,
+                  "problems": [f"smoke crashed: "
+                               f"{type(exc).__name__}: {exc}"]}
+        if args.report:
+            Path(args.report).write_text(
+                json.dumps(report, indent=2, sort_keys=True),
+                encoding="utf-8")
+        raise
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    if args.report:
+        Path(args.report).write_text(rendered + "\n", encoding="utf-8")
+    print(rendered)
     return 0 if report["ok"] else 1
 
 

@@ -1,17 +1,25 @@
-"""Boot a local cluster: split a collection, launch one server per shard.
+"""Boot a local cluster: replicate slices, launch one server per shard.
 
 :func:`launch_cluster` partitions a :class:`~repro.core.GraphCollection`
-with a :class:`~repro.cluster.shardmap.ShardMap`, writes each shard's
-slice to its own data file, and launches one ``repro-gql serve --port
-0`` subprocess per shard.  Each child announces its OS-assigned port on
-a machine-readable ``ready {...}`` stdout line (see
+with a :class:`~repro.cluster.shardmap.ShardMap`, writes every slice to
+the **durable store** (WAL-backed, see ``docs/robustness.md``) of each
+shard in its preference list, and launches one ``repro-gql serve
+--store ... --port 0`` subprocess per shard.  Each child announces its
+OS-assigned port on a machine-readable ``ready {...}`` stdout line (see
 :func:`wait_ready`), so no port numbers are configured — or fought
 over — anywhere.
 
+With ``replication_factor=R >= 2`` every slice lives on R processes
+(each owner serves it under the shared ``document@primary`` name), a
+replica-aware coordinator fails over instead of reporting ``PARTIAL``,
+and an optional :class:`~repro.cluster.supervisor.ShardSupervisor`
+(``supervise=True``) restarts dead shards from their stores.
+
 The returned :class:`LocalCluster` is the test/ops handle: it builds
-coordinators wired to the live endpoints, SIGKILLs individual shards
-(the partial-failure drills in ``tests/integration`` and the smoke
-harness), and tears everything down.
+coordinators wired to the live endpoints (updated in place on
+supervised restarts), SIGKILLs individual shards (the failover drills
+in ``tests/integration`` and the smoke harness), and tears everything
+down.
 """
 
 from __future__ import annotations
@@ -24,30 +32,48 @@ import sys
 import tempfile
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from ..core import GraphCollection
-from ..storage.serializer import save_collection
 from .coordinator import ClusterCoordinator
-from .shardmap import ShardMap
+from .shardmap import ShardMap, slice_document
+
+#: stdout/stderr lines kept per child for failure diagnostics
+TAIL_LINES = 20
 
 
 def wait_ready(process: subprocess.Popen,
-               timeout: float = 20.0) -> Dict[str, Any]:
+               timeout: float = 20.0,
+               tail: Optional[Deque[str]] = None) -> Dict[str, Any]:
     """Block until a serve child prints its ``ready {...}`` line.
 
     Returns the parsed payload (``host``, ``port``, ``documents``…).
     A drain thread keeps consuming the child's stdout afterwards so its
     later prints (shutdown summary, slow-query log) never fill the pipe
-    and block the server.
+    and block the server; everything drained lands in *tail* (a bounded
+    deque, created here when not supplied), and on timeout or child
+    exit the raised error carries the last ~{TAIL_LINES} captured lines
+    so a CI failure is diagnosable from the report artifact alone.
     """
+    if tail is None:
+        tail = deque(maxlen=TAIL_LINES)
     lines: "queue.Queue[Optional[str]]" = queue.Queue()
 
     def pump() -> None:
         try:
             for line in process.stdout:  # type: ignore[union-attr]
+                tail.append(line.rstrip("\n"))
                 lines.put(line)
         finally:
             lines.put(None)
@@ -55,29 +81,39 @@ def wait_ready(process: subprocess.Popen,
     threading.Thread(target=pump, name="shard-stdout-pump",
                      daemon=True).start()
     deadline = time.monotonic() + timeout
-    seen: List[str] = []
+
+    def tail_text() -> str:
+        captured = list(tail)
+        if not captured:
+            return "  <no output captured>"
+        return "\n".join(f"  | {line}" for line in captured)
+
     while True:
         remaining = deadline - time.monotonic()
         if remaining <= 0:
             raise TimeoutError(
-                f"no ready line after {timeout:g}s; "
-                f"last output: {seen[-5:]}")
+                f"no ready line after {timeout:g}s; last "
+                f"{len(tail)} line(s) of child output:\n{tail_text()}")
         try:
             line = lines.get(timeout=remaining)
         except queue.Empty:
             continue
         if line is None:
+            try:  # stdout EOF: the child is exiting — reap its rc
+                rc = process.wait(timeout=5.0)
+            except subprocess.TimeoutExpired:
+                rc = process.poll()
             raise RuntimeError(
-                f"server exited (rc={process.poll()}) before its ready "
-                f"line; last output: {seen[-5:]}")
-        seen.append(line.rstrip("\n"))
+                f"server exited (rc={rc}) before its ready "
+                f"line; last {len(tail)} line(s) of child output:\n"
+                f"{tail_text()}")
         if line.startswith("ready "):
             return json.loads(line[len("ready "):])
 
 
 @dataclass
 class ShardProcess:
-    """One running shard: its subprocess and announced endpoint."""
+    """One running shard: its subprocess, endpoint and respawn recipe."""
 
     shard_id: str
     process: subprocess.Popen
@@ -85,13 +121,22 @@ class ShardProcess:
     port: int
     data_path: Path
     graph_ids: List[str] = field(default_factory=list)
+    #: the exact command + env + cwd that booted it — what a supervisor
+    #: replays to restart the shard from its durable store
+    command: List[str] = field(default_factory=list)
+    env: Optional[Dict[str, str]] = None
+    cwd: Optional[str] = None
+    restarts: int = 0
+    #: last ~20 lines of child output (shared with :func:`wait_ready`)
+    output_tail: Deque[str] = field(
+        default_factory=lambda: deque(maxlen=TAIL_LINES))
 
     @property
     def alive(self) -> bool:
         return self.process.poll() is None
 
     def kill(self) -> None:
-        """SIGKILL — the partial-failure drill (no drain, no goodbye)."""
+        """SIGKILL — the failure drill (no drain, no goodbye)."""
         if self.alive:
             self.process.kill()
         self.process.wait()
@@ -106,6 +151,34 @@ class ShardProcess:
             self.process.kill()
             self.process.wait()
 
+    def respawn(self, ready_timeout: float = 30.0) -> Dict[str, Any]:
+        """Relaunch the shard from its durable store.
+
+        The old process must already be dead.  On success the
+        process/endpoint fields are replaced (the port is fresh — the
+        OS assigns it) and ``restarts`` is bumped; on failure the
+        half-started child is killed and the error (carrying the output
+        tail) propagates.
+        """
+        if self.alive:
+            raise RuntimeError(f"{self.shard_id} is still running")
+        process = subprocess.Popen(
+            self.command, stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT, text=True,
+            env=self.env, cwd=self.cwd)
+        try:
+            payload = wait_ready(process, timeout=ready_timeout,
+                                 tail=self.output_tail)
+        except BaseException:
+            process.kill()
+            process.wait()
+            raise
+        self.process = process
+        self.host = str(payload["host"])
+        self.port = int(payload["port"])
+        self.restarts += 1
+        return payload
+
 
 class LocalCluster:
     """A handle on N locally-launched shard servers plus their map."""
@@ -113,32 +186,77 @@ class LocalCluster:
     def __init__(self, shard_map: ShardMap,
                  shards: Dict[str, ShardProcess],
                  document: str, workdir: Path,
-                 _tmp: Optional[tempfile.TemporaryDirectory] = None) -> None:
+                 _tmp: Optional[tempfile.TemporaryDirectory] = None,
+                 assignment: Optional[Dict[str, List[str]]] = None) -> None:
         self.shard_map = shard_map
         self.shards = shards
         self.document = document
         self.workdir = workdir
         self._tmp = _tmp
+        #: primary placement: shard id -> the graph ids of ITS slice
+        #: (replicas it hosts for neighbours are not listed here)
+        self.assignment: Dict[str, List[str]] = dict(assignment or {})
+        #: the LIVE endpoint table: coordinators hold it by reference,
+        #: and a supervised restart updates it in place
+        self._endpoints: Dict[str, Tuple[str, int]] = {
+            sid: (sp.host, sp.port) for sid, sp in shards.items()}
+        #: attached by :func:`launch_cluster` when ``supervise=True``
+        self.supervisor = None
 
     @property
     def endpoints(self) -> Dict[str, Tuple[str, int]]:
-        return {sid: (sp.host, sp.port) for sid, sp in self.shards.items()}
+        """The live shard endpoint table (mutated on restarts)."""
+        return self._endpoints
+
+    def note_restart(self, shard_id: str) -> None:
+        """Publish a respawned shard's fresh endpoint to coordinators."""
+        shard = self.shards[shard_id]
+        self._endpoints[shard_id] = (shard.host, shard.port)
 
     def coordinator(self, **kwargs) -> ClusterCoordinator:
         """A coordinator wired to this cluster's live endpoints."""
-        return ClusterCoordinator(self.shard_map, self.endpoints, **kwargs)
+        return ClusterCoordinator(self.shard_map, self._endpoints,
+                                  **kwargs)
 
     def kill(self, shard_id: str) -> None:
         """SIGKILL one shard (it stays in the map: the coordinator must
-        discover and report the failure, not have it hidden)."""
+        discover and absorb — or report — the failure, not have it
+        hidden)."""
         self.shards[shard_id].kill()
 
     def alive(self) -> List[str]:
         """Shard ids whose process is still running."""
         return [sid for sid, sp in self.shards.items() if sp.alive]
 
+    def state(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot for tooling (``cluster status``)."""
+        return {
+            "document": self.document,
+            "map": self.shard_map.to_dict(),
+            "shards": {
+                sid: {
+                    "host": sp.host, "port": sp.port,
+                    "pid": sp.process.pid, "alive": sp.alive,
+                    "restarts": sp.restarts,
+                }
+                for sid, sp in self.shards.items()
+            },
+            "supervisor": (self.supervisor.stats()
+                           if self.supervisor is not None else None),
+        }
+
+    def write_state(self, path: Path) -> None:
+        """Atomically persist :meth:`state` (the status file)."""
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(self.state(), indent=2, sort_keys=True),
+                       encoding="utf-8")
+        tmp.replace(path)
+
     def shutdown(self) -> None:
-        """Drain every surviving shard and remove the work directory."""
+        """Stop supervision, drain every surviving shard, clean up."""
+        if self.supervisor is not None:
+            self.supervisor.stop()
         for shard in self.shards.values():
             shard.terminate()
         if self._tmp is not None:
@@ -152,12 +270,28 @@ class LocalCluster:
         self.shutdown()
 
 
-def _server_command(data_path: Path, workers: int, timeout: float,
-                    extra_args: Sequence[str]) -> List[str]:
-    return [sys.executable, "-m", "repro", "serve", str(data_path),
+def _server_command(store_path: Path, workers: int, timeout: float,
+                    fsync: str, extra_args: Sequence[str]) -> List[str]:
+    return [sys.executable, "-m", "repro", "serve",
+            "--store", str(store_path), "--fsync", fsync,
             "--port", "0", "--host", "127.0.0.1",
             "--workers", str(workers), "--timeout", str(timeout),
             *extra_args]
+
+
+def _write_store(store_path: Path, documents: Dict[str, List[Any]],
+                 fsync: str) -> None:
+    """Write one shard's documents to its WAL-backed durable store."""
+    from ..storage.database import GraphDatabase
+
+    database = GraphDatabase()
+    database.attach_durable(store_path, fsync=fsync)
+    try:
+        for name, graphs in documents.items():
+            database.register_durable(
+                name, GraphCollection(list(graphs), name=name))
+    finally:
+        database.close_store()
 
 
 def launch_cluster(
@@ -166,25 +300,37 @@ def launch_cluster(
     *,
     document: str = "data",
     replicas: int = 64,
+    replication_factor: int = 1,
     workers: int = 2,
     query_timeout: float = 10.0,
     ready_timeout: float = 30.0,
     workdir: Optional[Path] = None,
     serve_args: Sequence[str] = (),
+    fsync: str = "commit",
+    supervise: bool = False,
+    supervisor_args: Optional[Dict[str, Any]] = None,
 ) -> LocalCluster:
     """Split *collection* over *num_shards* local servers and boot them.
 
     Placement is by the member graphs' names through a fresh
-    :class:`ShardMap`; each shard serves its slice as document
-    *document*.  Raises if any child fails to report ready — already
-    started shards are torn down again, so a failed boot leaks nothing.
+    :class:`ShardMap`.  Every shard's slice is written to the durable
+    store of each shard in its preference list (``replication_factor``
+    of them); with R >= 2 each owner serves the slice under the shared
+    ``document@primary`` name so a coordinator can fail over without
+    losing answers.  ``supervise=True`` attaches a
+    :class:`~repro.cluster.supervisor.ShardSupervisor` that restarts
+    dead shards from their stores.  Raises if any child fails to report
+    ready — already started shards are torn down again, so a failed
+    boot leaks nothing.
     """
     names = [graph.name for graph in collection]
     if len(set(names)) != len(names):
         raise ValueError("collection has duplicate graph names; "
                          "placement needs unique graph ids")
     shard_ids = [f"shard{i}" for i in range(num_shards)]
-    shard_map = ShardMap(shard_ids, replicas=replicas)
+    shard_map = ShardMap(shard_ids, replicas=replicas,
+                         replication_factor=replication_factor)
+    replicated = shard_map.replication_factor > 1
     assignment = shard_map.split(names)
     by_name = {graph.name: graph for graph in collection}
     tmp = None
@@ -197,28 +343,51 @@ def launch_cluster(
     shards: Dict[str, ShardProcess] = {}
     try:
         for shard_id in shard_ids:
-            slice_path = workdir / f"{shard_id}.gql"
-            owned = assignment[shard_id]
-            save_collection(
-                GraphCollection([by_name[n] for n in owned],
-                                name=document), slice_path)
+            store_path = workdir / f"{shard_id}.store"
+            # every slice whose preference list names this shard lands
+            # in its store — the primary's own slice included
+            documents: Dict[str, List[Any]] = {}
+            stored_ids: List[str] = []
+            for primary in shard_ids:
+                if shard_id not in shard_map.preference_list(primary):
+                    continue
+                doc = (slice_document(document, primary) if replicated
+                       else document)
+                documents[doc] = [by_name[n] for n in assignment[primary]]
+                stored_ids.extend(assignment[primary])
+            _write_store(store_path, documents, fsync)
+            command = _server_command(store_path, workers, query_timeout,
+                                      fsync, serve_args)
             process = subprocess.Popen(
-                _server_command(slice_path, workers, query_timeout,
-                                serve_args),
-                stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
-                text=True, env=env, cwd=str(workdir))
-            payload = wait_ready(process, timeout=ready_timeout)
-            shards[shard_id] = ShardProcess(
+                command, stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT, text=True, env=env,
+                cwd=str(workdir))
+            shard = ShardProcess(
                 shard_id=shard_id, process=process,
-                host=str(payload["host"]), port=int(payload["port"]),
-                data_path=slice_path, graph_ids=list(owned))
+                host="", port=0, data_path=store_path,
+                graph_ids=stored_ids, command=command, env=env,
+                cwd=str(workdir))
+            shards[shard_id] = shard
+            payload = wait_ready(process, timeout=ready_timeout,
+                                 tail=shard.output_tail)
+            shard.host = str(payload["host"])
+            shard.port = int(payload["port"])
     except BaseException:
         for shard in shards.values():
             shard.kill()
         if tmp is not None:
             tmp.cleanup()
         raise
-    return LocalCluster(shard_map, shards, document, workdir, _tmp=tmp)
+    cluster = LocalCluster(shard_map, shards, document, workdir, _tmp=tmp,
+                           assignment=assignment)
+    if supervise:
+        from .supervisor import ShardSupervisor
+
+        cluster.supervisor = ShardSupervisor(
+            cluster, ready_timeout=ready_timeout,
+            **(supervisor_args or {}))
+        cluster.supervisor.start()
+    return cluster
 
 
 def _child_env() -> Dict[str, str]:

@@ -17,6 +17,17 @@ The map is **versioned**: every mutation (:meth:`add_shard`,
 :class:`ShardMove` list it caused, so callers (the coordinator's result
 cache, most importantly) can invalidate exactly the state the moves
 made stale.
+
+**Replication** (``replication_factor=R``) extends placement from one
+owner to an ordered *preference list* of R distinct shards per graph
+id.  The first entry is the primary (identical to :meth:`owner`); the
+rest are the distinct shards found by a ring-successor walk from the
+primary's canonical ring anchor.  Anchoring the walk at the primary —
+not at each graph's own hash — makes every graph of one primary's
+slice share one preference list, so an *entire slice* can fail over to
+one replica and the concatenation-merge stays answer-preserving (the
+paper's graphs-at-a-time guarantee needs whole slices, not scattered
+graph fragments).
 """
 
 from __future__ import annotations
@@ -32,6 +43,16 @@ def _point(value: str) -> int:
     """A stable 64-bit ring position for a string."""
     digest = hashlib.blake2b(value.encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "big")
+
+
+def slice_document(document: str, primary: str) -> str:
+    """The wire document name of one primary's slice on any replica.
+
+    With ``replication_factor >= 2`` every owner of a slice —
+    primary included — registers it under this name, so a failover
+    retargets the *same* document on a different process.
+    """
+    return f"{document}@{primary}"
 
 
 @dataclass(frozen=True)
@@ -57,14 +78,18 @@ class ShardMap:
 
     def __init__(self, shards: Sequence[str], replicas: int = 64,
                  version: int = 1,
-                 pins: Optional[Dict[str, str]] = None) -> None:
+                 pins: Optional[Dict[str, str]] = None,
+                 replication_factor: int = 1) -> None:
         if not shards:
             raise ValueError("a shard map needs at least one shard")
         if len(set(shards)) != len(shards):
             raise ValueError("duplicate shard ids")
         if replicas < 1:
             raise ValueError("replicas must be >= 1")
+        if replication_factor < 1:
+            raise ValueError("replication_factor must be >= 1")
         self.replicas = replicas
+        self.replication_factor = replication_factor
         self.version = version
         self._lock = threading.Lock()
         self._shards: List[str] = list(shards)
@@ -103,11 +128,47 @@ class ShardMap:
             return list(self._shards)
 
     def owner(self, graph_id: str) -> str:
-        """The shard serving *graph_id* (pins win over the ring)."""
+        """The primary shard of *graph_id* (pins win over the ring)."""
         with self._lock:
             pinned = self._pins.get(graph_id)
             return pinned if pinned is not None else \
                 self._ring_owner_of(graph_id)
+
+    def _successors_of(self, primary: str, count: int) -> List[str]:
+        """*count* distinct shards: *primary* first, then its ring
+        successors (walk from the primary's canonical ``#0`` anchor)."""
+        want = min(count, len(self._shards))
+        owners = [primary]
+        if want <= 1:
+            return owners
+        start = bisect.bisect_right(self._ring, _point(f"{primary}#0"))
+        for offset in range(len(self._ring)):
+            shard = self._ring_owner[(start + offset) % len(self._ring)]
+            if shard not in owners:
+                owners.append(shard)
+                if len(owners) == want:
+                    break
+        return owners
+
+    def owners(self, graph_id: str) -> List[str]:
+        """The ordered preference list of *graph_id*: its primary (pin
+        or ring owner), then ``replication_factor - 1`` distinct
+        ring-successor shards.  Capped at the shard count; every graph
+        of one primary's slice shares the same list (see the module
+        docstring)."""
+        with self._lock:
+            pinned = self._pins.get(graph_id)
+            primary = (pinned if pinned is not None
+                       else self._ring_owner_of(graph_id))
+            return self._successors_of(primary, self.replication_factor)
+
+    def preference_list(self, shard: str) -> List[str]:
+        """The failover order of *shard*'s slice: the shard itself,
+        then its ring successors, ``replication_factor`` entries."""
+        with self._lock:
+            if shard not in self._shards:
+                raise ValueError(f"unknown shard {shard!r}")
+            return self._successors_of(shard, self.replication_factor)
 
     def split(self, graph_ids: Iterable[str]) -> Dict[str, List[str]]:
         """Graph ids grouped by owning shard (every shard present, so
@@ -184,6 +245,7 @@ class ShardMap:
                 "replicas": self.replicas,
                 "version": self.version,
                 "pins": dict(self._pins),
+                "replication_factor": self.replication_factor,
             }
 
     @classmethod
@@ -191,8 +253,11 @@ class ShardMap:
         return cls(list(data["shards"]),
                    replicas=int(data.get("replicas", 64)),
                    version=int(data.get("version", 1)),
-                   pins=dict(data.get("pins") or {}))
+                   pins=dict(data.get("pins") or {}),
+                   replication_factor=int(
+                       data.get("replication_factor", 1)))
 
     def __repr__(self) -> str:
         return (f"<ShardMap v{self.version} {len(self._shards)} shard(s) "
-                f"x{self.replicas} replicas, {len(self._pins)} pin(s)>")
+                f"x{self.replicas} replicas, R={self.replication_factor}, "
+                f"{len(self._pins)} pin(s)>")

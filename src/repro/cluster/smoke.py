@@ -3,14 +3,20 @@
 ``repro-gql cluster smoke`` (CI's ``cluster-smoke`` job) boots an
 N-shard local cluster over a seeded molecule collection, soaks it with
 scatter-gather queries, SIGKILLs one shard halfway through, and then
-*audits the books*:
+*audits the books*.  What the kill must look like depends on the
+replication factor:
 
-* while every shard lived, fan-outs came back ``COMPLETE`` (or
-  ``TRUNCATED``) with ``merged == submitted``;
-* after the kill, fan-outs come back ``PARTIAL``, the dead shard is
-  named in ``detail["shards"]``, and ``submitted == merged + failed``
-  holds on every single reply;
-* nothing hangs: every query returns inside its deadline.
+* **R = 1** (no replicas): after the kill, fan-outs come back
+  ``PARTIAL``, the dead shard is named in ``detail["shards"]``, and
+  ``submitted == merged + failed`` holds on every single reply;
+* **R >= 2** (replicated, supervised): the kill must be *invisible* —
+  zero ``PARTIAL`` replies, every fan-out ``COMPLETE`` (or
+  ``TRUNCATED``) with ``failed == 0``, the victim's slice served by a
+  replica (the coordinator's ``failovers`` counter moves), and before
+  teardown the supervisor-restarted victim process must serve its
+  slice again (``replica_used`` drifts back to the primary);
+* either way, the accounting invariant holds on every reply and
+  nothing hangs: every query returns inside its deadline.
 
 Exit status 0 only when every check passes, so the harness is a CI
 gate, not a demo.
@@ -57,6 +63,56 @@ def _audit(reply: ClusterReply, label: str,
             f"{len(reply.results)} rows were merged")
 
 
+def _pick_victim(cluster: LocalCluster) -> str:
+    """A shard whose own slice is nonempty (killing an empty shard
+    would prove nothing about failover)."""
+    candidates = [s for s in cluster.shard_map.shards
+                  if cluster.assignment.get(s)]
+    return (candidates[-1] if candidates
+            else cluster.shard_map.shards[-1])
+
+
+def _await_recovery(cluster: LocalCluster, coordinator, victim: str,
+                    problems: List[str],
+                    recovery_timeout: float) -> Dict[str, Any]:
+    """Wait for the supervisor to restart *victim* and for traffic to
+    drift back to it; returns the recovery section of the report."""
+    recovery: Dict[str, Any] = {"restarted": False,
+                                "primary_serving_again": False}
+    supervisor = cluster.supervisor
+    deadline = time.monotonic() + recovery_timeout
+    while time.monotonic() < deadline:
+        if supervisor is not None \
+                and supervisor.stats()["restarts"] >= 1 \
+                and cluster.shards[victim].alive:
+            recovery["restarted"] = True
+            break
+        time.sleep(0.1)
+    if not recovery["restarted"]:
+        problems.append(
+            f"recovery: supervisor never restarted {victim} within "
+            f"{recovery_timeout:g}s "
+            f"(stats: {supervisor.stats() if supervisor else None})")
+        return recovery
+    # the breaker on the victim needs its cooldown to lapse, then one
+    # half-open probe succeeds and traffic returns to the primary
+    while time.monotonic() < deadline:
+        reply = coordinator.query(SMOKE_QUERY, limit=500)
+        _audit(reply, "recovery probe", problems)
+        entry = reply.outcome.detail.get("shards", {}).get(victim, {})
+        if entry.get("merged") and entry.get("replica_used") == victim:
+            recovery["primary_serving_again"] = True
+            break
+        time.sleep(0.2)
+    if not recovery["primary_serving_again"]:
+        problems.append(
+            f"recovery: restarted {victim} never served its slice "
+            f"again within {recovery_timeout:g}s")
+    if supervisor is not None:
+        recovery["supervisor"] = supervisor.stats()
+    return recovery
+
+
 def run_smoke(
     shards: int = 3,
     molecules: int = 48,
@@ -66,23 +122,33 @@ def run_smoke(
     query_timeout: float = 8.0,
     hedge_after: Optional[float] = None,
     cluster: Optional[LocalCluster] = None,
+    replication: int = 1,
+    supervise: Optional[bool] = None,
+    recovery_timeout: float = 30.0,
 ) -> Dict[str, Any]:
     """Run the drill; returns the report dict (``report["ok"]`` gates).
 
     Passing a pre-booted *cluster* skips the boot (the CI job reuses
     one cluster for several drills); otherwise one is launched and torn
-    down here.
+    down here.  ``replication >= 2`` turns the drill into the
+    zero-PARTIAL variant (see the module docstring); *supervise*
+    defaults to on exactly when replicated.
     """
+    if supervise is None:
+        supervise = replication > 1
     own_cluster = cluster is None
     if cluster is None:
         cluster = launch_cluster(
             molecule_collection(num_molecules=molecules, seed=seed),
-            num_shards=shards)
+            num_shards=shards, replication_factor=replication,
+            supervise=supervise)
+    replicated = cluster.shard_map.replication_factor > 1
     problems: List[str] = []
     phases: Dict[str, Dict[str, int]] = {
         "healthy": {}, "degraded": {}}
     kill_at = queries // 2 if kill else queries + 1
-    victim = cluster.shard_map.shards[-1]
+    victim = _pick_victim(cluster)
+    recovery: Optional[Dict[str, Any]] = None
     started = time.monotonic()
     try:
         coordinator = cluster.coordinator(
@@ -107,6 +173,13 @@ def run_smoke(
                     problems.append(
                         f"{label}: {reply.failed} shard(s) failed with "
                         f"every shard alive")
+            elif replicated:
+                # the whole point of R >= 2: a single fault is invisible
+                if status == "PARTIAL" or reply.failed:
+                    problems.append(
+                        f"{label}: expected zero-PARTIAL serving with "
+                        f"replication, got {status} "
+                        f"({reply.failed} failed)")
             else:
                 if status != "PARTIAL":
                     problems.append(
@@ -120,6 +193,15 @@ def run_smoke(
             if not reply.results and phase == "healthy":
                 problems.append(f"{label}: zero rows from a healthy "
                                 f"cluster")
+        if kill and replicated:
+            counters = coordinator.stats()["counters"]
+            if not counters.get("failovers"):
+                problems.append(
+                    f"killing {victim} never caused a failover — the "
+                    f"drill did not exercise replication")
+            if cluster.supervisor is not None:
+                recovery = _await_recovery(cluster, coordinator, victim,
+                                           problems, recovery_timeout)
         elapsed = time.monotonic() - started
         stats = coordinator.stats()
     finally:
@@ -131,7 +213,10 @@ def run_smoke(
         "phases": phases,
         "queries": queries,
         "shards": shards,
+        "replication": cluster.shard_map.replication_factor,
+        "supervised": cluster.supervisor is not None,
         "killed": victim if kill else None,
+        "recovery": recovery,
         "elapsed": round(elapsed, 3),
         "coordinator": stats,
     }

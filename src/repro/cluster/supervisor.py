@@ -1,0 +1,224 @@
+"""Shard supervision: health-poll children, restart the dead ones.
+
+A :class:`ShardSupervisor` watches every :class:`ShardProcess` of a
+:class:`~repro.cluster.bootstrap.LocalCluster` from a daemon thread.
+Liveness has two layers:
+
+* **process**: ``Popen.poll()`` — a SIGKILLed or crashed child is dead
+  immediately, no probe needed;
+* **wire**: the existing ``ready`` / ``health`` ops over a short-lived
+  client — a process that is up but wedged (not accepting work) is
+  counted unready, and after ``unready_threshold`` consecutive misses
+  an ``unresponsive`` event is recorded for the operator.
+
+Dead shards are restarted **from their durable stores** (the WAL
+recovery path: :meth:`ShardProcess.respawn` replays the boot command
+against the same ``--store`` file) under exponential backoff and a
+per-shard ``restart_budget``; a shard that burns its budget is
+abandoned with a terminal event rather than flapping forever.  Every
+successful restart publishes the child's fresh port into the cluster's
+live endpoint table — the one coordinators hold by reference — so
+in-flight traffic fails over *to* a replica and later traffic drifts
+*back* once the primary returns.
+
+Stats (:meth:`ShardSupervisor.stats`) and the bounded event log feed
+``repro-gql cluster status`` and the smoke report; with a
+:class:`~repro.obs.metrics.MetricsRegistry` attached, restarts also
+tick ``repro_cluster_shard_restarts_total``.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+logger = logging.getLogger(__name__)
+
+#: bounded event log length (the supervisor may run for hours)
+MAX_EVENTS = 200
+
+
+class ShardSupervisor:
+    """Daemon thread that keeps a local cluster's shards serving."""
+
+    def __init__(self, cluster, *,
+                 poll_interval: float = 0.25,
+                 probe_timeout: float = 2.0,
+                 unready_threshold: int = 3,
+                 restart_budget: int = 3,
+                 backoff_base: float = 0.25,
+                 backoff_max: float = 4.0,
+                 ready_timeout: float = 30.0,
+                 metrics=None,
+                 client_factory=None) -> None:
+        if restart_budget < 0:
+            raise ValueError("restart_budget must be >= 0")
+        self.cluster = cluster
+        self.poll_interval = poll_interval
+        self.probe_timeout = probe_timeout
+        self.unready_threshold = unready_threshold
+        self.restart_budget = restart_budget
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.ready_timeout = ready_timeout
+        self._restart_counter = (
+            metrics.counter("repro_cluster_shard_restarts_total",
+                            "shards restarted by the supervisor")
+            if metrics is not None else None)
+        if client_factory is None:
+            from ..service.client import ServiceClient
+
+            def client_factory(host: str, port: int):
+                return ServiceClient(host, port,
+                                     timeout=self.probe_timeout,
+                                     client_name="supervisor")
+        self._client_factory = client_factory
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._unready: Dict[str, int] = {}
+        #: monotonic time before which a shard's next restart may not run
+        self._next_attempt: Dict[str, float] = {}
+        self._abandoned: Dict[str, str] = {}
+        self._events: List[Dict[str, Any]] = []
+        self._restarts = 0
+        self._restart_failures = 0
+        self._polls = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ShardSupervisor":
+        """Start the watch thread (idempotent)."""
+        if self._thread is None or not self._thread.is_alive():
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="shard-supervisor", daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Stop watching (idempotent; running restarts finish first)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None and thread.is_alive():
+            thread.join(timeout=timeout)
+
+    # -- the watch loop -------------------------------------------------------
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.poll_interval):
+            try:
+                self.poll_once()
+            except Exception:  # a poll bug must not kill supervision
+                logger.exception("supervisor poll failed")
+
+    def poll_once(self) -> None:
+        """One supervision pass over every shard (also callable from
+        tests, without the thread)."""
+        with self._lock:
+            self._polls += 1
+        for shard_id, shard in list(self.cluster.shards.items()):
+            if shard_id in self._abandoned:
+                continue
+            if not shard.alive:
+                self._handle_dead(shard_id, shard)
+            else:
+                self._probe(shard_id, shard)
+
+    def _probe(self, shard_id: str, shard) -> None:
+        """Wire-level readiness check of one live process."""
+        ready, reason = False, "unreachable"
+        try:
+            with self._client_factory(shard.host, shard.port) as client:
+                ready, reason = client.ready()
+        except Exception as exc:
+            reason = f"{type(exc).__name__}: {exc}"
+        with self._lock:
+            if ready:
+                self._unready.pop(shard_id, None)
+                return
+            misses = self._unready.get(shard_id, 0) + 1
+            self._unready[shard_id] = misses
+            threshold_hit = misses == self.unready_threshold
+        if threshold_hit:
+            self._record("unresponsive", shard_id,
+                         f"{misses} consecutive unready probes "
+                         f"(last: {reason})")
+
+    def _handle_dead(self, shard_id: str, shard) -> None:
+        now = time.monotonic()
+        with self._lock:
+            if now < self._next_attempt.get(shard_id, 0.0):
+                return  # still backing off
+            if shard.restarts >= self.restart_budget:
+                self._abandoned[shard_id] = (
+                    f"restart budget ({self.restart_budget}) exhausted")
+                message = self._abandoned[shard_id]
+            else:
+                message = None
+        if message is not None:
+            self._record("abandoned", shard_id, message)
+            return
+        rc = shard.process.poll()
+        self._record("down", shard_id, f"process exited rc={rc}")
+        try:
+            shard.respawn(ready_timeout=self.ready_timeout)
+        except Exception as exc:
+            with self._lock:
+                self._restart_failures += 1
+                delay = min(self.backoff_max,
+                            self.backoff_base * (2 ** shard.restarts))
+                self._next_attempt[shard_id] = time.monotonic() + delay
+            self._record("restart_failed", shard_id,
+                         f"{type(exc).__name__}: {exc}; "
+                         f"next attempt in {delay:.2f}s")
+            return
+        self.cluster.note_restart(shard_id)
+        with self._lock:
+            self._restarts += 1
+            self._unready.pop(shard_id, None)
+            delay = min(self.backoff_max,
+                        self.backoff_base * (2 ** (shard.restarts - 1)))
+            # backoff applies to the NEXT death too: a shard that dies
+            # right after recovering should not hot-loop
+            self._next_attempt[shard_id] = time.monotonic() + delay
+        if self._restart_counter is not None:
+            self._restart_counter.inc()
+        banner = (f"recovered {shard_id}: restarted from "
+                  f"{shard.data_path} on {shard.host}:{shard.port} "
+                  f"(restart #{shard.restarts})")
+        logger.warning(banner)
+        self._record("restarted", shard_id, banner)
+
+    # -- reporting ------------------------------------------------------------
+
+    def _record(self, kind: str, shard_id: str, detail: str) -> None:
+        event = {"time": time.time(), "event": kind,
+                 "shard": shard_id, "detail": detail}
+        with self._lock:
+            self._events.append(event)
+            del self._events[:-MAX_EVENTS]
+
+    @property
+    def events(self) -> List[Dict[str, Any]]:
+        """The bounded event log (down/restarted/abandoned/…)."""
+        with self._lock:
+            return list(self._events)
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-ready supervision snapshot."""
+        with self._lock:
+            return {
+                "polls": self._polls,
+                "restarts": self._restarts,
+                "restart_failures": self._restart_failures,
+                "restart_budget": self.restart_budget,
+                "unready": dict(self._unready),
+                "abandoned": dict(self._abandoned),
+                "per_shard_restarts": {
+                    sid: sp.restarts
+                    for sid, sp in self.cluster.shards.items()},
+                "events": list(self._events[-20:]),
+            }

@@ -35,6 +35,9 @@ class ClientReply:
     error: Optional[str] = None
     retry_after: Optional[float] = None
     duplicate: bool = False
+    #: per-document snapshot versions the server answered against
+    #: (replica divergence checks compare these)
+    versions: Dict[str, int] = field(default_factory=dict)
     raw: Dict[str, Any] = field(default_factory=dict)
 
     @property
@@ -258,6 +261,8 @@ class ServiceClient:
             retry_after=(float(retry_after)
                          if retry_after is not None else None),
             duplicate=bool(reply.get("duplicate", False)),
+            versions={str(doc): int(version) for doc, version
+                      in (reply.get("versions") or {}).items()},
             raw=reply,
         )
 

@@ -256,6 +256,15 @@ class QueryServer(socketserver.ThreadingTCPServer):
         payload["id"] = request.request_id
         payload["ok"] = response.error is None
         payload["op"] = "query"
+        try:
+            # the snapshot version the answer was computed against:
+            # replicated coordinators compare these across the replicas
+            # of one slice to detect divergent stores
+            payload["versions"] = {
+                request.document:
+                    self.service.document_version(request.document)}
+        except KeyError:
+            pass  # unknown document: the outcome already says so
         if (dup_key is not None and payload["ok"]
                 and response.outcome.status in
                 (Outcome.COMPLETE, Outcome.TRUNCATED)):

@@ -1,0 +1,62 @@
+"""Bootstrap plumbing: ready-line failures carry the child's output.
+
+Boot failures in CI are only diagnosable if the raised error itself
+shows what the child printed — the subprocess and its pipe are gone by
+the time anyone can attach.  These tests use tiny real subprocesses
+(``python -c``), not shard servers, so they stay fast.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster.bootstrap import wait_ready
+
+
+def spawn(code: str) -> subprocess.Popen:
+    return subprocess.Popen([sys.executable, "-c", code],
+                            stdout=subprocess.PIPE,
+                            stderr=subprocess.STDOUT, text=True)
+
+
+def test_child_exit_error_includes_the_captured_output_tail():
+    process = spawn("print('booting'); print('fatal: no store'); "
+                    "raise SystemExit(3)")
+    with pytest.raises(RuntimeError) as excinfo:
+        wait_ready(process, timeout=10.0)
+    message = str(excinfo.value)
+    assert "rc=3" in message
+    assert "booting" in message and "fatal: no store" in message
+
+
+def test_timeout_error_includes_the_captured_output_tail():
+    process = spawn("import time; print('still warming up', flush=True); "
+                    "time.sleep(30)")
+    try:
+        with pytest.raises(TimeoutError) as excinfo:
+            wait_ready(process, timeout=0.5)
+        assert "still warming up" in str(excinfo.value)
+    finally:
+        process.kill()
+        process.wait()
+
+
+def test_only_the_last_lines_are_kept():
+    lines = "".join(f"print('line {i}')\n" for i in range(60))
+    process = spawn(lines + "raise SystemExit(1)")
+    with pytest.raises(RuntimeError) as excinfo:
+        wait_ready(process, timeout=10.0)
+    message = str(excinfo.value)
+    assert "line 59" in message  # the tail survived
+    assert "line 0" not in message  # the head was dropped
+
+
+def test_a_clean_ready_line_still_parses():
+    process = spawn("print('prose banner'); "
+                    "print('ready {\"host\": \"h\", \"port\": 7}')")
+    try:
+        payload = wait_ready(process, timeout=10.0)
+        assert payload == {"host": "h", "port": 7}
+    finally:
+        process.wait()

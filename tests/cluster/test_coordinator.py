@@ -21,13 +21,17 @@ class ScriptedShard:
     """One fake shard endpoint: scripted rows, status, delay or error."""
 
     def __init__(self, rows=2, status=Outcome.COMPLETE, delay=0.0,
-                 error=None, reason=""):
+                 error=None, reason="", version=None):
         self.rows = rows
         self.status = status
         self.delay = delay
         self.error = error
         self.reason = reason
+        self.version = version
         self.connections = 0
+        self.query_connections = 0
+        self.cancelled = []
+        self.documents = []
         self._lock = threading.Lock()
 
 
@@ -44,11 +48,20 @@ class ScriptedClient:
     def __exit__(self, *exc_info):
         return None
 
-    def query(self, query_text, **kwargs):
+    def cancel(self, target, reason=""):
+        with self.shard._lock:
+            self.shard.cancelled.append(target)
+        return True
+
+    def query(self, query_text, document="data", **kwargs):
         shard = self.shard
+        with shard._lock:
+            shard.query_connections += 1
+            query_connection = shard.query_connections
+            shard.documents.append(document)
         delay = shard.delay
         if callable(delay):
-            delay = delay(self.connection)
+            delay = delay(query_connection)
         if delay:
             time.sleep(delay)
         if shard.error is not None:
@@ -62,10 +75,12 @@ class ScriptedClient:
             ok=True, request_id="r", results=rows,
             outcome=QueryOutcome(status=shard.status,
                                  reason=shard.reason,
-                                 steps=10, results=len(rows)))
+                                 steps=10, results=len(rows)),
+            versions=({document: shard.version}
+                      if shard.version is not None else {}))
 
 
-def build(shards, **kwargs):
+def build(shards, replication=1, **kwargs):
     """A coordinator over scripted shards keyed ``shard0..shardN``."""
     table = {f"shard{i}": shard for i, shard in enumerate(shards)}
     endpoints = {sid: ("scripted", i) for i, sid in enumerate(table)}
@@ -74,7 +89,7 @@ def build(shards, **kwargs):
         return ScriptedClient(table[f"shard{port}"])
 
     coordinator = ClusterCoordinator(
-        ShardMap(list(table)), endpoints,
+        ShardMap(list(table), replication_factor=replication), endpoints,
         client_factory=factory, timeout=kwargs.pop("timeout", 5.0),
         **kwargs)
     return coordinator
@@ -156,11 +171,16 @@ def test_hedge_races_a_second_connection_and_the_fast_one_wins():
     assert reply.outcome.status is Outcome.COMPLETE
     assert reply.merged == 2
     assert elapsed < 1.5  # did not wait out the stalled connection
-    assert slow.connections == 2
+    assert slow.query_connections == 2
     entry = reply.outcome.detail["shards"]["shard1"]
     assert entry["hedged"] is True and entry["hedge_won"] is True
     counters = coordinator.stats()["counters"]
     assert counters["hedges"] == 1 and counters["hedge_wins"] == 1
+    # the losing (stalled) request was cancelled, not left to burn a
+    # shard worker: the loser's id reached the shard's cancel op
+    assert counters["hedge_cancelled"] == 1
+    assert len(slow.cancelled) == 1
+    assert slow.cancelled[0].endswith("-primary")
 
 
 def test_breaker_opens_after_repeated_failures_and_skips_the_shard():
@@ -208,6 +228,149 @@ def test_partial_replies_are_never_cached():
     assert second.cache == "miss"
     assert second.outcome.status is Outcome.COMPLETE
     assert second.merged == 2
+
+
+def test_failover_serves_a_dead_slice_from_its_replica():
+    # R=2 over two shards: each slice's preference list is both shards,
+    # so killing one process must not lose any slice
+    dead = ScriptedShard(error=ConnectionRefusedError("refused"))
+    live = ScriptedShard(rows=3)
+    table = {"shard0": dead, "shard1": live}
+    coordinator = build([dead, live], replication=2,
+                        result_cache_size=0)
+    victim_slice = next(s for s in table
+                        if coordinator.shard_map.preference_list(s)[0]
+                        == "shard0")
+    reply = coordinator.query(QUERY)
+    assert reply.outcome.status is Outcome.COMPLETE  # zero PARTIAL
+    assert reply.failed == 0
+    entry = reply.outcome.detail["shards"][victim_slice]
+    assert entry["merged"] is True
+    assert entry["replica_used"] == "shard1"
+    assert entry["failovers"] == 1
+    assert coordinator.stats()["counters"]["failovers"] == 1
+    # the replica was asked for the *slice* document, not its own
+    assert f"data@{victim_slice}" in live.documents
+
+
+def test_exhausted_preference_list_degrades_to_partial():
+    coordinator = build(
+        [ScriptedShard(error=ConnectionError("down0")),
+         ScriptedShard(error=ConnectionError("down1")),
+         ScriptedShard(rows=2)],
+        replication=2, result_cache_size=0)
+    # find a slice whose two replicas are the two dead processes
+    doomed = [s for s in ("shard0", "shard1", "shard2")
+              if set(coordinator.shard_map.preference_list(s)) ==
+              {"shard0", "shard1"}]
+    reply = coordinator.query(QUERY)
+    for shard in doomed:
+        entry = reply.outcome.detail["shards"][shard]
+        assert entry["merged"] is False
+        # both replicas appear in the error trail
+        assert "down0" in entry["error"] and "down1" in entry["error"]
+    if doomed:
+        assert reply.outcome.status is Outcome.PARTIAL
+
+
+def test_shed_replica_fails_over_but_app_error_is_definitive():
+    shedding = ScriptedShard(rows=0, status=Outcome.SHED,
+                             reason="queue full")
+    healthy = ScriptedShard(rows=2)
+    coordinator = build([shedding, healthy], replication=2,
+                        result_cache_size=0)
+    slice0 = next(s for s in ("shard0", "shard1")
+                  if coordinator.shard_map.preference_list(s)[0]
+                  == "shard0")
+    reply = coordinator.query(QUERY)
+    entry = reply.outcome.detail["shards"][slice0]
+    # SHED is transient: the replica absorbed it
+    assert entry["merged"] is True and entry["replica_used"] == "shard1"
+    # an application error is deterministic: no failover, it surfaces
+    class AppErrorClient(ScriptedClient):
+        def query(self, query_text, **kwargs):
+            reply = super().query(query_text, **kwargs)
+            reply.error = "syntax error at line 1"
+            return reply
+    broken = build([ScriptedShard(rows=1), ScriptedShard(rows=1)],
+                   replication=2, result_cache_size=0)
+    broken.client_factory = lambda host, port, timeout=None, \
+        client_name="": AppErrorClient(ScriptedShard(rows=1))
+    reply = broken.query(QUERY)
+    for entry in reply.outcome.detail["shards"].values():
+        assert entry["merged"] is False
+        assert "syntax error" in entry["error"]
+        assert "failovers" not in entry  # definitive on the primary
+
+
+def test_replica_version_divergence_is_counted_not_merged_over():
+    primary = ScriptedShard(rows=2, version=5)
+    secondary = ScriptedShard(rows=2, version=7)  # stale/ahead replica
+    coordinator = build([primary, secondary], replication=2,
+                        result_cache_size=0, breaker_threshold=0)
+    slice0 = next(s for s in ("shard0", "shard1")
+                  if coordinator.shard_map.preference_list(s)[0]
+                  == "shard0")
+    first = coordinator.query(QUERY)
+    assert first.failed == 0
+    assert coordinator.stats()["counters"].get(
+        "version_divergence", 0) == 0
+    primary.error = ConnectionError("down")  # force the failover read
+    second = coordinator.query(QUERY)
+    assert second.failed == 0
+    entry = second.outcome.detail["shards"][slice0]
+    assert entry["replica_used"] == "shard1" and entry["version"] == 7
+    assert coordinator.stats()["counters"]["version_divergence"] >= 1
+    # the rows still merged: divergence is observed, never a failure
+    assert second.outcome.status is Outcome.COMPLETE
+
+
+def test_move_invalidates_exactly_the_affected_cache_entries():
+    shards = [ScriptedShard(rows=1), ScriptedShard(rows=1),
+              ScriptedShard(rows=1)]
+    coordinator = build(shards)
+    graph = "mol-under-test"
+    src = coordinator.shard_map.owner(graph)
+    others = [s for s in coordinator.shard_map.shards if s != src]
+    dst, untouched = others[0], others[1]
+    for target in (src, dst, untouched):
+        assert coordinator.query(QUERY, shard_ids=[target]).cache \
+            == "miss"
+    # all three targeted entries are now warm
+    for target in (src, dst, untouched):
+        assert coordinator.query(QUERY, shard_ids=[target]).cache \
+            == "hit"
+    coordinator.move(graph, dst)
+    # entries touching the move's src/dst dropped; the bystander lives
+    assert coordinator.query(QUERY, shard_ids=[src]).cache == "miss"
+    assert coordinator.query(QUERY, shard_ids=[dst]).cache == "miss"
+    assert coordinator.query(QUERY, shard_ids=[untouched]).cache \
+        == "hit"
+
+
+def test_out_of_band_map_version_bump_flushes_the_whole_cache():
+    coordinator = build([ScriptedShard(rows=1), ScriptedShard(rows=1)])
+    assert coordinator.query(QUERY).cache == "miss"
+    assert coordinator.query(QUERY).cache == "hit"
+    # a mutation NOT routed through coordinator.move: no move list, so
+    # every entry is suspect
+    coordinator.shard_map.move("some-graph", "shard1")
+    if coordinator.shard_map.version == coordinator._map_version_seen:
+        coordinator.shard_map.version += 1  # the move was a no-op pin
+    assert coordinator.query(QUERY).cache == "miss"
+
+
+def test_replicated_invalidation_drops_entries_via_replica_overlap():
+    shards = [ScriptedShard(rows=1) for _ in range(3)]
+    coordinator = build(shards, replication=2)
+    target = coordinator.shard_map.shards[0]
+    replica = coordinator.shard_map.preference_list(target)[1]
+    assert coordinator.query(QUERY, shard_ids=[target]).cache == "miss"
+    assert coordinator.query(QUERY, shard_ids=[target]).cache == "hit"
+    # invalidating the REPLICA must drop the entry targeted at the
+    # primary: a failover could have served it from there
+    coordinator.invalidate_shards({replica})
+    assert coordinator.query(QUERY, shard_ids=[target]).cache == "miss"
 
 
 def test_targeted_fanout_touches_only_the_owning_shard():

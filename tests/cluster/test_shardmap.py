@@ -79,6 +79,59 @@ def test_serialization_round_trip_preserves_placement():
         [shard_map.owner(g) for g in IDS]
 
 
+def test_owners_returns_r_distinct_shards_with_the_primary_first():
+    shard_map = ShardMap(["a", "b", "c", "d"], replication_factor=3)
+    for graph in IDS:
+        prefs = shard_map.owners(graph)
+        assert len(prefs) == 3
+        assert len(set(prefs)) == 3  # distinct processes, or the
+        assert prefs[0] == shard_map.owner(graph)  # replica is useless
+
+
+def test_every_graph_of_a_slice_shares_one_preference_list():
+    # failover moves whole slices: every graph owned by shard s must
+    # agree on where that slice's replicas live
+    shard_map = ShardMap(["a", "b", "c", "d"], replication_factor=2)
+    for shard, owned in shard_map.split(IDS).items():
+        expected = shard_map.preference_list(shard)
+        assert expected[0] == shard
+        for graph in owned:
+            assert shard_map.owners(graph) == expected
+
+
+def test_replication_factor_above_shard_count_caps_at_every_shard():
+    shard_map = ShardMap(["a", "b", "c"], replication_factor=7)
+    for graph in IDS[:20]:
+        assert sorted(shard_map.owners(graph)) == ["a", "b", "c"]
+
+
+def test_move_pins_only_the_primary_not_the_replicas():
+    shard_map = ShardMap(["a", "b", "c"], replication_factor=2)
+    graph = next(g for g in IDS if shard_map.owner(g) == "a")
+    target = next(s for s in ("b", "c")
+                  if s != shard_map.owners(graph)[1])
+    shard_map.move(graph, target)
+    prefs = shard_map.owners(graph)
+    assert prefs[0] == target  # the pin moved the primary...
+    assert prefs == shard_map.preference_list(target)  # ...and the
+    # replicas follow the NEW primary's ring successors, not the pin
+
+
+def test_replication_round_trips_through_serialization():
+    shard_map = ShardMap(["a", "b", "c"], replication_factor=2)
+    back = ShardMap.from_dict(shard_map.to_dict())
+    assert back.replication_factor == 2
+    assert [back.owners(g) for g in IDS[:20]] == \
+        [shard_map.owners(g) for g in IDS[:20]]
+
+
+def test_preference_list_rejects_unknown_shards():
+    with pytest.raises(ValueError):
+        ShardMap(["a", "b"]).preference_list("nope")
+    with pytest.raises(ValueError):
+        ShardMap(["a"], replication_factor=0)
+
+
 def test_invalid_constructions_are_rejected():
     with pytest.raises(ValueError):
         ShardMap([])

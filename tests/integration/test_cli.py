@@ -221,3 +221,45 @@ class TestStress:
               "--size", "3", "--timeout", "30"])
         second = capsys.readouterr().out.splitlines()[0]
         assert first == second  # the graph line is seed-deterministic
+
+
+class TestClusterStatus:
+    def test_status_reads_the_state_file_and_probes_shards(
+            self, tmp_path, capsys):
+        from repro.cluster import launch_cluster
+        from repro.datasets.molecules import molecule_collection
+
+        state = tmp_path / "cluster.json"
+        with launch_cluster(molecule_collection(num_molecules=8, seed=3),
+                            num_shards=2) as cluster:
+            cluster.write_state(state)
+            assert main(["cluster", "status", "--state", str(state)]) == 0
+            out = capsys.readouterr().out
+            assert "shard0" in out and "shard1" in out
+            assert out.count("ready") >= 2
+            assert "restarts=0" in out
+            assert "map v1" in out
+            # kill one shard: status degrades and the exit code says so
+            cluster.kill("shard1")
+            cluster.write_state(state)
+            assert main(["cluster", "status", "--state", str(state)]) == 1
+            out = capsys.readouterr().out
+            assert "DEAD" in out
+
+    def test_status_json_carries_the_merged_view(self, tmp_path, capsys):
+        import json as json_mod
+
+        from repro.cluster import launch_cluster
+        from repro.datasets.molecules import molecule_collection
+
+        state = tmp_path / "cluster.json"
+        with launch_cluster(molecule_collection(num_molecules=8, seed=3),
+                            num_shards=1) as cluster:
+            cluster.write_state(state)
+            assert main(["cluster", "status", "--state", str(state),
+                         "--json"]) == 0
+            merged = json_mod.loads(capsys.readouterr().out)
+            assert merged["ok"] is True
+            assert merged["map_version"] == 1
+            assert merged["shards"][0]["shard"] == "shard0"
+            assert merged["shards"][0]["breakers"] is not None

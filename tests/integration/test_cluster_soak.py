@@ -66,10 +66,27 @@ def test_partial_replies_after_the_kill_name_the_dead_shard(cluster):
 
 
 def report_victim(cluster) -> str:
-    """The shard the module's smoke run killed (the last in map order)."""
-    victim = cluster.shard_map.shards[-1]
-    assert not cluster.shards[victim].alive
-    return victim
+    """The shard the module's smoke run killed."""
+    dead = [sid for sid, sp in cluster.shards.items() if not sp.alive]
+    assert len(dead) == 1
+    return dead[0]
+
+
+def test_replicated_soak_absorbs_a_sigkill_with_zero_partials():
+    # R=2 + supervision: the same drill, but the kill must be invisible
+    # (no PARTIAL replies) and the victim must return before teardown
+    report = run_smoke(shards=3, queries=16, kill=True, replication=2)
+    assert report["problems"] == []
+    assert report["ok"] is True
+    assert report["replication"] == 2 and report["supervised"]
+    # every degraded-phase reply merged all slices via replicas
+    assert set(report["phases"]["degraded"]) <= {"COMPLETE", "TRUNCATED"}
+    assert "PARTIAL" not in report["phases"]["degraded"]
+    assert report["coordinator"]["counters"]["failovers"] >= 1
+    recovery = report["recovery"]
+    assert recovery["restarted"] is True
+    assert recovery["primary_serving_again"] is True
+    assert recovery["supervisor"]["restarts"] >= 1
 
 
 def test_no_fanout_hangs_past_its_deadline(cluster):
