@@ -1,0 +1,76 @@
+"""Static checks for Datalog programs (DLG001–DLG003).
+
+``Rule.check_safety`` raises on the first unsafe rule and
+``stratify`` raises on the first negation cycle; both lose everything
+after the first failure.  This module reports *all* findings as
+:class:`~repro.analysis.diagnostics.Diagnostic` values instead:
+
+``DLG001`` (error)
+    A head variable bound by no positive body atom — the rule would
+    derive infinitely many facts.
+
+``DLG002`` (error)
+    A variable inside a negated atom or comparison builtin bound by no
+    positive body atom — negation-as-failure and builtins only test
+    already-bound values.
+
+``DLG003`` (error)
+    The program has recursion through negation (no stratification
+    exists), so its semantics are undefined under the stratified model
+    the engine implements.
+
+Datalog programs are built programmatically (there is no text parser),
+so these diagnostics carry no source span.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..datalog.ast import BodyLiteral, Builtin, Program, Rule, Var
+from ..datalog.engine import StratificationError, stratify
+from .diagnostics import Diagnostic, Severity
+
+
+def _vars(names: Iterable[Var]) -> str:
+    return ", ".join(sorted(v.name for v in names))
+
+
+def analyze_rule(rule: Rule) -> List[Diagnostic]:
+    """Safety diagnostics for one rule (DLG001/DLG002)."""
+    out: List[Diagnostic] = []
+    bound = rule.positive_variables()
+    unsafe_head = rule.head.variables() - bound
+    if unsafe_head:
+        out.append(Diagnostic(
+            "DLG001", Severity.ERROR,
+            f"head variable(s) {_vars(unsafe_head)} of {rule!r} are not "
+            f"bound by any positive body atom — the rule is unsafe",
+        ))
+    for element in rule.body:
+        negated = isinstance(element, BodyLiteral) and element.negated
+        if not (negated or isinstance(element, Builtin)):
+            continue
+        loose = element.variables() - bound
+        if loose:
+            kind = "negated atom" if negated else "builtin"
+            out.append(Diagnostic(
+                "DLG002", Severity.ERROR,
+                f"variable(s) {_vars(loose)} occur only in the {kind} "
+                f"{element!r} of {rule!r} — {kind}s cannot bind variables",
+            ))
+    return out
+
+
+def analyze_datalog(program: Program) -> List[Diagnostic]:
+    """All safety and stratification diagnostics for *program*."""
+    out: List[Diagnostic] = []
+    for rule in program.rules:
+        out.extend(analyze_rule(rule))
+    if not out:
+        # stratification is only meaningful once every rule is safe
+        try:
+            stratify(program)
+        except StratificationError as exc:
+            out.append(Diagnostic("DLG003", Severity.ERROR, str(exc)))
+    return out

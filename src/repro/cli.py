@@ -158,6 +158,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_governance(explain)
     _add_common(explain)
 
+    check = sub.add_parser(
+        "check",
+        help="statically analyze queries without running them",
+    )
+    check.add_argument("files", nargs="+", metavar="FILE",
+                       help="GraphQL program or pattern files")
+    check.add_argument("--strict", action="store_true",
+                       help="treat warnings as errors (hints never fail)")
+    check.add_argument("--json", action="store_true",
+                       help="emit diagnostics as one JSON document")
+    check.add_argument("--schema-from", default=None, metavar="DATA",
+                       help="infer an observed schema from this data file "
+                            "and enable schema-aware checks (unknown "
+                            "attributes, tags, type confusion)")
+    _add_common(check)
+
     run = sub.add_parser("run", help="run a GraphQL program")
     run.add_argument("program", help="GraphQL program file")
     run.add_argument("--doc", action="append", default=[],
@@ -551,6 +567,10 @@ def cmd_explain(args: argparse.Namespace) -> int:
         )
     document = explain_document(database, "data", pattern, options,
                                 analyze=args.analyze, context=context)
+    from .analysis import analyze_pattern_text, infer_schema, to_wire
+
+    document["diagnostics"] = to_wire(
+        analyze_pattern_text(pattern_text, infer_schema(collection)))
     if args.json:
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
@@ -558,6 +578,68 @@ def cmd_explain(args: argparse.Namespace) -> int:
     if context is not None:
         return EXIT_BY_OUTCOME[context.outcome().status]
     return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """``repro-gql check``: static analysis, no execution.
+
+    Exit codes: 0 — no errors (warnings and hints may exist); 1 — at
+    least one error-severity finding (with ``--strict``, warnings count);
+    2 — a file could not be read.
+    """
+    from .analysis import (
+        analyze_pattern_text,
+        analyze_text,
+        has_errors,
+        infer_schema,
+        promote_warnings,
+    )
+    from .lang.errors import GraphQLSyntaxError
+    from .lang.parser import parse_program
+
+    schema = None
+    if args.schema_from:
+        schema = infer_schema(
+            load_collection(args.schema_from, directed=args.directed))
+
+    failed = False
+    report = {}
+    for name in args.files:
+        text = Path(name).read_text(encoding="utf-8")
+        # a file holding one bare pattern (the match/explain input
+        # format) need not be `;`-terminated like a program statement:
+        # analyze it as a program when it parses as one, as a single
+        # pattern otherwise
+        try:
+            parse_program(text)
+            diagnostics = analyze_text(text, schema)
+        except GraphQLSyntaxError:
+            diagnostics = analyze_pattern_text(text, schema)
+        if args.strict:
+            diagnostics = promote_warnings(diagnostics)
+        report[name] = diagnostics
+        failed = failed or has_errors(diagnostics)
+
+    if args.json:
+        print(json.dumps(
+            {
+                "ok": not failed,
+                "files": {
+                    name: [d.to_dict() for d in diagnostics]
+                    for name, diagnostics in report.items()
+                },
+            },
+            indent=2, sort_keys=True))
+    else:
+        total = 0
+        for name, diagnostics in report.items():
+            for diagnostic in diagnostics:
+                total += 1
+                print(diagnostic.render(name))
+        checked = len(report)
+        print(f"# {checked} file(s) checked, {total} finding(s)"
+              + (", errors present" if failed else ""))
+    return 1 if failed else 0
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -1067,6 +1149,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {"info": cmd_info, "match": cmd_match, "run": cmd_run,
+                "check": cmd_check,
                 "explain": cmd_explain, "stats": cmd_stats,
                 "stress": cmd_stress, "serve": cmd_serve,
                 "recover": cmd_recover, "checkpoint": cmd_checkpoint,

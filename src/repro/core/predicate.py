@@ -53,6 +53,12 @@ ALL_OPS = BOOLEAN_OPS + COMPARISON_OPS + ADDITIVE_OPS + MULTIPLICATIVE_OPS
 class Expr:
     """Base class of predicate expressions."""
 
+    #: 1-based ``(line, column)`` of the token that started this
+    #: expression, set by the language parser; ``None`` for expressions
+    #: built programmatically.  Positions are carried for diagnostics
+    #: only — they never participate in ``__eq__``/``__hash__``.
+    pos: Optional[Tuple[int, int]] = None
+
     def evaluate(self, scope: "Scope") -> Any:
         """Evaluate against a scope; may return :data:`MISSING`."""
         raise NotImplementedError

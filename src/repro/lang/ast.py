@@ -5,6 +5,11 @@ These classes mirror the grammar productions one-to-one; the compiler
 patterns, templates, FLWR programs).  Expressions reuse the core
 predicate AST (:mod:`repro.core.predicate`) — the concrete and abstract
 expression syntax coincide.
+
+Every node carries the 1-based ``line``/``column`` of the token that
+started its production (0 when synthesized rather than parsed), which is
+what the semantic analyzer (:mod:`repro.analysis`) and compile errors
+report as source spans.
 """
 
 from __future__ import annotations
@@ -21,6 +26,8 @@ class TupleAst:
 
     tag: Optional[str] = None
     entries: List[Tuple[str, Expr]] = field(default_factory=list)
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -33,6 +40,8 @@ class NodeDeclAst:
     name: Optional[str]
     tuple: Optional[TupleAst] = None
     where: Optional[Expr] = None
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -40,10 +49,12 @@ class EdgeDeclAst:
     """``e1 (v1, v2) <tuple> where ...`` — end points may be dotted."""
 
     name: Optional[str]
-    source: str
-    target: str
+    source: str = ""
+    target: str = ""
     tuple: Optional[TupleAst] = None
     where: Optional[Expr] = None
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -51,6 +62,8 @@ class GraphMemberAst:
     """``graph G1 as X;`` members (refs to named graphs / parameters)."""
 
     refs: List[Tuple[str, Optional[str]]]  # (name, alias)
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -59,6 +72,8 @@ class UnifyAst:
 
     paths: List[str]
     where: Optional[Expr] = None
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -67,6 +82,8 @@ class ExportAst:
 
     path: str
     alias: str
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -74,6 +91,8 @@ class NestedBlocksAst:
     """An anonymous block disjunction member (Figs. 4.5/4.6)."""
 
     blocks: List["BlockAst"]
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -81,6 +100,8 @@ class BlockAst:
     """The body ``{ ... }`` of a graph declaration."""
 
     members: List[object] = field(default_factory=list)  # decl ASTs in order
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -91,6 +112,8 @@ class GraphDeclAst:
     tuple: Optional[TupleAst]
     blocks: List[BlockAst]
     where: Optional[Expr] = None
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -99,6 +122,8 @@ class AssignAst:
 
     name: str
     value: GraphDeclAst
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -113,6 +138,8 @@ class FLWRAst:
     where: Optional[Expr]
     let_var: Optional[str]  # None => return mode
     template: GraphDeclAst
+    line: int = 0
+    column: int = 0
 
 
 @dataclass
@@ -120,3 +147,5 @@ class ProgramAst:
     """A whole source file: a list of statements."""
 
     statements: List[object] = field(default_factory=list)
+    line: int = 0
+    column: int = 0

@@ -45,6 +45,23 @@ from .errors import GraphQLCompileError
 from .parser import parse_graph_decl, parse_program
 
 
+def _err(message: str, node: Any = None) -> GraphQLCompileError:
+    """A compile error carrying the AST node's source position.
+
+    *node* may be an AST dataclass (``line``/``column`` attributes), an
+    expression (``pos`` tuple), or ``None`` for position-less errors.
+    """
+    line = column = 0
+    if node is not None:
+        pos = getattr(node, "pos", None)
+        if pos:
+            line, column = pos
+        else:
+            line = getattr(node, "line", 0)
+            column = getattr(node, "column", 0)
+    return GraphQLCompileError(message, line, column)
+
+
 # --------------------------------------------------------------------------
 # Data graphs
 # --------------------------------------------------------------------------
@@ -53,31 +70,32 @@ from .parser import parse_graph_decl, parse_program
 def compile_graph(decl: GraphDeclAst, directed: bool = False) -> Graph:
     """Compile a constant graph declaration to a :class:`Graph`."""
     if len(decl.blocks) != 1:
-        raise GraphQLCompileError("a data graph cannot use disjunction")
+        raise _err("a data graph cannot use disjunction", decl)
     if decl.where is not None:
-        raise GraphQLCompileError("a data graph cannot have a where clause")
+        raise _err("a data graph cannot have a where clause", decl.where)
     graph = Graph(decl.name, _literal_tuple(decl.tuple), directed=directed)
     block = decl.blocks[0]
     for member in block.members:
         if isinstance(member, list) and member and isinstance(member[0], NodeDeclAst):
             for node_decl in member:
                 if node_decl.where is not None:
-                    raise GraphQLCompileError("data nodes cannot have predicates")
+                    raise _err("data nodes cannot have predicates", node_decl)
                 attrs = _literal_tuple(node_decl.tuple)
                 node = graph.add_node(node_decl.name, tag=attrs.tag)
                 node.tuple = attrs
         elif isinstance(member, list) and member and isinstance(member[0], EdgeDeclAst):
             for edge_decl in member:
                 if edge_decl.where is not None:
-                    raise GraphQLCompileError("data edges cannot have predicates")
+                    raise _err("data edges cannot have predicates", edge_decl)
                 attrs = _literal_tuple(edge_decl.tuple)
                 edge = graph.add_edge(
                     edge_decl.source, edge_decl.target, edge_id=edge_decl.name
                 )
                 edge.tuple = attrs
         else:
-            raise GraphQLCompileError(
-                f"unsupported member in data graph: {type(member).__name__}"
+            raise _err(
+                f"unsupported member in data graph: {type(member).__name__}",
+                member[0] if isinstance(member, list) and member else member,
             )
     return graph
 
@@ -88,8 +106,9 @@ def _literal_tuple(tuple_ast: Optional[TupleAst]) -> AttributeTuple:
     attrs: Dict[str, Any] = {}
     for name, expr in tuple_ast.entries:
         if not isinstance(expr, Literal):
-            raise GraphQLCompileError(
-                f"attribute {name!r} must be a literal in this context"
+            raise _err(
+                f"attribute {name!r} must be a literal in this context",
+                expr,
             )
         attrs[name] = expr.value
     return AttributeTuple(attrs, tag=tuple_ast.tag)
@@ -150,8 +169,8 @@ def _compile_block(block_ast: BlockAst) -> MotifExpr:
                 base.add_member(MotifRef(ref), alias=alias or ref)
         elif isinstance(member, UnifyAst):
             if member.where is not None:
-                raise GraphQLCompileError(
-                    "unify ... where is only allowed in templates"
+                raise _err(
+                    "unify ... where is only allowed in templates", member
                 )
             first = member.paths[0]
             for other in member.paths[1:]:
@@ -168,8 +187,9 @@ def _compile_block(block_ast: BlockAst) -> MotifExpr:
                     alternatives.append(nested)
             alternative_sets.append(alternatives)
         else:
-            raise GraphQLCompileError(
-                f"unsupported member {type(member).__name__}"
+            raise _err(
+                f"unsupported member {type(member).__name__}",
+                member[0] if isinstance(member, list) and member else member,
             )
     if not alternative_sets:
         return base
@@ -217,8 +237,9 @@ def _constraint_tuple(
     attrs: Dict[str, Any] = {}
     for name, expr in tuple_ast.entries:
         if not isinstance(expr, Literal):
-            raise GraphQLCompileError(
-                f"pattern attribute {name!r} must be a literal constraint"
+            raise _err(
+                f"pattern attribute {name!r} must be a literal constraint",
+                expr,
             )
         attrs[name] = expr.value
     return tuple_ast.tag, attrs
@@ -249,9 +270,9 @@ def compile_pattern(decl: GraphDeclAst) -> GraphPattern:
 def compile_template(decl: GraphDeclAst) -> GraphTemplate:
     """Compile a ``return``/``let`` graph declaration to a template."""
     if len(decl.blocks) != 1:
-        raise GraphQLCompileError("templates cannot use disjunction")
+        raise _err("templates cannot use disjunction", decl)
     if decl.where is not None:
-        raise GraphQLCompileError("templates cannot have a trailing where")
+        raise _err("templates cannot have a trailing where", decl.where)
     block = decl.blocks[0]
     attr_exprs: Dict[str, Expr] = {}
     tag = None
@@ -271,22 +292,22 @@ def compile_template(decl: GraphDeclAst) -> GraphTemplate:
         if isinstance(member, GraphMemberAst):
             for ref, alias in member.refs:
                 if alias is not None:
-                    raise GraphQLCompileError(
-                        "template graph members cannot be aliased"
+                    raise _err(
+                        "template graph members cannot be aliased", member
                     )
                 template.include_graph(ref)
                 roots.add(ref)
         elif isinstance(member, list) and member and isinstance(member[0], NodeDeclAst):
             for node_decl in member:
                 if node_decl.where is not None:
-                    raise GraphQLCompileError("template nodes cannot have where")
+                    raise _err("template nodes cannot have where", node_decl)
                 if node_decl.name and "." in node_decl.name and node_decl.tuple is None:
                     template.add_copied_node(node_decl.name)
                     roots.add(node_decl.name.split(".")[0])
                     local_names.add(node_decl.name)
                 else:
                     if node_decl.name is None:
-                        raise GraphQLCompileError("template nodes must be named")
+                        raise _err("template nodes must be named", node_decl)
                     entries = dict(node_decl.tuple.entries) if node_decl.tuple else {}
                     for expr in entries.values():
                         note_expr(expr)
@@ -299,7 +320,7 @@ def compile_template(decl: GraphDeclAst) -> GraphTemplate:
         elif isinstance(member, list) and member and isinstance(member[0], EdgeDeclAst):
             for edge_decl in member:
                 if edge_decl.where is not None:
-                    raise GraphQLCompileError("template edges cannot have where")
+                    raise _err("template edges cannot have where", edge_decl)
                 entries = dict(edge_decl.tuple.entries) if edge_decl.tuple else {}
                 for expr in entries.values():
                     note_expr(expr)
@@ -318,8 +339,9 @@ def compile_template(decl: GraphDeclAst) -> GraphTemplate:
                     roots.add(root)
             template.unify(*member.paths, where=member.where)
         else:
-            raise GraphQLCompileError(
-                f"unsupported template member {type(member).__name__}"
+            raise _err(
+                f"unsupported template member {type(member).__name__}",
+                member[0] if isinstance(member, list) and member else member,
             )
 
     template.params = sorted(roots - local_names)
@@ -344,8 +366,8 @@ class CompiledProgram:
         self.grammar = GraphGrammar()
         self.program.grammar = self.grammar
 
-    def run(self, database, env: Optional[Dict[str, Any]] = None,
-            context=None) -> Dict[str, Any]:
+    def run(self, database: Any, env: Optional[Dict[str, Any]] = None,
+            context: Any = None) -> Dict[str, Any]:
         """Run the program against a document source.
 
         *context* optionally governs the run (deadline, budgets,
@@ -354,9 +376,35 @@ class CompiledProgram:
         return self.program.run(database, env, context=context)
 
 
-def compile_program(source: Any) -> CompiledProgram:
-    """Compile GraphQL source text (or a parsed AST) to a runnable program."""
+def _raise_on_analysis_errors(diagnostics: Any) -> None:
+    """Turn the first error-severity diagnostic into a compile error."""
+    from ..analysis.diagnostics import errors_only
+
+    errors = errors_only(diagnostics)
+    if errors:
+        first = errors[0]
+        span = first.span
+        raise GraphQLCompileError(
+            f"{first.code}: {first.message}",
+            span.line if span else 0,
+            span.column if span else 0,
+        )
+
+
+def compile_program(source: Any, check: bool = True) -> CompiledProgram:
+    """Compile GraphQL source text (or a parsed AST) to a runnable program.
+
+    With ``check`` (the default) the semantic analyzer runs first and any
+    error-severity diagnostic — unbound variable, unsatisfiable template
+    parameter, anonymous for-pattern — raises
+    :class:`GraphQLCompileError` before lowering begins.  Warnings and
+    hints never block compilation; ``repro-gql check`` surfaces those.
+    """
     ast = parse_program(source) if isinstance(source, str) else source
+    if check:
+        from ..analysis.analyzer import analyze_program
+
+        _raise_on_analysis_errors(analyze_program(ast))
     compiled = CompiledProgram()
     for statement in ast.statements:
         if isinstance(statement, GraphDeclAst):
@@ -371,8 +419,8 @@ def compile_program(source: Any) -> CompiledProgram:
         elif isinstance(statement, FLWRAst):
             compiled.program.add(_compile_flwr(statement, compiled))
         else:
-            raise GraphQLCompileError(
-                f"unsupported statement {type(statement).__name__}"
+            raise _err(
+                f"unsupported statement {type(statement).__name__}", statement
             )
     return compiled
 
@@ -415,6 +463,16 @@ def compile_graph_text(text: str, directed: bool = False) -> Graph:
     return compile_graph(parse_graph_decl(text), directed=directed)
 
 
-def compile_pattern_text(text: str) -> GraphPattern:
-    """Parse and compile one graph pattern declaration."""
-    return compile_pattern(parse_graph_decl(text))
+def compile_pattern_text(text: str, check: bool = True) -> GraphPattern:
+    """Parse and compile one graph pattern declaration.
+
+    With ``check`` (the default) error-severity analyzer findings raise
+    :class:`GraphQLCompileError` before compilation, mirroring
+    :func:`compile_program`.
+    """
+    decl = parse_graph_decl(text)
+    if check:
+        from ..analysis.analyzer import analyze_pattern
+
+        _raise_on_analysis_errors(analyze_pattern(decl))
+    return compile_pattern(decl)

@@ -15,4 +15,16 @@ class GraphQLSyntaxError(ValueError):
 
 
 class GraphQLCompileError(ValueError):
-    """A semantic error while compiling the AST to core objects."""
+    """A semantic error while compiling the AST to core objects.
+
+    Like :class:`GraphQLSyntaxError`, carries the 1-based source position
+    of the offending construct (0/0 when the AST was built
+    programmatically and has no spans).
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        super().__init__(
+            f"{message} (line {line}, column {column})" if line else message
+        )
+        self.line = line
+        self.column = column

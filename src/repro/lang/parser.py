@@ -61,21 +61,41 @@ class Parser:
             f"{message}, got {token.value!r}", token.line, token.column
         )
 
-    def _accept(self, kind: str, value=None) -> Optional[Token]:
+    def _accept(self, kind: str, value: Optional[str] = None) -> Optional[Token]:
         token = self._peek()
         if token.kind == kind and (value is None or token.value == value):
             return self._next()
         return None
 
-    def _expect(self, kind: str, value=None) -> Token:
+    def _expect(self, kind: str, value: Optional[str] = None) -> Token:
         token = self._accept(kind, value)
         if token is None:
             raise self._error(f"expected {value or kind}")
         return token
 
-    def _at(self, kind: str, value=None) -> bool:
+    def _at(self, kind: str, value: Optional[str] = None) -> bool:
         token = self._peek()
         return token.kind == kind and (value is None or token.value == value)
+
+    @staticmethod
+    def _spanned(node: Any, token: Token) -> Any:
+        """Stamp a node (AST or Expr) with a start-token position."""
+        node.line = token.line
+        node.column = token.column
+        return node
+
+    @staticmethod
+    def _expr_at(expr: Expr, token: Token) -> Expr:
+        """Stamp an expression's position unless it already has one."""
+        if expr.pos is None:
+            expr.pos = (token.line, token.column)
+        return expr
+
+    @staticmethod
+    def _with_pos(expr: Expr, pos: Tuple[int, int]) -> Expr:
+        """Stamp an expression with an explicit position."""
+        expr.pos = pos
+        return expr
 
     # -- entry points --------------------------------------------------------------
 
@@ -103,7 +123,7 @@ class Parser:
 
     # -- statements ------------------------------------------------------------------
 
-    def _statement(self):
+    def _statement(self) -> Any:
         if self._at("keyword", "for"):
             statement = self._flwr()
             self._accept("symbol", ";")
@@ -113,17 +133,18 @@ class Parser:
             self._accept("symbol", ";")
             return statement
         if self._at("id") and self._peek(1).kind == "symbol" and self._peek(1).value == ":=":
+            start = self._peek()
             name = self._expect("id").value
             self._expect("symbol", ":=")
             value = self._graph_decl()
             self._accept("symbol", ";")
-            return AssignAst(name, value)
+            return self._spanned(AssignAst(name, value), start)
         raise self._error("expected a graph declaration, assignment or for")
 
     # -- graph declarations -------------------------------------------------------------
 
     def _graph_decl(self) -> GraphDeclAst:
-        self._expect("keyword", "graph")
+        start = self._expect("keyword", "graph")
         name = None
         if self._at("id"):
             name = self._next().value
@@ -134,17 +155,18 @@ class Parser:
         where = None
         if self._accept("keyword", "where"):
             where = self._expr()
-        return GraphDeclAst(name, tuple_ast, blocks, where)
+        return self._spanned(GraphDeclAst(name, tuple_ast, blocks, where),
+                             start)
 
     def _block(self) -> BlockAst:
-        self._expect("symbol", "{")
-        block = BlockAst()
+        start = self._expect("symbol", "{")
+        block = self._spanned(BlockAst(), start)
         while not self._at("symbol", "}"):
             block.members.append(self._member())
         self._expect("symbol", "}")
         return block
 
-    def _member(self):
+    def _member(self) -> Any:
         if self._at("keyword", "node"):
             return self._node_member()
         if self._at("keyword", "edge"):
@@ -156,11 +178,12 @@ class Parser:
         if self._at("keyword", "export"):
             return self._export_member()
         if self._at("symbol", "{"):
+            start = self._peek()
             blocks = [self._block()]
             while self._accept("symbol", "|"):
                 blocks.append(self._block())
             self._accept("symbol", ";")
-            return NestedBlocksAst(blocks)
+            return self._spanned(NestedBlocksAst(blocks), start)
         raise self._error("expected a member declaration")
 
     def _node_member(self) -> List[NodeDeclAst]:
@@ -172,6 +195,7 @@ class Parser:
         return decls
 
     def _node_decl(self) -> NodeDeclAst:
+        start = self._peek()
         name = None
         if self._at("id"):
             name = self._names()
@@ -179,7 +203,7 @@ class Parser:
         where = None
         if self._accept("keyword", "where"):
             where = self._expr()
-        return NodeDeclAst(name, tuple_ast, where)
+        return self._spanned(NodeDeclAst(name, tuple_ast, where), start)
 
     def _edge_member(self) -> List[EdgeDeclAst]:
         self._expect("keyword", "edge")
@@ -190,6 +214,7 @@ class Parser:
         return decls
 
     def _edge_decl(self) -> EdgeDeclAst:
+        start = self._peek()
         name = None
         if self._at("id"):
             name = self._next().value
@@ -202,10 +227,11 @@ class Parser:
         where = None
         if self._accept("keyword", "where"):
             where = self._expr()
-        return EdgeDeclAst(name, source, target, tuple_ast, where)
+        return self._spanned(
+            EdgeDeclAst(name, source, target, tuple_ast, where), start)
 
     def _graph_member(self) -> GraphMemberAst:
-        self._expect("keyword", "graph")
+        start = self._expect("keyword", "graph")
         refs: List[Tuple[str, Optional[str]]] = []
         while True:
             ref = self._expect("id").value
@@ -216,10 +242,10 @@ class Parser:
             if not self._accept("symbol", ","):
                 break
         self._expect("symbol", ";")
-        return GraphMemberAst(refs)
+        return self._spanned(GraphMemberAst(refs), start)
 
     def _unify_member(self) -> UnifyAst:
-        self._expect("keyword", "unify")
+        start = self._expect("keyword", "unify")
         paths = [self._names()]
         while self._accept("symbol", ","):
             paths.append(self._names())
@@ -229,21 +255,21 @@ class Parser:
         if self._accept("keyword", "where"):
             where = self._expr()
         self._expect("symbol", ";")
-        return UnifyAst(paths, where)
+        return self._spanned(UnifyAst(paths, where), start)
 
     def _export_member(self) -> ExportAst:
-        self._expect("keyword", "export")
+        start = self._expect("keyword", "export")
         path = self._names()
         self._expect("keyword", "as")
         alias = self._expect("id").value
         self._expect("symbol", ";")
-        return ExportAst(path, alias)
+        return self._spanned(ExportAst(path, alias), start)
 
     # -- tuples ----------------------------------------------------------------------------
 
     def _tuple(self) -> TupleAst:
-        self._expect("symbol", "<")
-        tuple_ast = TupleAst()
+        start = self._expect("symbol", "<")
+        tuple_ast = self._spanned(TupleAst(), start)
         # optional tag: an id NOT followed by '='
         if self._at("id") and not (
             self._peek(1).kind == "symbol" and self._peek(1).value == "="
@@ -263,7 +289,7 @@ class Parser:
     # -- FLWR -------------------------------------------------------------------------------
 
     def _flwr(self) -> FLWRAst:
-        self._expect("keyword", "for")
+        start = self._expect("keyword", "for")
         binding_name = None
         pattern = None
         if self._at("keyword", "graph"):
@@ -281,15 +307,17 @@ class Parser:
             where = self._expr()
         if self._accept("keyword", "return"):
             template = self._template_ref_or_decl()
-            return FLWRAst(binding_name, pattern, exhaustive, source, where,
-                           None, template)
+            return self._spanned(
+                FLWRAst(binding_name, pattern, exhaustive, source, where,
+                        None, template), start)
         self._expect("keyword", "let")
         let_var = self._expect("id").value
         if not (self._accept("symbol", ":=") or self._accept("symbol", "=")):
             raise self._error("expected := or = after let variable")
         template = self._template_ref_or_decl()
-        return FLWRAst(binding_name, pattern, exhaustive, source, where,
-                       let_var, template)
+        return self._spanned(
+            FLWRAst(binding_name, pattern, exhaustive, source, where,
+                    let_var, template), start)
 
     def _template_ref_or_decl(self) -> GraphDeclAst:
         if self._at("keyword", "graph"):
@@ -307,17 +335,21 @@ class Parser:
     def _or_expr(self, stop_at_gt: bool) -> Expr:
         left = self._and_expr(stop_at_gt)
         while self._at("symbol", "|"):
-            self._next()
+            op_token = self._next()
             right = self._and_expr(stop_at_gt)
-            left = BinOp("|", left, right)
+            left = self._with_pos(BinOp("|", left, right),
+                                  left.pos or (op_token.line,
+                                               op_token.column))
         return left
 
     def _and_expr(self, stop_at_gt: bool) -> Expr:
         left = self._cmp_expr(stop_at_gt)
         while self._at("symbol", "&"):
-            self._next()
+            op_token = self._next()
             right = self._cmp_expr(stop_at_gt)
-            left = BinOp("&", left, right)
+            left = self._with_pos(BinOp("&", left, right),
+                                  left.pos or (op_token.line,
+                                               op_token.column))
         return left
 
     _CMP = {"==": "==", "=": "==", "!=": "!=", "<>": "!=",
@@ -331,23 +363,29 @@ class Parser:
                 return left  # '>' closes the tuple here
             self._next()
             right = self._add_expr(stop_at_gt)
-            return BinOp(self._CMP[token.value], left, right)
+            return self._with_pos(
+                BinOp(self._CMP[token.value], left, right),
+                left.pos or (token.line, token.column))
         return left
 
     def _add_expr(self, stop_at_gt: bool) -> Expr:
         left = self._mul_expr(stop_at_gt)
         while self._at("symbol", "+") or self._at("symbol", "-"):
-            op = self._next().value
+            op_token = self._next()
             right = self._mul_expr(stop_at_gt)
-            left = BinOp(op, left, right)
+            left = self._with_pos(
+                BinOp(op_token.value, left, right),
+                left.pos or (op_token.line, op_token.column))
         return left
 
     def _mul_expr(self, stop_at_gt: bool) -> Expr:
         left = self._term(stop_at_gt)
         while self._at("symbol", "*") or self._at("symbol", "/"):
-            op = self._next().value
+            op_token = self._next()
             right = self._term(stop_at_gt)
-            left = BinOp(op, left, right)
+            left = self._with_pos(
+                BinOp(op_token.value, left, right),
+                left.pos or (op_token.line, op_token.column))
         return left
 
     def _term(self, stop_at_gt: bool) -> Expr:
@@ -355,16 +393,18 @@ class Parser:
             inner = self._expr()
             self._expect("symbol", ")")
             return inner
-        if self._accept("symbol", "-"):
+        if self._at("symbol", "-"):
+            minus = self._next()
             inner = self._term(stop_at_gt)
-            return BinOp("-", Literal(0), inner)
+            return self._expr_at(BinOp("-", Literal(0), inner), minus)
         token = self._peek()
         if token.kind in ("int", "float", "string"):
             self._next()
-            return Literal(token.value)
+            return self._expr_at(Literal(token.value), token)
         if token.kind in ("id", "keyword"):
             # keywords like 'doc' may appear as attribute names in paths
-            return AttrRef(tuple(self._names().split(".")))
+            return self._expr_at(AttrRef(tuple(self._names().split("."))),
+                                 token)
         raise self._error("expected an expression term")
 
     # -- names --------------------------------------------------------------------------------------

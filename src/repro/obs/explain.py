@@ -189,6 +189,15 @@ def explain_document(
 def render_text(document: Dict[str, Any]) -> str:
     """A readable rendering of :func:`explain_document` output."""
     lines: List[str] = []
+    for diagnostic in document.get("diagnostics", []):
+        where = ""
+        if diagnostic.get("line"):
+            where = f" (line {diagnostic['line']}, " \
+                    f"column {diagnostic.get('column', 0)})"
+        lines.append(
+            f"diagnostic: {diagnostic.get('severity', '?')} "
+            f"{diagnostic.get('code', '?')} "
+            f"{diagnostic.get('message', '')}{where}")
     for entry in document.get("graphs", []):
         lines.append(f"graph {entry['graph']}: "
                      f"{entry['pattern_nodes']} pattern node(s), "

@@ -19,6 +19,7 @@ REASON_QUEUE_FULL = "queue full"
 REASON_CLIENT_QUOTA = "client quota exceeded"
 REASON_DRAINING = "service draining"
 REASON_DUPLICATE_ID = "duplicate request id"
+REASON_INVALID_QUERY = "invalid_query"
 
 
 class AdmissionController:

@@ -90,6 +90,14 @@ class ServiceConfig:
     # answered without re-executing.  0 disables the table.
     dup_table_size: int = 512
 
+    # admission-time static analysis: textual queries with error-severity
+    # diagnostics (unbound variables, syntax errors) are answered
+    # REJECTED/invalid_query without ever reaching a worker.  The verdict
+    # is cached per query text; 0 disables the cache, False disables the
+    # check entirely.
+    validate_queries: bool = True
+    validation_cache_size: int = 256
+
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("workers must be >= 1")

@@ -37,6 +37,7 @@ _COUNTER_NAMES = (
     "submitted",
     "admitted",
     "rejected",
+    "invalid_queries",
     "executed",
     "cancelled_requests",
     "result_cache_hits",
@@ -52,6 +53,7 @@ _COUNTER_HELP = {
     "submitted": "Requests received by the service.",
     "admitted": "Requests that passed admission control.",
     "rejected": "Requests turned away by admission control.",
+    "invalid_queries": "Requests rejected because static analysis found errors.",
     "executed": "Requests that ran a matcher (cache misses).",
     "cancelled_requests": "Requests cancelled by an explicit cancel call.",
     "result_cache_hits": "Result-cache hits.",
@@ -177,6 +179,7 @@ class ServiceMetrics:
             "submitted": self._counters["submitted"].value,
             "admitted": self._counters["admitted"].value,
             "rejected": self._counters["rejected"].value,
+            "invalid_queries": self._counters["invalid_queries"].value,
             "executed": self._counters["executed"].value,
             "cancelled_requests": self._counters["cancelled_requests"].value,
             "result_cache": {

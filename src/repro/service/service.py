@@ -55,9 +55,10 @@ from ..storage.serializer import collection_to_text
 from .admission import (
     REASON_DRAINING,
     REASON_DUPLICATE_ID,
+    REASON_INVALID_QUERY,
     AdmissionController,
 )
-from .cache import CachedPlan, PlanCache, ResultCache, make_key
+from .cache import CachedPlan, LRUCache, PlanCache, ResultCache, make_key
 from .config import ServiceConfig
 from .metrics import ServiceMetrics
 from .pool import pool_execute, pool_init
@@ -195,6 +196,9 @@ class QueryService:
         self.admission = AdmissionController(self.config)
         self.plan_cache = PlanCache(self.config.plan_cache_size)
         self.result_cache = ResultCache(self.config.result_cache_size)
+        #: query text -> tuple of error-severity diagnostic dicts
+        #: (empty tuple == valid); consulted at admission, microseconds
+        self._validation_cache = LRUCache(self.config.validation_cache_size)
         self.breakers = BreakerRegistry(
             threshold=max(1, self.config.breaker_threshold),
             cooldown=self.config.breaker_cooldown)
@@ -359,6 +363,16 @@ class QueryService:
             request_id=request.request_id,
             client=request.client, document=request.document)
         with tracer().activate(root):
+            # static analysis first: an invalid query is rejected before
+            # admission, breakers or the pool ever see it — no worker,
+            # no quota, no probe slot is spent on a request that can
+            # only fail
+            errors = self._validate(request)
+            if errors:
+                self.metrics.count("invalid_queries")
+                return self._reject(
+                    request, REASON_INVALID_QUERY, root=root,
+                    detail={"diagnostics": list(errors)}, probe=False)
             with trace_span("service.admission") as sp:
                 shed_reason, retry_after = self._shed_check(request)
                 if shed_reason is not None:
@@ -448,16 +462,43 @@ class QueryService:
         """Synchronous convenience wrapper around :meth:`submit`."""
         return self.submit(QueryRequest(query=query, **kwargs)).result()
 
+    def _validate(self, request: QueryRequest) -> Tuple[Dict[str, Any], ...]:
+        """Error-severity diagnostics for a textual query (cached).
+
+        Compiled patterns pass through untouched (their text was already
+        validated wherever it was compiled), as does everything when
+        ``validate_queries`` is off.
+        """
+        if not self.config.validate_queries:
+            return ()
+        if not isinstance(request.query, str):
+            return ()
+        cached = self._validation_cache.get(request.query)
+        if cached is not None:
+            return cached
+        from ..analysis import analyze_pattern_text, errors_only, to_wire
+
+        errors = tuple(
+            to_wire(errors_only(analyze_pattern_text(request.query))))
+        self._validation_cache.put(request.query, errors)
+        return errors
+
     def _reject(self, request: QueryRequest, reason: str,
-                root=None) -> "Future[QueryResponse]":
-        # every reject happens after the breaker check admitted the
-        # request, so a HALF_OPEN probe slot may be riding on it
-        self._release_probe(request.client)
+                root=None, detail: Optional[Dict[str, Any]] = None,
+                probe: bool = True) -> "Future[QueryResponse]":
+        # most rejects happen after the breaker check admitted the
+        # request, so a HALF_OPEN probe slot may be riding on it;
+        # validation rejects (probe=False) precede the breaker check
+        if probe:
+            self._release_probe(request.client)
         self.metrics.count("rejected")
         self.metrics.record_outcome(Outcome.REJECTED)
+        outcome = rejected_outcome(reason)
+        if detail:
+            outcome.detail.update(detail)
         response = QueryResponse(
             request_id=request.request_id, client=request.client,
-            outcome=rejected_outcome(reason), cache="bypass",
+            outcome=outcome, cache="bypass",
         )
         if root is not None:
             root.annotate(status=Outcome.REJECTED.value, reason=reason)
@@ -1045,6 +1086,8 @@ class QueryService:
         serving path.  ``analyze=True`` runs the query for real under a
         governance context derived from the service defaults.
         """
+        from ..analysis import analyze_pattern_text, to_wire
+        from ..analysis.schema import schema_for_document
         from ..obs.explain import explain_document  # avoids an import cycle
 
         request = QueryRequest(query=query_text, document=document,
@@ -1052,9 +1095,14 @@ class QueryService:
         options = self._options_for(request)
         context = (self.config.derive_context(timeout=timeout)
                    if analyze else None)
-        return explain_document(
+        explained = explain_document(
             self.database, document, compile_pattern_text(query_text),
             options, analyze=analyze, context=context)
+        # the analyzer's findings ride along (schema-aware: the document
+        # is registered, so the observed schema is available for free)
+        explained["diagnostics"] = to_wire(analyze_pattern_text(
+            query_text, schema_for_document(self.database, document)))
+        return explained
 
     def stats(self) -> Dict[str, Any]:
         """The ``stats`` response: metrics + cache + admission state."""

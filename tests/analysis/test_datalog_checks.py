@@ -1,0 +1,86 @@
+"""Golden corpus: Datalog safety and stratification (DLG001–DLG003)."""
+
+from repro.analysis import Severity, analyze_datalog
+from repro.analysis.datalog import analyze_rule
+from repro.datalog.ast import Atom, BodyLiteral, Builtin, Program, Rule, Var
+
+
+def only(diags, code):
+    hits = [d for d in diags if d.code == code]
+    assert hits, f"expected {code}, got {[d.code for d in diags]}"
+    return hits
+
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+
+
+class TestSafety:
+    def test_unbound_head_variable_is_dlg001(self):
+        rule = Rule(Atom("p", [X, Y]), [BodyLiteral(Atom("e", [X]))])
+        (d,) = only(analyze_rule(rule), "DLG001")
+        assert d.severity is Severity.ERROR
+        assert "Y" in d.message
+        assert d.span is None  # programmatic rules carry no position
+
+    def test_loose_negated_variable_is_dlg002(self):
+        rule = Rule(Atom("p", [X]), [
+            BodyLiteral(Atom("e", [X])),
+            BodyLiteral(Atom("q", [Y]), negated=True),
+        ])
+        (d,) = only(analyze_rule(rule), "DLG002")
+        assert "negated atom" in d.message and "Y" in d.message
+
+    def test_loose_builtin_variable_is_dlg002(self):
+        rule = Rule(Atom("p", [X]), [
+            BodyLiteral(Atom("e", [X])),
+            Builtin("<", Z, 3),
+        ])
+        (d,) = only(analyze_rule(rule), "DLG002")
+        assert "builtin" in d.message and "Z" in d.message
+
+    def test_safe_rule_is_clean(self):
+        rule = Rule(Atom("p", [X]), [
+            BodyLiteral(Atom("e", [X, Y])),
+            BodyLiteral(Atom("q", [Y]), negated=True),
+            Builtin("<", X, 10),
+        ])
+        assert analyze_rule(rule) == []
+
+    def test_program_reports_every_unsafe_rule(self):
+        program = Program(rules=[
+            Rule(Atom("p", [X]), []),
+            Rule(Atom("q", [Y]), []),
+        ])
+        diags = analyze_datalog(program)
+        assert len(only(diags, "DLG001")) == 2
+
+
+class TestStratification:
+    def test_negation_cycle_is_dlg003(self):
+        program = Program(rules=[
+            Rule(Atom("p", []), [BodyLiteral(Atom("q", []), negated=True)]),
+            Rule(Atom("q", []), [BodyLiteral(Atom("p", []), negated=True)]),
+        ])
+        (d,) = only(analyze_datalog(program), "DLG003")
+        assert d.severity is Severity.ERROR
+
+    def test_stratified_negation_is_clean(self):
+        program = Program(rules=[
+            Rule(Atom("base", [X]), [BodyLiteral(Atom("e", [X]))]),
+            Rule(Atom("top", [X]), [
+                BodyLiteral(Atom("e", [X])),
+                BodyLiteral(Atom("base", [X]), negated=True),
+            ]),
+        ])
+        assert analyze_datalog(program) == []
+
+    def test_stratification_waits_for_safety(self):
+        # an unsafe rule suppresses the stratification pass (its result
+        # would be meaningless) — only the safety error is reported
+        program = Program(rules=[
+            Rule(Atom("p", [X]), [BodyLiteral(Atom("p", [X]), negated=True)]),
+        ])
+        diags = analyze_datalog(program)
+        assert "DLG003" not in {d.code for d in diags}
+        only(diags, "DLG001")
+        only(diags, "DLG002")

@@ -1,0 +1,130 @@
+"""The lock-discipline lint (tools/lint_concurrency.py)."""
+
+import importlib.util
+import textwrap
+from pathlib import Path
+
+_TOOL = Path(__file__).resolve().parents[2] / "tools" / "lint_concurrency.py"
+_spec = importlib.util.spec_from_file_location("lint_concurrency", _TOOL)
+lint = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(lint)
+
+
+def findings(src):
+    return lint.check_source(textwrap.dedent(src))
+
+
+def codes(src):
+    return [code for _, code, _ in findings(src)]
+
+
+class TestDetection:
+    def test_sleep_under_lock_is_c001(self):
+        assert codes("""
+            import time
+            def f(self):
+                with self._lock:
+                    time.sleep(1)
+        """) == ["C001"]
+
+    def test_unbounded_wait_under_lock_is_c002(self):
+        assert codes("""
+            def f(self):
+                with self._lock:
+                    self._done.wait()
+        """) == ["C002"]
+
+    def test_bounded_wait_is_allowed(self):
+        assert codes("""
+            def f(self):
+                with self._lock:
+                    self._done.wait(0.1)
+                    self._queue.get(timeout=2)
+                    self._other.get(block=False)
+        """) == []
+
+    def test_socket_io_under_lock_is_c003(self):
+        assert codes("""
+            def f(self):
+                with self._lock:
+                    data = self._sock.recv(4096)
+        """) == ["C003"]
+
+    def test_subprocess_under_lock_is_c003(self):
+        assert codes("""
+            import subprocess
+            def f(self):
+                with self._lock:
+                    subprocess.run(["true"])
+        """) == ["C003"]
+
+    def test_nested_lock_is_c004(self):
+        assert codes("""
+            def f(self):
+                with self._lock:
+                    with self._counter_lock:
+                        pass
+        """) == ["C004"]
+
+    def test_mutex_names_count_as_locks(self):
+        assert codes("""
+            import time
+            def f(self):
+                with registry.mutex:
+                    time.sleep(1)
+        """) == ["C001"]
+
+
+class TestScoping:
+    def test_blocking_outside_a_lock_is_fine(self):
+        assert codes("""
+            import time
+            def f(self):
+                time.sleep(1)
+                with self._lock:
+                    self.n += 1
+        """) == []
+
+    def test_non_lock_context_managers_do_not_count(self):
+        assert codes("""
+            import time
+            def f(self):
+                with open("x") as fh, self._tracer.span("s"):
+                    time.sleep(1)
+        """) == []
+
+    def test_nested_function_under_lock_runs_later(self):
+        assert codes("""
+            import time
+            def f(self):
+                with self._lock:
+                    def callback():
+                        time.sleep(1)
+                    self._callbacks.append(callback)
+        """) == []
+
+    def test_waiver_comment_suppresses_the_finding(self):
+        assert codes("""
+            def f(self):
+                with self._lock:
+                    self._done.wait()  # lint: allow-blocking-under-lock - safe
+        """) == []
+
+    def test_findings_carry_line_numbers(self):
+        hits = findings("""
+            import time
+            def f(self):
+                with self._lock:
+                    time.sleep(1)
+        """)
+        (lineno, code, message) = hits[0]
+        assert code == "C001" and "sleep" in message
+        assert lineno == 5
+
+
+class TestRealLayers:
+    def test_service_and_cluster_are_clean(self):
+        root = _TOOL.parents[1] / "src" / "repro"
+        for layer in ("service", "cluster"):
+            for path in sorted((root / layer).rglob("*.py")):
+                assert lint.check_file(path) == [], f"findings in {path}"

@@ -1,0 +1,61 @@
+"""Golden corpus: plan lints (GQL009 connectivity, GQL010 index hint)."""
+
+from repro.analysis import Severity, analyze_pattern_text
+
+
+def only(diags, code):
+    hits = [d for d in diags if d.code == code]
+    assert hits, f"expected {code}, got {[d.code for d in diags]}"
+    return hits
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+class TestConnectivity:
+    def test_two_isolated_nodes_are_gql009(self):
+        diags = analyze_pattern_text("graph P { node v1; node v2; }")
+        (d,) = only(diags, "GQL009")
+        assert d.severity is Severity.WARNING
+        assert "cartesian" in d.message
+
+    def test_edge_connects_the_components(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; node v2; edge e1 (v1, v2); }")
+        assert "GQL009" not in codes(diags)
+
+    def test_cross_predicate_connects_the_components(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; node v2; } where v1.x = v2.x")
+        assert "GQL009" not in codes(diags)
+
+    def test_unify_connects_the_components(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; node v2; unify v1, v2; }")
+        assert "GQL009" not in codes(diags)
+
+    def test_single_node_pattern_is_clean(self):
+        diags = analyze_pattern_text("graph P { node v1; }")
+        assert "GQL009" not in codes(diags)
+
+
+class TestIndexHint:
+    def test_disjunctive_node_filter_is_gql010(self):
+        diags = analyze_pattern_text(
+            'graph P { node v1 where v1.label = "A" | v1.label = "B"; }')
+        (d,) = only(diags, "GQL010")
+        assert d.severity is Severity.HINT
+        assert "disjunction" in d.message
+
+    def test_conjunctive_filter_rides_the_index(self):
+        diags = analyze_pattern_text(
+            'graph P { node v1 where v1.label = "A" & v1.weight > 2; }')
+        assert "GQL010" not in codes(diags)
+
+    def test_non_indexable_alternative_is_not_flagged(self):
+        # one branch compares two attributes — no rewrite would make the
+        # alternation indexable, so the hint stays quiet
+        diags = analyze_pattern_text(
+            'graph P { node v1 where v1.label = "A" | v1.x = v1.y; }')
+        assert "GQL010" not in codes(diags)

@@ -1,0 +1,80 @@
+"""Golden corpus: predicate analysis (GQL007, GQL008, GQL011)."""
+
+from repro.analysis import Severity, analyze_pattern_text
+
+
+def only(diags, code):
+    hits = [d for d in diags if d.code == code]
+    assert hits, f"expected {code}, got {[d.code for d in diags]}"
+    return hits
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+class TestConstantFolding:
+    def test_always_false_conjunct_is_gql007(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; } where 1 > 2")
+        (d,) = only(diags, "GQL007")
+        assert d.severity is Severity.WARNING
+        assert "always false" in d.message
+
+    def test_always_true_conjunct_is_gql008(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; } where 2 > 1")
+        (d,) = only(diags, "GQL008")
+        assert d.severity is Severity.HINT
+        assert "always true" in d.message
+
+    def test_both_in_one_conjunction(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; } where 1 > 2 & 2 > 1")
+        assert {"GQL007", "GQL008"} <= codes(diags)
+
+    def test_non_constant_conjunct_is_clean(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; } where v1.weight > 2")
+        assert codes(diags).isdisjoint({"GQL007", "GQL008"})
+
+    def test_node_level_predicates_are_folded_too(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1 where 1 = 2; }")
+        only(diags, "GQL007")
+
+
+class TestEmptyRange:
+    def test_contradictory_bounds_are_gql011(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; } where v1.x > 5 & v1.x < 3")
+        (d,) = only(diags, "GQL011")
+        assert d.severity is Severity.WARNING
+        assert "v1.x" in d.message
+
+    def test_contradictory_equalities_are_gql011(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; } where v1.x = 1 & v1.x = 2")
+        only(diags, "GQL011")
+
+    def test_satisfiable_range_is_clean(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; } where v1.x > 3 & v1.x < 5")
+        assert "GQL011" not in codes(diags)
+
+    def test_touching_inclusive_bounds_are_clean(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; } where v1.x >= 3 & v1.x <= 3")
+        assert "GQL011" not in codes(diags)
+
+    def test_touching_exclusive_bounds_are_empty(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; } where v1.x > 3 & v1.x < 4")
+        # integers in (3, 4) exist in the rationals — the analyzer only
+        # flags bounds that exclude every value, so this stays clean
+        assert "GQL011" not in codes(diags)
+
+    def test_bounds_on_different_attributes_are_independent(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; } where v1.x > 5 & v1.y < 3")
+        assert "GQL011" not in codes(diags)

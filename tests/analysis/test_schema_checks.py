@@ -1,0 +1,98 @@
+"""Golden corpus: schema-aware diagnostics (GQL004–GQL006)."""
+
+import pytest
+
+from repro.analysis import (
+    Severity,
+    analyze_pattern_text,
+    infer_schema,
+    schema_for_document,
+    type_bucket,
+)
+from repro.core.graph import Graph
+
+
+@pytest.fixture
+def schema():
+    graph = Graph("G")
+    graph.add_node("n1", label="A", weight=3)
+    graph.add_node("n2", label="B", weight=4)
+    graph.add_edge("n1", "n2", kind="knows")
+    return infer_schema(graph)
+
+
+def only(diags, code):
+    hits = [d for d in diags if d.code == code]
+    assert hits, f"expected {code}, got {[d.code for d in diags]}"
+    return hits
+
+
+class TestInference:
+    def test_buckets(self):
+        assert type_bucket(3) == "number"
+        assert type_bucket(2.5) == "number"
+        assert type_bucket(True) == "number"
+        assert type_bucket("x") == "str"
+        assert type_bucket(None) == "other"
+
+    def test_observed_shape(self, schema):
+        assert schema.graphs == 1
+        assert schema.node_attrs["weight"] == {"number"}
+        assert schema.edge_attrs["kind"] == {"str"}
+        assert schema.labels == {"A", "B"}
+        assert schema.known_attr("label") and not schema.known_attr("size")
+
+    def test_schema_for_missing_document_is_none(self):
+        class FakeDb:
+            def doc(self, name):
+                raise KeyError(name)
+
+        assert schema_for_document(FakeDb(), "nope") is None
+
+
+class TestUnknownAttribute:
+    def test_typo_is_gql004(self, schema):
+        diags = analyze_pattern_text(
+            "graph P { node v1 where v1.wieght > 2; }", schema=schema)
+        (d,) = only(diags, "GQL004")
+        assert d.severity is Severity.WARNING
+        assert "'wieght'" in d.message
+        assert d.span is not None and d.span.known
+
+    def test_known_attribute_is_clean(self, schema):
+        diags = analyze_pattern_text(
+            "graph P { node v1 where v1.weight > 2; }", schema=schema)
+        assert not [d for d in diags if d.code == "GQL004"]
+
+    def test_no_schema_means_no_gql004(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1 where v1.wieght > 2; }")
+        assert not [d for d in diags if d.code == "GQL004"]
+
+
+class TestUnknownTagOrLabel:
+    def test_unknown_label_value_is_gql005(self, schema):
+        diags = analyze_pattern_text(
+            'graph P { node v1 where v1.label = "Z"; }', schema=schema)
+        (d,) = only(diags, "GQL005")
+        assert d.severity is Severity.WARNING
+        assert "'Z'" in d.message
+
+    def test_known_label_value_is_clean(self, schema):
+        diags = analyze_pattern_text(
+            'graph P { node v1 where v1.label = "A"; }', schema=schema)
+        assert not [d for d in diags if d.code == "GQL005"]
+
+
+class TestTypeConfusion:
+    def test_number_vs_string_is_gql006(self, schema):
+        diags = analyze_pattern_text(
+            'graph P { node v1 where v1.weight = "heavy"; }', schema=schema)
+        (d,) = only(diags, "GQL006")
+        assert d.severity is Severity.WARNING
+        assert "'weight'" in d.message
+
+    def test_matching_buckets_are_clean(self, schema):
+        diags = analyze_pattern_text(
+            "graph P { node v1 where v1.weight > 2; }", schema=schema)
+        assert not [d for d in diags if d.code == "GQL006"]

@@ -1,0 +1,89 @@
+"""Golden corpus: syntax and scope diagnostics (GQL000–GQL003)."""
+
+from repro.analysis import (
+    Severity,
+    analyze_pattern_text,
+    analyze_text,
+)
+
+
+def only(diags, code):
+    """The findings with *code*, asserting there is at least one."""
+    hits = [d for d in diags if d.code == code]
+    assert hits, f"expected {code}, got {[d.code for d in diags]}"
+    return hits
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+class TestSyntax:
+    def test_unterminated_pattern_is_gql000(self):
+        diags = analyze_text("graph P { node v1")
+        (d,) = only(diags, "GQL000")
+        assert d.severity is Severity.ERROR
+        assert d.span is not None and d.span.line == 1
+
+    def test_clean_program_has_no_findings(self):
+        assert analyze_text("graph P { node v1; node v2; "
+                            "edge e1 (v1, v2); };") == []
+
+
+class TestUnbound:
+    def test_unknown_dotted_root_is_gql001(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; } where Q.x > 1")
+        (d,) = only(diags, "GQL001")
+        assert d.severity is Severity.ERROR
+        assert "'Q'" in d.message
+        assert d.span is not None and d.span.known
+
+    def test_standalone_member_ref_is_gql001(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; graph Missing as M; edge e1 (v1, M.v); }")
+        (d,) = only(diags, "GQL001")
+        assert "Missing" in d.message
+
+    def test_member_ref_resolved_by_env_is_clean(self):
+        # the service passes no env, but program mode does: a name the
+        # environment supplies is not an error
+        from repro.analysis import analyze_pattern
+        from repro.lang.parser import parse_graph_decl
+
+        decl = parse_graph_decl(
+            "graph P { node v1; graph Known as M; edge e1 (v1, M.v); }")
+        diags = analyze_pattern(decl, env=("Known",))
+        assert "GQL001" not in codes(diags)
+
+    def test_bare_single_segment_roots_are_runtime_lookups(self):
+        # bare names fall back to attribute lookups, never an error
+        diags = analyze_pattern_text(
+            'graph P { node v1 where label = "A"; }')
+        assert "GQL001" not in codes(diags)
+
+    def test_element_names_are_in_scope_for_graph_where(self):
+        diags = analyze_pattern_text(
+            "graph P { node v1; node v2; edge e1 (v1, v2); } "
+            "where v1.weight > v2.weight")
+        assert "GQL001" not in codes(diags)
+
+
+class TestShadowing:
+    def test_redefining_a_used_pattern_is_gql002(self):
+        diags = analyze_text(
+            "graph P { node v1; };\n"
+            "graph Q { graph P as X; edge e1 (X.v1, w); };\n"
+            "graph P { node v3; };")
+        (d,) = only(diags, "GQL002")
+        assert d.severity is Severity.WARNING
+        assert "'P'" in d.message
+        assert d.span is not None and d.span.line == 3  # at the shadower
+
+    def test_redefining_an_unused_pattern_is_gql003(self):
+        diags = analyze_text(
+            "graph P { node v1; };\n"
+            "graph P { node v2; };")
+        (d,) = only(diags, "GQL003")
+        assert d.severity is Severity.HINT
+        assert d.span is not None and d.span.line == 1  # at the dead one

@@ -95,6 +95,19 @@ def build(shards, replication=1, **kwargs):
     return coordinator
 
 
+def test_invalid_query_is_rejected_before_fan_out():
+    shards = [ScriptedShard(rows=2), ScriptedShard(rows=3)]
+    coordinator = build(shards)
+    reply = coordinator.query("graph P { node v1; } where Q.x > 1")
+    assert reply.outcome.status is Outcome.REJECTED
+    assert reply.outcome.reason == "invalid_query"
+    diags = reply.outcome.detail["diagnostics"]
+    assert diags and diags[0]["code"] == "GQL001"
+    # no shard ever saw the query
+    assert all(shard.query_connections == 0 for shard in shards)
+    assert coordinator.stats()["counters"]["invalid_queries"] == 1
+
+
 def test_all_shards_merge_to_complete_with_full_accounting():
     coordinator = build([ScriptedShard(rows=2), ScriptedShard(rows=3)])
     reply = coordinator.query(QUERY)

@@ -97,11 +97,15 @@ class TestWireProtocol:
             assert reply["ok"] is False
             assert "op" in reply["error"]
 
-    def test_bad_query_text_is_an_error_response(self, server):
+    def test_bad_query_text_is_rejected_at_admission(self, server):
+        # static analysis refuses the query before any worker runs; the
+        # reply is structured (REJECTED + diagnostics), not an error
         with connect(server) as client:
             reply = client.query("graph P { node broken")
-            assert not reply.ok
-            assert reply.error is not None
+            assert reply.outcome.status is Outcome.REJECTED
+            assert reply.outcome.reason == "invalid_query"
+            diagnostics = reply.outcome.detail["diagnostics"]
+            assert diagnostics and diagnostics[0]["severity"] == "error"
 
     def test_oversized_line_errors_and_closes_the_connection(self, server):
         """A line past the cap cannot be resynced: the tail must not be

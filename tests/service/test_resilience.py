@@ -263,11 +263,16 @@ class TestBreakerShedding:
         with make_service(breaker_threshold=2, breaker_cooldown=0.2,
                           shed_enabled=False) as service:
             request = QueryRequest(query=EDGE_QUERY, client="slow")
+            # the failure source must pass static analysis (a syntax-bad
+            # query is now rejected before the breaker sees it), so fail
+            # at execution instead: the document does not exist
             error = service.submit(QueryRequest(
-                query="graph P { broken", client="slow")).result(timeout=5)
+                query=EDGE_QUERY, document="nope",
+                client="slow")).result(timeout=5)
             assert error.error is not None
             error = service.submit(QueryRequest(
-                query="graph P { broken", client="slow")).result(timeout=5)
+                query=EDGE_QUERY, document="nope",
+                client="slow")).result(timeout=5)
             assert error.error is not None
             breaker = service.breakers.breaker("slow")
             assert breaker.state == STATE_OPEN
@@ -282,7 +287,8 @@ class TestBreakerShedding:
         with make_service(breaker_threshold=1, breaker_cooldown=0.1,
                           shed_min_samples=5) as service:
             error = service.submit(QueryRequest(
-                query="graph P { broken", client="flaky")).result(timeout=5)
+                query=EDGE_QUERY, document="nope",
+                client="flaky")).result(timeout=5)
             assert error.error is not None
             breaker = service.breakers.breaker("flaky")
             assert breaker.state == STATE_OPEN
@@ -308,7 +314,7 @@ class TestBreakerShedding:
                 service._record_breaker(
                     QueryRequest(query=EDGE_QUERY, client="c"),
                     service.submit(QueryRequest(
-                        query="graph P { broken", client="c")
+                        query=EDGE_QUERY, document="nope", client="c")
                     ).result(timeout=5))
             response = service.submit(QueryRequest(
                 query=EDGE_QUERY, client="c")).result(timeout=10)

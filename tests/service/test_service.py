@@ -66,10 +66,12 @@ class TestExecution:
             assert response.cache == "bypass"
             assert response.outcome.status is Outcome.COMPLETE
 
-    def test_compile_error_is_a_response_not_an_exception(self):
+    def test_compile_error_is_a_rejection_not_an_exception(self):
         with make_service() as service:
             response = service.execute("graph P { this is not a pattern")
-            assert response.error is not None
+            assert response.outcome.status is Outcome.REJECTED
+            assert response.outcome.reason == "invalid_query"
+            assert response.outcome.detail["diagnostics"]
             assert response.results == []
 
     def test_unknown_document_is_an_error_response(self):
@@ -210,6 +212,50 @@ class TestAdmission:
                 assert response.outcome.steps == 0  # never executed
             snap = service.stats()
             assert snap["submitted"] == snap["admitted"] + snap["rejected"]
+
+    def test_invalid_query_never_reaches_the_pool(self):
+        with make_service() as service:
+            service.execute(EDGE_QUERY)  # warm baseline counters
+            before = service.stats()
+            response = service.execute(
+                "graph P { node v1; } where Q.x > 1")
+            assert response.outcome.status is Outcome.REJECTED
+            assert response.outcome.reason == "invalid_query"
+            diags = response.outcome.detail["diagnostics"]
+            assert diags and diags[0]["code"] == "GQL001"
+            assert diags[0]["severity"] == "error"
+            after = service.stats()
+            assert after["invalid_queries"] == before["invalid_queries"] + 1
+            assert after["rejected"] == before["rejected"] + 1
+            assert after["submitted"] == before["submitted"] + 1
+            assert after["admitted"] == before["admitted"]  # never admitted
+            assert after["executed"] == before["executed"]  # no worker burned
+            assert after["submitted"] == after["admitted"] + after["rejected"]
+
+    def test_warnings_do_not_reject(self):
+        # a disconnected pattern is a WARNING: admission only acts on
+        # error-severity findings
+        with make_service() as service:
+            response = service.execute(
+                'graph P { node u1 <label="L001">; node u2 <label="L002">; }')
+            assert response.outcome.status is Outcome.COMPLETE
+
+    def test_validation_can_be_disabled(self):
+        with make_service(validate_queries=False) as service:
+            response = service.execute(
+                "graph P { node v1; } where Q.x > 1")
+            # the query reaches a worker and fails there instead
+            assert response.outcome.status is not Outcome.REJECTED
+            assert response.error is not None
+            assert service.stats()["invalid_queries"] == 0
+
+    def test_validation_verdicts_are_cached(self):
+        with make_service() as service:
+            bad = "graph P { node v1; } where Q.x > 1"
+            service.execute(bad)
+            service.execute(bad)
+            assert service.stats()["invalid_queries"] == 2
+            assert service._validation_cache.hits >= 1
 
     def test_stats_snapshot_shape(self):
         with make_service() as service:
